@@ -1,0 +1,81 @@
+// E8 (part 1): chaotic automaton and chaotic closure construction
+// throughput (Defs. 8/9) as a function of the learned-model size and the
+// interaction alphabet. The closure is rebuilt every iteration of the
+// synthesis loop, so its cost bounds the loop's per-iteration overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/chaos.hpp"
+#include "automata/random.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace mui;
+
+void BM_ChaoticAutomaton(benchmark::State& state) {
+  bench::Tables t;
+  automata::SignalSet ins, outs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    ins.set(t.signals->intern("i" + std::to_string(i)));
+    outs.set(t.signals->intern("o" + std::to_string(i)));
+  }
+  const auto alphabet = automata::makeAlphabet(
+      ins, outs, automata::InteractionMode::AtMostOneSignal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        automata::chaoticAutomaton(t.signals, t.props, ins, outs, alphabet));
+  }
+  state.counters["alphabet"] = static_cast<double>(alphabet.size());
+}
+BENCHMARK(BM_ChaoticAutomaton)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ChaoticClosure(benchmark::State& state) {
+  // A learned model with `range(0)` states over a fixed interface.
+  bench::Tables t;
+  automata::RandomSpec spec;
+  spec.states = static_cast<std::size_t>(state.range(0));
+  spec.inputs = 3;
+  spec.outputs = 3;
+  spec.seed = 7;
+  spec.name = "m";
+  const auto model = automata::randomAutomaton(spec, t.signals, t.props);
+  automata::IncompleteAutomaton inc(model);
+  const auto alphabet = automata::makeAlphabet(
+      model.inputs(), model.outputs(),
+      automata::InteractionMode::AtMostOneSignal);
+  std::size_t closureStates = 0;
+  for (auto _ : state) {
+    const auto c = automata::chaoticClosure(inc, alphabet);
+    closureStates = c.automaton.stateCount();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["closure_states"] = static_cast<double>(closureStates);
+}
+BENCHMARK(BM_ChaoticClosure)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ChaoticClosureFullPowerset(benchmark::State& state) {
+  // Exact Def. 8/9 alphabet (℘(I) × ℘(O)): exponential, small interfaces.
+  bench::Tables t;
+  automata::RandomSpec spec;
+  spec.states = 8;
+  spec.inputs = static_cast<std::size_t>(state.range(0));
+  spec.outputs = static_cast<std::size_t>(state.range(0));
+  spec.mode = automata::InteractionMode::FullPowerset;
+  spec.seed = 7;
+  spec.name = "m";
+  const auto model = automata::randomAutomaton(spec, t.signals, t.props);
+  automata::IncompleteAutomaton inc(model);
+  const auto alphabet =
+      automata::makeAlphabet(model.inputs(), model.outputs(),
+                             automata::InteractionMode::FullPowerset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::chaoticClosure(inc, alphabet));
+  }
+  state.counters["alphabet"] = static_cast<double>(alphabet.size());
+}
+BENCHMARK(BM_ChaoticClosureFullPowerset)->Arg(1)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

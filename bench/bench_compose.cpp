@@ -1,0 +1,81 @@
+// E8 (part 2): synchronous parallel composition throughput (Def. 3) — the
+// reachable product construction of context, closure(s) and connectors that
+// every verification round performs.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/compose.hpp"
+#include "automata/random.hpp"
+#include "bench_util.hpp"
+#include "muml/channel.hpp"
+
+namespace {
+
+using namespace mui;
+
+void BM_ComposePair(benchmark::State& state) {
+  bench::Tables t;
+  automata::RandomSpec spec;
+  spec.states = static_cast<std::size_t>(state.range(0));
+  spec.inputs = 2;
+  spec.outputs = 2;
+  spec.seed = 5;
+  spec.name = "lg";
+  const auto a = automata::randomAutomaton(spec, t.signals, t.props);
+  const auto b = automata::mirrored(a, "ctx");
+  std::size_t productStates = 0;
+  for (auto _ : state) {
+    const auto p = automata::compose(a, b);
+    productStates = p.automaton.stateCount();
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["product_states"] = static_cast<double>(productStates);
+}
+BENCHMARK(BM_ComposePair)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ComposeWithChannel(benchmark::State& state) {
+  // Three-way composition with an explicit QoS connector in the middle.
+  bench::Tables t;
+  automata::Automaton snd(t.signals, t.props, "snd");
+  snd.addOutput("m_src");
+  snd.addInput("r_dst");
+  snd.addState("s0");
+  snd.addState("s1");
+  snd.markInitial(0);
+  snd.addTransition(0, {{}, automata::SignalSet::single(
+                               *t.signals->lookup("m_src"))},
+                    1);
+  snd.addTransition(
+      1, {automata::SignalSet::single(*t.signals->lookup("r_dst")), {}}, 0);
+  snd.addTransition(1, {}, 1);
+
+  automata::Automaton rcv(t.signals, t.props, "rcv");
+  rcv.addInput("m_dst");
+  rcv.addOutput("r_src");
+  rcv.addState("r0");
+  rcv.addState("r1");
+  rcv.markInitial(0);
+  rcv.addTransition(
+      0, {automata::SignalSet::single(*t.signals->lookup("m_dst")), {}}, 1);
+  rcv.addTransition(1, {{}, automata::SignalSet::single(
+                               *t.signals->lookup("r_src"))},
+                    0);
+  rcv.addTransition(0, {}, 0);
+
+  const auto channel = muml::makeChannel(
+      t.signals, t.props,
+      {"ch",
+       {{"m_src", "m_dst"}, {"r_src", "r_dst"}},
+       static_cast<std::uint32_t>(state.range(0)),
+       2,
+       false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automata::composeAll({&snd, &channel, &rcv}));
+  }
+  state.counters["channel_states"] = static_cast<double>(channel.stateCount());
+}
+BENCHMARK(BM_ComposeWithChannel)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

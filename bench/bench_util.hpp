@@ -1,0 +1,83 @@
+#pragma once
+// Shared helpers for the experiment harness (see DESIGN.md §5 for the
+// experiment index). The plain-table benches print one TextTable per
+// experiment; the micro benches use google-benchmark.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "automata/random.hpp"
+#include "synthesis/verifier.hpp"
+#include "util/text_table.hpp"
+
+namespace mui::bench {
+
+struct Tables {
+  automata::SignalTableRef signals = std::make_shared<automata::SignalTable>();
+  automata::SignalTableRef props = std::make_shared<automata::SignalTable>();
+};
+
+inline const char* verdictName(synthesis::Verdict v) {
+  switch (v) {
+    case synthesis::Verdict::ProvenCorrect:
+      return "proven";
+    case synthesis::Verdict::RealError:
+      return "real-error";
+    case synthesis::Verdict::IterationLimit:
+      return "iter-limit";
+    case synthesis::Verdict::Unsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A random closed integration scenario: hidden legacy + a context that
+/// exercises roughly `contextKeepPct`% of it (the mirrored sub-behavior).
+struct Scenario {
+  Tables t;
+  automata::Automaton hidden;
+  automata::Automaton context;
+
+  Scenario(std::size_t legacyStates, std::uint64_t seed,
+           std::uint64_t contextKeepPct, std::size_t signalsEachWay = 2)
+      : hidden(makeHidden(t, legacyStates, seed, signalsEachWay)),
+        context(automata::mirrored(
+            automata::subAutomaton(hidden, contextKeepPct, seed + 101,
+                                   "lg_sub"),
+            "ctx")) {}
+
+ private:
+  static automata::Automaton makeHidden(Tables& t, std::size_t states,
+                                        std::uint64_t seed,
+                                        std::size_t signalsEachWay) {
+    automata::RandomSpec spec;
+    spec.states = states;
+    spec.inputs = signalsEachWay;
+    spec.outputs = signalsEachWay;
+    spec.densityPct = 40;
+    spec.seed = seed;
+    spec.name = "lg";
+    return automata::randomAutomaton(spec, t.signals, t.props);
+  }
+};
+
+inline void printHeader(const char* id, const char* claim) {
+  std::printf("\n### %s\n%s\n\n", id, claim);
+}
+
+}  // namespace mui::bench

@@ -1,0 +1,85 @@
+// Multiple legacy components (paper Sec. 7, future work): two black boxes
+// embedded in one context, learned in parallel — each gets its own
+// incomplete model and chaotic closure — compared against the composite
+// strategy that learns one joint model of both.
+//
+// Build & run:  ./build/examples/multi_legacy
+
+#include <cstdio>
+
+#include "automata/compose.hpp"
+#include "automata/random.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/composite.hpp"
+#include "testing/legacy.hpp"
+
+int main() {
+  using namespace mui;
+
+  automata::SignalTableRef signals = std::make_shared<automata::SignalTable>();
+  automata::SignalTableRef props = std::make_shared<automata::SignalTable>();
+
+  // Two independent legacy components with disjoint interfaces.
+  automata::RandomSpec specA;
+  specA.states = 5;
+  specA.inputs = 1;
+  specA.outputs = 1;
+  specA.seed = 12;
+  specA.name = "sensorCtl";
+  automata::RandomSpec specB = specA;
+  specB.seed = 21;
+  specB.name = "driveCtl";
+  const auto hiddenA = automata::randomAutomaton(specA, signals, props);
+  const auto hiddenB = automata::randomAutomaton(specB, signals, props);
+
+  // The context exercises both: the composition of their mirrored twins.
+  const auto mirrorA = automata::mirrored(hiddenA, "busA");
+  const auto mirrorB = automata::mirrored(hiddenB, "busB");
+  const auto context = automata::composeAll({&mirrorA, &mirrorB}).automaton;
+
+  // ---- Strategy 1: parallel learning (one model per component). -----------
+  testing::AutomatonLegacy legacyA(hiddenA);
+  testing::AutomatonLegacy legacyB(hiddenB);
+  synthesis::IntegrationVerifier parallel(context, {&legacyA, &legacyB}, {});
+  const auto par = parallel.run();
+
+  // ---- Strategy 2: composite learning (one joint model). ------------------
+  std::vector<std::unique_ptr<testing::LegacyComponent>> parts;
+  parts.push_back(std::make_unique<testing::AutomatonLegacy>(hiddenA));
+  parts.push_back(std::make_unique<testing::AutomatonLegacy>(hiddenB));
+  testing::CompositeLegacy composite(std::move(parts), "jointCtl");
+  synthesis::IntegrationVerifier joint(context, composite, {});
+  const auto cmp = joint.run();
+
+  const auto verdictName = [](synthesis::Verdict v) {
+    switch (v) {
+      case synthesis::Verdict::ProvenCorrect:
+        return "PROVEN CORRECT";
+      case synthesis::Verdict::RealError:
+        return "REAL ERROR";
+      default:
+        return "inconclusive";
+    }
+  };
+
+  std::printf("strategy    verdict          iters  facts  periods  models\n");
+  std::printf("parallel    %-15s  %5zu  %5zu  %7llu  %zu+%zu states\n",
+              verdictName(par.verdict), par.iterations, par.totalLearnedFacts,
+              static_cast<unsigned long long>(par.totalTestPeriods),
+              par.learnedModels[0].base().stateCount(),
+              par.learnedModels[1].base().stateCount());
+  std::printf("composite   %-15s  %5zu  %5zu  %7llu  %zu joint states\n",
+              verdictName(cmp.verdict), cmp.iterations, cmp.totalLearnedFacts,
+              static_cast<unsigned long long>(cmp.totalTestPeriods),
+              cmp.learnedModels[0].base().stateCount());
+
+  std::printf("\nVerdicts agree: %s\n",
+              par.verdict == cmp.verdict ? "yes" : "NO (bug!)");
+  std::printf("\nParallel learning keeps the per-component models small "
+              "(%zu and %zu states vs up to %zu joint states), as the paper "
+              "anticipates for restrictive contexts.\n",
+              par.learnedModels[0].base().stateCount(),
+              par.learnedModels[1].base().stateCount(),
+              cmp.learnedModels[0].base().stateCount());
+  return par.verdict == cmp.verdict ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+#include "automata/chaos.hpp"
+
+namespace mui::automata {
+
+Automaton chaoticAutomaton(const SignalTableRef& signals,
+                           const SignalTableRef& props, const SignalSet& ins,
+                           const SignalSet& outs,
+                           const std::vector<Interaction>& alphabet,
+                           const std::string& name,
+                           const std::string& chaosProp) {
+  Automaton a(signals, props, name);
+  a.declareSignals(ins, outs);
+  const StateId sAll = a.addState("s_all");
+  const StateId sDelta = a.addState("s_delta");
+  a.addLabel(sAll, chaosProp);
+  a.addLabel(sDelta, chaosProp);
+  // Q_c = {s_δ, s_∀}: the component may refuse everything from the start.
+  a.markInitial(sAll);
+  a.markInitial(sDelta);
+  // T_c: s_∀ supports every interaction and may move to s_∀ or s_δ.
+  for (const auto& x : alphabet) {
+    a.addTransition(sAll, x, sAll);
+    a.addTransition(sAll, x, sDelta);
+  }
+  return a;
+}
+
+Closure chaoticClosure(const IncompleteAutomaton& m,
+                       const std::vector<Interaction>& alphabet,
+                       ClosureStyle style, ClosureCopies copies,
+                       const std::string& chaosProp) {
+  const bool both = copies == ClosureCopies::Both;
+  const Automaton& base = m.base();
+  Closure c{Automaton(base.signalTable(), base.propTable(), base.name()),
+            0,
+            0,
+            {},
+            {},
+            {}};
+  Automaton& out = c.automaton;
+  out.declareSignals(base.inputs(), base.outputs());
+
+  // 1. Double the state set: (s, 0) keeps the name, (s, 1) is primed.
+  std::vector<StateId>& copy0 = c.copy0;
+  std::vector<StateId>& copy1 = c.copy1;
+  copy0.resize(base.stateCount());
+  copy1.resize(base.stateCount());
+  for (StateId s = 0; s < base.stateCount(); ++s) {
+    if (both) {
+      copy0[s] = out.addState(base.stateName(s));
+      c.origins.push_back({Closure::Kind::Copy0, s});
+      copy1[s] = out.addState(base.stateName(s) + "'");
+      c.origins.push_back({Closure::Kind::Copy1, s});
+      out.addLabels(copy0[s], base.labels(s));
+    } else {
+      copy1[s] = out.addState(base.stateName(s));
+      c.origins.push_back({Closure::Kind::Copy1, s});
+      copy0[s] = copy1[s];
+    }
+    out.addLabels(copy1[s], base.labels(s));
+  }
+
+  // ... and include the chaotic automaton (s_∀, s_δ; Def. 8 as sub-structure,
+  // but *not* initial here — chaos is only reachable through (s, 1) states).
+  c.sAll = out.addState("s_all");
+  c.origins.push_back({Closure::Kind::ChaosAll, 0});
+  c.sDelta = out.addState("s_delta");
+  c.origins.push_back({Closure::Kind::ChaosDelta, 0});
+  out.addLabel(c.sAll, chaosProp);
+  out.addLabel(c.sDelta, chaosProp);
+
+  // 2. Known transitions, re-choosing the copy bit at every step (all four
+  // combinations, literally as in Def. 9).
+  for (StateId s = 0; s < base.stateCount(); ++s) {
+    for (const auto& t : base.transitionsFrom(s)) {
+      out.addTransition(copy1[s], t.label, copy1[t.to]);
+      if (both) {
+        out.addTransition(copy0[s], t.label, copy0[t.to]);
+        out.addTransition(copy0[s], t.label, copy1[t.to]);
+        out.addTransition(copy1[s], t.label, copy0[t.to]);
+      }
+    }
+  }
+
+  // Chaos continuations from the (s, 1) copies.
+  for (StateId s = 0; s < base.stateCount(); ++s) {
+    for (const auto& x : alphabet) {
+      if (m.isForbidden(s, x)) continue;
+      if (style == ClosureStyle::DeterministicTarget &&
+          base.hasTransition(s, x)) {
+        continue;  // known interaction with unique known successor
+      }
+      out.addTransition(copy1[s], x, c.sAll);
+      out.addTransition(copy1[s], x, c.sDelta);
+    }
+  }
+
+  // T_c inside the closure.
+  for (const auto& x : alphabet) {
+    out.addTransition(c.sAll, x, c.sAll);
+    out.addTransition(c.sAll, x, c.sDelta);
+  }
+
+  // Q' = {(s, 0) | s ∈ Q} ∪ {(s, 1) | s ∈ Q}.
+  for (StateId q : base.initialStates()) {
+    if (both) out.markInitial(copy0[q]);
+    out.markInitial(copy1[q]);
+  }
+  return c;
+}
+
+}  // namespace mui::automata

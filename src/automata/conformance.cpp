@@ -1,0 +1,43 @@
+#include "automata/conformance.hpp"
+
+namespace mui::automata {
+
+ConformanceResult checkObservationConformance(const IncompleteAutomaton& m,
+                                              const Automaton& real) {
+  const Automaton& base = m.base();
+  std::vector<StateId> map(base.stateCount());
+  for (StateId s = 0; s < base.stateCount(); ++s) {
+    const auto r = real.stateByName(base.stateName(s));
+    if (!r) {
+      return {false, "state '" + base.stateName(s) +
+                         "' does not exist in the concrete component"};
+    }
+    map[s] = *r;
+  }
+  for (StateId q : base.initialStates()) {
+    if (!real.isInitial(map[q])) {
+      return {false, "state '" + base.stateName(q) +
+                         "' is initial in the model but not in the component"};
+    }
+  }
+  for (StateId s = 0; s < base.stateCount(); ++s) {
+    for (const auto& t : base.transitionsFrom(s)) {
+      if (!real.hasTransitionTo(map[s], t.label, map[t.to])) {
+        return {false, "transition " + base.stateName(s) + " --" +
+                           base.interactionToString(t.label) + "--> " +
+                           base.stateName(t.to) +
+                           " is not a transition of the component"};
+      }
+    }
+    for (const auto& x : m.forbiddenAt(s)) {
+      if (real.hasTransition(map[s], x)) {
+        return {false, "interaction " + base.interactionToString(x) +
+                           " is in T-bar at '" + base.stateName(s) +
+                           "' but the component supports it"};
+      }
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace mui::automata

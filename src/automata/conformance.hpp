@@ -1,0 +1,31 @@
+#pragma once
+// Observation conformance (paper Def. 10): [M] ⊆ [M_r] for an incomplete
+// automaton M against the concrete component M_r, where runs include states
+// ("the defined notion of observation includes states in our case").
+//
+// States are identified by name: a learned model's states are exactly the
+// state names reported by the monitoring probes, so conformance reduces to
+// structural containment.
+
+#include <string>
+
+#include "automata/incomplete.hpp"
+
+namespace mui::automata {
+
+struct ConformanceResult {
+  bool conforms = false;
+  std::string reason;  // human-readable witness on failure
+};
+
+/// Checks that M is observation conforming to the concrete automaton `real`:
+///  - every state of M names a state of `real`,
+///  - M's initial states are initial in `real`,
+///  - every transition of M (mapped by name) is a transition of `real`,
+///  - every T̄ entry of M is refused by `real` (no such transition).
+/// Together these give [M] ⊆ [real] per Def. 7/10. With Thm. 1 this yields
+/// real ⊑ chaos(M).
+ConformanceResult checkObservationConformance(const IncompleteAutomaton& m,
+                                              const Automaton& real);
+
+}  // namespace mui::automata

@@ -1,0 +1,184 @@
+#include "automata/incomplete.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mui::automata {
+
+IncompleteAutomaton::IncompleteAutomaton(SignalTableRef signals,
+                                         SignalTableRef props,
+                                         std::string name)
+    : base_(std::move(signals), std::move(props), std::move(name)) {}
+
+IncompleteAutomaton::IncompleteAutomaton(Automaton base)
+    : base_(std::move(base)) {
+  forbidden_.resize(base_.stateCount());
+}
+
+StateId IncompleteAutomaton::addState(const std::string& stateName) {
+  const StateId s = base_.addState(stateName);
+  ensureForbiddenSlot(s);
+  return s;
+}
+
+StateId IncompleteAutomaton::ensureState(const std::string& stateName) {
+  const StateId s = base_.ensureState(stateName);
+  ensureForbiddenSlot(s);
+  return s;
+}
+
+void IncompleteAutomaton::markInitial(StateId s) { base_.markInitial(s); }
+
+util::NameId IncompleteAutomaton::addInput(const std::string& signal) {
+  return base_.addInput(signal);
+}
+
+util::NameId IncompleteAutomaton::addOutput(const std::string& signal) {
+  return base_.addOutput(signal);
+}
+
+void IncompleteAutomaton::declareSignals(const SignalSet& ins,
+                                         const SignalSet& outs) {
+  base_.declareSignals(ins, outs);
+}
+
+void IncompleteAutomaton::addLabel(StateId s, const std::string& prop) {
+  base_.addLabel(s, prop);
+}
+
+void IncompleteAutomaton::addTransition(StateId from, Interaction label,
+                                        StateId to) {
+  if (isForbidden(from, label)) {
+    throw std::invalid_argument(
+        "IncompleteAutomaton::addTransition: interaction is in T-bar "
+        "(Def. 6 consistency)");
+  }
+  base_.addTransition(from, std::move(label), to);
+}
+
+void IncompleteAutomaton::forbid(StateId s, Interaction label) {
+  if (base_.hasTransition(s, label)) {
+    throw std::invalid_argument(
+        "IncompleteAutomaton::forbid: interaction is in T "
+        "(Def. 6 consistency)");
+  }
+  ensureForbiddenSlot(s);
+  if (!isForbidden(s, label)) forbidden_[s].push_back(std::move(label));
+}
+
+bool IncompleteAutomaton::isForbidden(StateId s,
+                                      const Interaction& label) const {
+  if (s >= forbidden_.size()) return false;
+  return std::find(forbidden_[s].begin(), forbidden_[s].end(), label) !=
+         forbidden_[s].end();
+}
+
+const std::vector<Interaction>& IncompleteAutomaton::forbiddenAt(
+    StateId s) const {
+  static const std::vector<Interaction> kEmpty;
+  return s < forbidden_.size() ? forbidden_[s] : kEmpty;
+}
+
+std::size_t IncompleteAutomaton::forbiddenCount() const {
+  std::size_t n = 0;
+  for (const auto& v : forbidden_) n += v.size();
+  return n;
+}
+
+bool IncompleteAutomaton::deterministic() const {
+  if (!base_.deterministic()) return false;
+  // A transition and a T̄ entry on the same (s, A, B) would already be
+  // rejected at construction, so base determinism suffices; we re-check the
+  // consistency invariant defensively.
+  for (StateId s = 0; s < base_.stateCount(); ++s) {
+    for (const auto& x : forbiddenAt(s)) {
+      if (base_.hasTransition(s, x)) return false;
+    }
+  }
+  return true;
+}
+
+bool IncompleteAutomaton::complete(
+    const std::vector<Interaction>& alphabet) const {
+  for (StateId s = 0; s < base_.stateCount(); ++s) {
+    for (const auto& x : alphabet) {
+      const bool inT = base_.hasTransition(s, x);
+      const bool inBar = isForbidden(s, x);
+      if (inT == inBar) return false;  // must be exactly one (xor)
+    }
+  }
+  return true;
+}
+
+bool IncompleteAutomaton::admitsRun(const Run& run) const {
+  if (!run.wellFormed()) return false;
+  for (StateId s : run.states) {
+    if (s >= base_.stateCount()) return false;
+  }
+  if (!base_.isInitial(run.states.front())) return false;
+  const std::size_t regularSteps =
+      run.deadlock ? run.labels.size() - 1 : run.labels.size();
+  for (std::size_t i = 0; i < regularSteps; ++i) {
+    if (!base_.hasTransitionTo(run.states[i], run.labels[i],
+                               run.states[i + 1])) {
+      return false;
+    }
+  }
+  if (run.deadlock) {
+    // Def. 7: deadlocks only where explicitly recorded in T̄.
+    if (!isForbidden(run.states.back(), run.labels.back())) return false;
+  }
+  return true;
+}
+
+IncompleteAutomaton::LearnDelta IncompleteAutomaton::learn(
+    const ObservedRun& run) {
+  if (!run.wellFormed()) {
+    throw std::invalid_argument("IncompleteAutomaton::learn: malformed run");
+  }
+  LearnDelta delta;
+
+  const auto ensureNamed = [&](const std::string& n) {
+    if (auto existing = base_.stateByName(n)) return *existing;
+    const StateId s = addState(n);
+    base_.labelWithStateName(s);
+    ++delta.newStates;
+    return s;
+  };
+
+  std::vector<StateId> ids;
+  ids.reserve(run.stateNames.size());
+  for (const auto& n : run.stateNames) ids.push_back(ensureNamed(n));
+
+  // Def. 11: Q' = Q ∪ {s ∉ Q | π = s ...}.
+  if (!base_.isInitial(ids.front())) {
+    base_.markInitial(ids.front());
+  }
+
+  const std::size_t regularSteps =
+      run.blocked ? run.labels.size() - 1 : run.labels.size();
+  for (std::size_t i = 0; i < regularSteps; ++i) {
+    if (!base_.hasTransitionTo(ids[i], run.labels[i], ids[i + 1])) {
+      addTransition(ids[i], run.labels[i], ids[i + 1]);
+      ++delta.newTransitions;
+    }
+  }
+  if (run.blocked) {
+    // Def. 12: T̄' = T̄ ∪ {(s, A, B)}.
+    if (!isForbidden(ids.back(), run.labels.back())) {
+      forbid(ids.back(), run.labels.back());
+      ++delta.newForbidden;
+    }
+  }
+  return delta;
+}
+
+std::size_t IncompleteAutomaton::knowledge() const {
+  return base_.stateCount() + base_.transitionCount() + forbiddenCount();
+}
+
+void IncompleteAutomaton::ensureForbiddenSlot(StateId s) {
+  if (forbidden_.size() <= s) forbidden_.resize(s + 1);
+}
+
+}  // namespace mui::automata

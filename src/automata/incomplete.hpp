@@ -1,0 +1,105 @@
+#pragma once
+// Incomplete automata (paper Def. 6/7) and the learning steps (Def. 11/12).
+//
+// An incomplete automaton M = (S, I, O, T, T̄, Q) carries, besides the known
+// transitions T, the set T̄ of interactions *known to be refused* by the real
+// component. Runs (Def. 7) treat only T̄ entries as deadlocks — absence of a
+// transition encodes ignorance, not refusal. This is what makes the chaotic
+// closure (chaos.hpp) a safe over-approximation at every learning stage.
+
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "automata/run.hpp"
+
+namespace mui::automata {
+
+/// A refused interaction at a state: an element of T̄.
+struct ForbiddenEntry {
+  StateId state;
+  Interaction label;
+
+  bool operator==(const ForbiddenEntry&) const = default;
+};
+
+class IncompleteAutomaton {
+ public:
+  IncompleteAutomaton(SignalTableRef signals, SignalTableRef props,
+                      std::string name = {});
+
+  /// Wraps an existing automaton (empty T̄).
+  explicit IncompleteAutomaton(Automaton base);
+
+  // ---- Construction (delegates to the underlying automaton) ---------------
+
+  StateId addState(const std::string& stateName);
+  StateId ensureState(const std::string& stateName);
+  void markInitial(StateId s);
+  util::NameId addInput(const std::string& signal);
+  util::NameId addOutput(const std::string& signal);
+  void declareSignals(const SignalSet& ins, const SignalSet& outs);
+  void addLabel(StateId s, const std::string& prop);
+  void labelWithStateName(StateId s) { base_.labelWithStateName(s); }
+
+  /// Adds (from, A, B, to) to T. Throws if (from, A, B) ∈ T̄ (consistency
+  /// requirement of Def. 6).
+  void addTransition(StateId from, Interaction label, StateId to);
+
+  /// Adds (s, A, B) to T̄. Throws if a transition (s, A, B, ·) ∈ T exists.
+  void forbid(StateId s, Interaction label);
+
+  // ---- Accessors -----------------------------------------------------------
+
+  [[nodiscard]] const Automaton& base() const { return base_; }
+  [[nodiscard]] bool isForbidden(StateId s, const Interaction& label) const;
+  [[nodiscard]] const std::vector<Interaction>& forbiddenAt(StateId s) const;
+  [[nodiscard]] std::size_t forbiddenCount() const;
+
+  // ---- Def. 6/7 semantics --------------------------------------------------
+
+  /// Determinism of an incomplete automaton: for any (s, A, B),
+  /// |{(s,A,B,s') ∈ T} ∪ {(s,A,B) ∈ T̄}| ≤ 1.
+  [[nodiscard]] bool deterministic() const;
+
+  /// Completeness w.r.t. an interaction alphabet: every (s, A, B) is either
+  /// in T (for exactly one target when deterministic) xor in T̄.
+  [[nodiscard]] bool complete(const std::vector<Interaction>& alphabet) const;
+
+  /// Def. 7 runs: a deadlock run requires its final interaction ∈ T̄.
+  [[nodiscard]] bool admitsRun(const Run& run) const;
+
+  // ---- Learning (Def. 11/12) -----------------------------------------------
+
+  /// What one learning step added — used for the strict-monotone-progress
+  /// argument of Sec. 4.4 (Thm. 2's termination).
+  struct LearnDelta {
+    std::size_t newStates = 0;
+    std::size_t newTransitions = 0;
+    std::size_t newForbidden = 0;
+
+    [[nodiscard]] bool any() const {
+      return newStates + newTransitions + newForbidden > 0;
+    }
+  };
+
+  /// Merges an observed run into the model. States are identified by their
+  /// monitored names (Def. 10's state-aware observation). For a regular run
+  /// this is Def. 11 (extend S, T, Q); for a blocked run the regular prefix
+  /// is learned per Def. 11 and the refused final interaction is added to T̄
+  /// per Def. 12. New states are auto-labeled with their hierarchical
+  /// qualified name (see Automaton::labelWithStateName).
+  LearnDelta learn(const ObservedRun& run);
+
+  /// Number of (state, transition, forbidden) facts known — the strictly
+  /// increasing measure used for termination.
+  [[nodiscard]] std::size_t knowledge() const;
+
+ private:
+  Automaton base_;
+  std::vector<std::vector<Interaction>> forbidden_;  // by state
+
+  void ensureForbiddenSlot(StateId s);
+};
+
+}  // namespace mui::automata

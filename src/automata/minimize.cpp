@@ -1,0 +1,80 @@
+#include "automata/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mui::automata {
+
+std::vector<std::size_t> bisimulationClasses(const Automaton& a) {
+  const std::size_t n = a.stateCount();
+  std::vector<std::size_t> cls(n, 0);
+  std::size_t classCount = 0;
+
+  // Initial partition: by labeling.
+  {
+    std::map<PropSet, std::size_t> byLabels;
+    for (StateId s = 0; s < n; ++s) {
+      const auto it = byLabels.emplace(a.labels(s), byLabels.size()).first;
+      cls[s] = it->second;
+    }
+    classCount = byLabels.size();
+  }
+
+  // Refine until stable: split by the set of (interaction, successor class)
+  // moves — which also separates states with different refusals. Refinement
+  // only ever splits classes, so a stable class count means a fixpoint.
+  using Signature = std::vector<std::pair<Interaction, std::size_t>>;
+  while (true) {
+    std::map<std::pair<std::size_t, Signature>, std::size_t> next;
+    std::vector<std::size_t> newCls(n);
+    for (StateId s = 0; s < n; ++s) {
+      Signature sig;
+      for (const auto& t : a.transitionsFrom(s)) {
+        sig.emplace_back(t.label, cls[t.to]);
+      }
+      std::sort(sig.begin(), sig.end());
+      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+      const auto it =
+          next.emplace(std::make_pair(cls[s], std::move(sig)), next.size())
+              .first;
+      newCls[s] = it->second;
+    }
+    const bool stable = next.size() == classCount;
+    classCount = next.size();
+    cls = std::move(newCls);
+    if (stable) break;
+  }
+  return cls;
+}
+
+Automaton minimizeBisimulation(const Automaton& a) {
+  const auto cls = bisimulationClasses(a);
+  const std::size_t n = a.stateCount();
+  std::size_t classCount = 0;
+  for (std::size_t c : cls) classCount = std::max(classCount, c + 1);
+
+  // Representative: the lowest-numbered member of each class.
+  std::vector<StateId> repr(classCount, UINT32_MAX);
+  for (StateId s = 0; s < n; ++s) {
+    if (repr[cls[s]] == UINT32_MAX) repr[cls[s]] = s;
+  }
+
+  Automaton out(a.signalTable(), a.propTable(), a.name());
+  out.declareSignals(a.inputs(), a.outputs());
+  for (std::size_t c = 0; c < classCount; ++c) {
+    const StateId q = out.addState(a.stateName(repr[c]));
+    out.addLabels(q, a.labels(repr[c]));
+  }
+  for (std::size_t c = 0; c < classCount; ++c) {
+    for (const auto& t : a.transitionsFrom(repr[c])) {
+      out.addTransition(static_cast<StateId>(c), t.label,
+                        static_cast<StateId>(cls[t.to]));
+    }
+  }
+  for (StateId q : a.initialStates()) {
+    out.markInitial(static_cast<StateId>(cls[q]));
+  }
+  return out.prunedToReachable();
+}
+
+}  // namespace mui::automata

@@ -1,0 +1,24 @@
+#pragma once
+// Bisimulation minimization (partition refinement) for the discrete
+// automaton model. Bisimilarity here respects both the labeling and the
+// refusal structure: two states are equivalent only if they carry the same
+// propositions and afford the same interactions with bisimilar successors.
+// CTL properties (hence CCTL verdicts) and refinement in both directions
+// are preserved — the quotient can replace a composed product or a chaotic
+// closure wherever it appears (validated by property tests).
+
+#include "automata/automaton.hpp"
+
+namespace mui::automata {
+
+/// The bisimulation quotient of `a`, restricted to reachable states. Block
+/// representatives keep the name of their lowest-numbered member; labels are
+/// the (identical) member labels.
+Automaton minimizeBisimulation(const Automaton& a);
+
+/// Partition of `a`'s states into bisimulation classes: result[s] is the
+/// class index of state s (classes numbered densely from 0). Unreachable
+/// states participate normally (callers prune as needed).
+std::vector<std::size_t> bisimulationClasses(const Automaton& a);
+
+}  // namespace mui::automata

@@ -1,0 +1,150 @@
+#include "automata/random.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mui::automata {
+
+Automaton randomAutomaton(const RandomSpec& spec, const SignalTableRef& signals,
+                          const SignalTableRef& props) {
+  if (spec.states == 0) {
+    throw std::invalid_argument("randomAutomaton: need at least one state");
+  }
+  util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ull + 1);
+  Automaton a(signals, props, spec.name);
+  for (std::size_t i = 0; i < spec.inputs; ++i) {
+    a.addInput(spec.name + "_in" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < spec.outputs; ++i) {
+    a.addOutput(spec.name + "_out" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < spec.states; ++i) {
+    const StateId s = a.addState(spec.name + "_q" + std::to_string(i));
+    if (spec.labelStates) a.labelWithStateName(s);
+  }
+  a.markInitial(0);
+
+  const auto alphabet =
+      makeAlphabet(a.inputs(), a.outputs(), spec.mode);
+
+  // Input-determinism (the legacy-component discipline of Sec. 4.3): at most
+  // one response per (state, input set).
+  const auto canAdd = [&](StateId from, const Interaction& x) {
+    if (!spec.deterministic) return true;
+    for (const auto& t : a.transitionsFrom(from)) {
+      if (t.label.in == x.in) return false;
+    }
+    return true;
+  };
+
+  // Connectivity spine: every state k > 0 gets one incoming transition from
+  // an earlier state, so the automaton is connected from the initial state.
+  for (StateId k = 1; k < spec.states; ++k) {
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < 4 * alphabet.size() && !placed;
+         ++attempt) {
+      const StateId from = static_cast<StateId>(rng.below(k));
+      const auto& x = alphabet[rng.below(alphabet.size())];
+      if (canAdd(from, x)) {
+        a.addTransition(from, x, k);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Exhaustive fallback over all (from, label) pairs.
+      for (StateId from = 0; from < k && !placed; ++from) {
+        for (const auto& x : alphabet) {
+          if (canAdd(from, x)) {
+            a.addTransition(from, x, k);
+            placed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!placed) {
+      throw std::invalid_argument(
+          "randomAutomaton: alphabet too small for a deterministic "
+          "connected automaton of this size");
+    }
+  }
+
+  // Density fill.
+  for (StateId s = 0; s < spec.states; ++s) {
+    for (const auto& x : alphabet) {
+      if (!canAdd(s, x)) continue;
+      if (rng.chance(spec.densityPct, 100)) {
+        a.addTransition(s, x, static_cast<StateId>(rng.below(spec.states)));
+      }
+    }
+  }
+
+  if (spec.noLocalDeadlocks) {
+    const Interaction idle{};
+    for (StateId s = 0; s < spec.states; ++s) {
+      if (a.transitionsFrom(s).empty()) a.addTransition(s, idle, s);
+    }
+  }
+  return a;
+}
+
+Automaton mirrored(const Automaton& a, const std::string& name) {
+  Automaton m(a.signalTable(), a.propTable(), name);
+  m.declareSignals(a.outputs(), a.inputs());  // swapped
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    const StateId t = m.addState(a.stateName(s));
+    m.labelWithStateName(t);
+  }
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    for (const auto& tr : a.transitionsFrom(s)) {
+      m.addTransition(s, {tr.label.out, tr.label.in}, tr.to);
+    }
+  }
+  for (StateId q : a.initialStates()) m.markInitial(q);
+  return m;
+}
+
+Automaton subAutomaton(const Automaton& a, std::uint64_t keepPct,
+                       std::uint64_t seed, const std::string& name) {
+  util::Rng rng(seed * 0x2545f4914f6cdd1dull + 7);
+
+  // Choose kept transitions: a random spanning structure from the initial
+  // states plus a keepPct% sample of the remaining transitions.
+  std::vector<char> visited(a.stateCount(), 0);
+  std::vector<Transition> kept;
+  std::vector<StateId> frontier;
+  for (StateId q : a.initialStates()) {
+    if (!visited[q]) {
+      visited[q] = 1;
+      frontier.push_back(q);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t pick = rng.below(frontier.size());
+    const StateId s = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    for (const auto& t : a.transitionsFrom(s)) {
+      if (!visited[t.to]) {
+        visited[t.to] = 1;
+        kept.push_back(t);
+        frontier.push_back(t.to);
+      } else if (rng.chance(keepPct, 100)) {
+        kept.push_back(t);
+      }
+    }
+  }
+
+  Automaton out(a.signalTable(), a.propTable(), name);
+  out.declareSignals(a.inputs(), a.outputs());
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    const StateId t = out.addState(a.stateName(s));
+    out.addLabels(t, a.labels(s));
+  }
+  for (const auto& t : kept) out.addTransition(t.from, t.label, t.to);
+  for (StateId q : a.initialStates()) out.markInitial(q);
+  return out.prunedToReachable();
+}
+
+}  // namespace mui::automata

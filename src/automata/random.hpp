@@ -1,0 +1,54 @@
+#pragma once
+// Random model generators for property-based tests and benchmark workloads.
+//
+// The generators are fully deterministic in the seed so that every test and
+// bench row is reproducible.
+
+#include <cstdint>
+#include <string>
+
+#include "automata/automaton.hpp"
+
+namespace mui::automata {
+
+struct RandomSpec {
+  std::size_t states = 6;
+  std::size_t inputs = 2;   // number of input signals ("<name>_in<k>")
+  std::size_t outputs = 2;  // number of output signals ("<name>_out<k>")
+  /// Probability (numerator over 100) that a given (state, interaction) has
+  /// a transition beyond the connectivity spine.
+  std::uint64_t densityPct = 40;
+  InteractionMode mode = InteractionMode::AtMostOneSignal;
+  /// Input-deterministic (unique response per input set) — the legacy
+  /// component discipline of the paper's Sec. 4.3.
+  bool deterministic = true;
+  /// When set, every state keeps at least one outgoing transition so the
+  /// automaton alone has no trivially dead states.
+  bool noLocalDeadlocks = true;
+  /// Label every state with its qualified name (the default supports
+  /// property checking; disable for minimization experiments where unique
+  /// labels would prevent any merging).
+  bool labelStates = true;
+  std::uint64_t seed = 1;
+  std::string name = "rand";
+};
+
+/// Generates a connected random automaton over fresh signals interned into
+/// `signals`. States are named "<name>_q<k>" and labeled with their names.
+Automaton randomAutomaton(const RandomSpec& spec, const SignalTableRef& signals,
+                          const SignalTableRef& props);
+
+/// The I/O-mirrored twin of `a`: same graph, every label (A, B) becomes
+/// (B, A). The mirror is composable with `a` and synchronizes with it in
+/// lockstep — the canonical "fully exercising" context for a legacy
+/// component in experiments E1–E3.
+Automaton mirrored(const Automaton& a, const std::string& name);
+
+/// A connected random sub-automaton of `a`: keeps all states reachable via a
+/// randomly chosen subset of roughly `keepPct`% of transitions (always
+/// keeping a connectivity spine from the initial states). Used to model a
+/// context that exercises only part of the legacy behavior.
+Automaton subAutomaton(const Automaton& a, std::uint64_t keepPct,
+                       std::uint64_t seed, const std::string& name);
+
+}  // namespace mui::automata

@@ -1,0 +1,253 @@
+#include "automata/refine.hpp"
+
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace mui::automata {
+
+namespace {
+
+void validateInterfaces(const Automaton& impl, const Automaton& abs) {
+  if (impl.signalTable() != abs.signalTable() ||
+      impl.propTable() != abs.propTable()) {
+    throw std::invalid_argument("refinement: automata must share tables");
+  }
+  if (!(impl.inputs() == abs.inputs()) || !(impl.outputs() == abs.outputs())) {
+    throw std::invalid_argument(
+        "refinement: automata must have identical I/O interfaces");
+  }
+}
+
+std::optional<util::NameId> wildcardId(const Automaton& abs,
+                                       const RefinementOptions& opts) {
+  if (!opts.wildcardProp) return std::nullopt;
+  return abs.propTable()->lookup(*opts.wildcardProp);
+}
+
+/// Precomputed label-comparison context for one (impl, abs, opts) triple.
+struct LabelCmp {
+  std::optional<util::NameId> wildcard;
+  std::optional<PropSet> relevant;
+
+  LabelCmp(const Automaton& abs, const RefinementOptions& opts)
+      : wildcard(wildcardId(abs, opts)) {
+    if (opts.relevantProps) {
+      PropSet set;
+      for (const auto& p : *opts.relevantProps) {
+        if (auto id = abs.propTable()->lookup(p)) set.set(*id);
+      }
+      relevant = std::move(set);
+    }
+  }
+
+  bool operator()(const Automaton& impl, StateId s, const Automaton& abs,
+                  StateId t) const {
+    if (wildcard && abs.labels(t).test(*wildcard)) return true;
+    if (relevant) {
+      return (impl.labels(s) & *relevant) == (abs.labels(t) & *relevant);
+    }
+    return impl.labels(s) == abs.labels(t);
+  }
+};
+
+}  // namespace
+
+RefinementResult checkRefinement(const Automaton& impl, const Automaton& abs,
+                                 const std::vector<Interaction>& alphabet,
+                                 const RefinementOptions& opts) {
+  validateInterfaces(impl, abs);
+  const LabelCmp labelMatch(abs, opts);
+
+  struct Node {
+    StateId s;
+    std::vector<StateId> absStates;  // sorted, duplicate-free
+    std::size_t parent;              // index into nodes; self for roots
+    Interaction viaLabel;            // label from parent (roots: unused)
+  };
+  std::vector<Node> nodes;
+  std::set<std::pair<StateId, std::vector<StateId>>> seen;
+  std::deque<std::size_t> work;
+
+  const auto traceTo = [&](std::size_t idx) {
+    std::vector<std::string> parts;
+    while (nodes[idx].parent != idx) {
+      parts.push_back(impl.interactionToString(nodes[idx].viaLabel));
+      idx = nodes[idx].parent;
+    }
+    std::string out = "[";
+    for (std::size_t i = parts.size(); i-- > 0;) {
+      out += parts[i];
+      if (i) out += ", ";
+    }
+    return out + "]";
+  };
+
+  const auto push = [&](StateId s, std::vector<StateId> absStates,
+                        std::size_t parent, const Interaction& via) {
+    auto key = std::make_pair(s, absStates);
+    if (!seen.insert(std::move(key)).second) return;
+    nodes.push_back({s, std::move(absStates), parent, via});
+    work.push_back(nodes.size() - 1);
+  };
+
+  std::vector<StateId> absInit(abs.initialStates());
+  std::sort(absInit.begin(), absInit.end());
+  absInit.erase(std::unique(absInit.begin(), absInit.end()), absInit.end());
+  for (StateId q : impl.initialStates()) {
+    const std::size_t idx = nodes.size();
+    auto key = std::make_pair(q, absInit);
+    if (seen.insert(key).second) {
+      nodes.push_back({q, absInit, idx, Interaction{}});
+      work.push_back(idx);
+    }
+  }
+  if (!impl.initialStates().empty() && absInit.empty()) {
+    return {false, "abstract automaton has no initial states"};
+  }
+
+  while (!work.empty()) {
+    const std::size_t idx = work.front();
+    work.pop_front();
+    const StateId s = nodes[idx].s;
+    const std::vector<StateId> absStates = nodes[idx].absStates;
+
+    // Condition 1: some same-trace abstract run ends in a label-equal state.
+    bool matched = false;
+    for (StateId t : absStates) {
+      if (labelMatch(impl, s, abs, t)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return {false, "condition 1 violated after trace " + traceTo(idx) +
+                         ": no abstract state with matching labels for '" +
+                         impl.stateName(s) + "'"};
+    }
+
+    // Condition 2: every interaction blocked in impl at s must be blockable
+    // in abs on the same trace.
+    for (const auto& x : alphabet) {
+      if (opts.ignoreRefusals) break;
+      if (impl.hasTransition(s, x)) continue;
+      bool blockable = false;
+      for (StateId t : absStates) {
+        if (!abs.hasTransition(t, x)) {
+          blockable = true;
+          break;
+        }
+      }
+      if (!blockable) {
+        return {false, "condition 2 violated after trace " + traceTo(idx) +
+                           ": impl refuses " + impl.interactionToString(x) +
+                           " at '" + impl.stateName(s) +
+                           "' but the abstraction cannot deadlock there"};
+      }
+    }
+
+    // Expand per enabled interaction.
+    for (const auto& x : impl.enabledInteractions(s)) {
+      std::vector<StateId> next;
+      for (StateId t : absStates) {
+        for (StateId u : abs.successors(t, x)) next.push_back(u);
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      if (next.empty()) {
+        return {false, "condition 1 violated: trace " + traceTo(idx) + " + " +
+                           impl.interactionToString(x) +
+                           " is not a trace of the abstraction"};
+      }
+      for (StateId t : impl.successors(s, x)) {
+        push(t, next, idx, x);
+      }
+    }
+  }
+  return {true, {}};
+}
+
+bool simulates(const Automaton& impl, const Automaton& abs,
+               const std::vector<Interaction>& alphabet,
+               const RefinementOptions& opts) {
+  validateInterfaces(impl, abs);
+  const LabelCmp labelMatch(abs, opts);
+  const std::size_t n = impl.stateCount();
+  const std::size_t m = abs.stateCount();
+
+  // Shared forward-simulation refinement loop over an initial relation.
+  const auto solve = [&](std::vector<std::vector<char>>& rel) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (StateId s = 0; s < n; ++s) {
+        for (StateId t = 0; t < m; ++t) {
+          if (!rel[s][t]) continue;
+          bool ok = true;
+          for (const auto& tr : impl.transitionsFrom(s)) {
+            bool found = false;
+            for (StateId u : abs.successors(t, tr.label)) {
+              if (rel[tr.to][u]) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) {
+            rel[s][t] = 0;
+            changed = true;
+          }
+        }
+      }
+    }
+  };
+
+  const auto coversInitials = [&](const std::vector<std::vector<char>>& rel) {
+    for (StateId q : impl.initialStates()) {
+      bool any = false;
+      for (StateId t : abs.initialStates()) {
+        if (rel[q][t]) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  };
+
+  // R1: condition 1 (labels at every matched state).
+  std::vector<std::vector<char>> r1(n, std::vector<char>(m, 0));
+  for (StateId s = 0; s < n; ++s) {
+    for (StateId t = 0; t < m; ++t) {
+      r1[s][t] = labelMatch(impl, s, abs, t) ? 1 : 0;
+    }
+  }
+  solve(r1);
+  if (!coversInitials(r1)) return false;
+
+  if (opts.ignoreRefusals) return true;
+
+  // R2: condition 2 (refusals at every matched state; labels irrelevant).
+  std::vector<std::vector<char>> r2(n, std::vector<char>(m, 0));
+  for (StateId s = 0; s < n; ++s) {
+    for (StateId t = 0; t < m; ++t) {
+      bool ok = true;
+      for (const auto& x : alphabet) {
+        if (!impl.hasTransition(s, x) && abs.hasTransition(t, x)) {
+          ok = false;
+          break;
+        }
+      }
+      r2[s][t] = ok ? 1 : 0;
+    }
+  }
+  solve(r2);
+  return coversInitials(r2);
+}
+
+}  // namespace mui::automata

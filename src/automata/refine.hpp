@@ -1,0 +1,64 @@
+#pragma once
+// Automata refinement M ⊑ M' (paper Def. 4): trace inclusion with
+// label-matching end states (condition 1) plus deadlock-trace inclusion
+// (condition 2). Refinement implies simulation and additionally preserves
+// deadlock freedom (Lemma 1) and compositional constraints (Def. 5, Lemma 3).
+//
+// Two checkers are provided (DESIGN.md §6.2):
+//  - checkRefinement: exact decision via a subset construction on the
+//    abstract automaton. Exponential in |S'| in the worst case; fine for the
+//    model sizes the learning loop produces, and used heavily in tests to
+//    validate Thm. 1 and Lemmas 2/5/7.
+//  - simulates: greatest-fixpoint simulation with a refusal side condition —
+//    a sound, polynomial approximation (simulates ⇒ refines).
+//
+// `wildcardProp`, when set, marks abstract states (the closure's s_∀/s_δ)
+// whose labeling is considered compatible with anything — this implements
+// the paper's formula-weakening trick (Sec. 2.7) on the refinement side, as
+// used in the proof of Thm. 1.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+
+namespace mui::automata {
+
+struct RefinementResult {
+  bool holds = false;
+  std::string reason;  // human-readable witness on failure
+
+  explicit operator bool() const { return holds; }
+};
+
+struct RefinementOptions {
+  /// Proposition that makes an abstract state's labels match anything.
+  std::optional<std::string> wildcardProp;
+  /// When set, label matching compares only these propositions (both sides
+  /// intersected with the set). Used for port-vs-role refinement, where a
+  /// concrete component adds internal substates whose leaf propositions the
+  /// role does not know about.
+  std::optional<std::vector<std::string>> relevantProps;
+  /// Check only condition 1 (trace inclusion with labels), skipping the
+  /// deadlock-trace condition 2. Useful for role-conformance checks where a
+  /// concrete component commits to one of the role's allowed schedules and
+  /// thereby refuses interactions the role merely *may* take.
+  bool ignoreRefusals = false;
+};
+
+/// Exact check of Def. 4: impl ⊑ abs over the given interaction alphabet
+/// (the alphabet stands for ℘(I) × ℘(O) in the deadlock condition).
+/// Requires both automata to share tables and to have identical I/O sets.
+RefinementResult checkRefinement(const Automaton& impl, const Automaton& abs,
+                                 const std::vector<Interaction>& alphabet,
+                                 const RefinementOptions& opts = {});
+
+/// Sound approximation: a split simulation preorder. Returns true only if
+/// impl ⊑ abs (never a false positive); may return false for automata that
+/// do refine.
+bool simulates(const Automaton& impl, const Automaton& abs,
+               const std::vector<Interaction>& alphabet,
+               const RefinementOptions& opts = {});
+
+}  // namespace mui::automata

@@ -1,0 +1,28 @@
+#pragma once
+// Signal renaming — the plumbing needed to insert explicit connector
+// channels between components: a channel relays `m` from its source
+// endpoint signal to a distinct destination endpoint signal, so the
+// receiving component must be rebound to the destination names.
+
+#include <map>
+#include <string>
+
+#include "automata/automaton.hpp"
+
+namespace mui::automata {
+
+/// A copy of `a` with every signal in `mapping` replaced (inputs, outputs,
+/// and transition labels). Signals not mentioned are kept. The new names
+/// are interned into the same shared table. Throws std::invalid_argument
+/// if a mapping source is not a signal of `a`, or if a mapping target
+/// collides with one of `a`'s remaining signals.
+Automaton renameSignals(const Automaton& a,
+                        const std::map<std::string, std::string>& mapping);
+
+/// A copy of `a` under a new instance name, with every state freshly
+/// auto-labeled with the new hierarchical qualified names (old labels are
+/// dropped — this is for binding a component to a pattern role, where the
+/// role's propositions must see the component's states).
+Automaton withInstanceName(const Automaton& a, const std::string& name);
+
+}  // namespace mui::automata

@@ -1,0 +1,81 @@
+#include "automata/signals.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mui::automata {
+
+namespace {
+
+// Enumerates all subsets of the given base set. Throws if the base set has
+// more than `kPowersetLimit` elements to protect against accidental blowup.
+constexpr std::size_t kPowersetLimit = 16;
+
+std::vector<SignalSet> subsets(const SignalSet& base) {
+  const auto bits = base.bits();
+  if (bits.size() > kPowersetLimit) {
+    throw std::invalid_argument(
+        "makeAlphabet(FullPowerset): alphabet too large (" +
+        std::to_string(bits.size()) + " signals); use AtMostOneSignal");
+  }
+  std::vector<SignalSet> out;
+  out.reserve(std::size_t{1} << bits.size());
+  for (std::size_t mask = 0; mask < (std::size_t{1} << bits.size()); ++mask) {
+    SignalSet s;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) s.set(bits[i]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Interaction> makeAlphabet(const SignalSet& inputs,
+                                      const SignalSet& outputs,
+                                      InteractionMode mode) {
+  std::vector<Interaction> out;
+  switch (mode) {
+    case InteractionMode::FullPowerset: {
+      const auto ins = subsets(inputs);
+      const auto outs = subsets(outputs);
+      out.reserve(ins.size() * outs.size());
+      for (const auto& a : ins) {
+        for (const auto& b : outs) out.push_back({a, b});
+      }
+      break;
+    }
+    case InteractionMode::AtMostOneSignal: {
+      out.push_back({SignalSet{}, SignalSet{}});  // idle step
+      inputs.forEach([&](std::size_t s) {
+        out.push_back({SignalSet::single(s), SignalSet{}});
+      });
+      outputs.forEach([&](std::size_t s) {
+        out.push_back({SignalSet{}, SignalSet::single(s)});
+      });
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string toString(const Interaction& x, const SignalTable& signals) {
+  const auto render = [&](const SignalSet& s) {
+    if (s.empty()) return std::string("-");
+    std::string r = "{";
+    bool first = true;
+    s.forEach([&](std::size_t b) {
+      if (!first) r += ',';
+      r += signals.name(static_cast<util::NameId>(b));
+      first = false;
+    });
+    r += '}';
+    return r;
+  };
+  return render(x.in) + "/" + render(x.out);
+}
+
+}  // namespace mui::automata

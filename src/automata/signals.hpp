@@ -1,0 +1,67 @@
+#pragma once
+// Signals and interaction labels (paper Def. 1).
+//
+// A transition of an automaton carries a pair (A, B) with A ⊆ I (consumed
+// input signals) and B ⊆ O (produced output signals). We call such a pair an
+// Interaction. The chaotic automaton (Def. 8) ranges over ℘(I) × ℘(O); since
+// that set is exponential, every construction that must enumerate "all
+// possible interactions" is parameterized by an InteractionMode (DESIGN.md
+// §6.1).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/name_table.hpp"
+
+namespace mui::automata {
+
+using SignalSet = util::DynBitset;
+using PropSet = util::DynBitset;
+using SignalTable = util::NameTable;
+using SignalTableRef = std::shared_ptr<util::NameTable>;
+
+/// One transition label (A, B): inputs consumed and outputs produced in a
+/// single (unit-time) step.
+struct Interaction {
+  SignalSet in;
+  SignalSet out;
+
+  bool operator==(const Interaction&) const = default;
+  bool operator<(const Interaction& o) const {
+    if (in == o.in) return out < o.out;
+    return in < o.in;
+  }
+
+  [[nodiscard]] bool idle() const { return in.empty() && out.empty(); }
+  [[nodiscard]] std::size_t hash() const {
+    return in.hash() * 0x9e3779b97f4a7c15ull + out.hash();
+  }
+};
+
+struct InteractionHash {
+  std::size_t operator()(const Interaction& x) const { return x.hash(); }
+};
+
+/// How "all possible interactions" (℘(I) × ℘(O) in the paper) is enumerated.
+enum class InteractionMode {
+  /// Exact Def. 8: every subset pair. Exponential in |I| + |O|; only for
+  /// small alphabets.
+  FullPowerset,
+  /// Message-interleaving semantics used by the paper's RailCab example:
+  /// per step a component consumes at most one signal or produces at most
+  /// one signal (or idles). Linear in |I| + |O|.
+  AtMostOneSignal,
+};
+
+/// Enumerates the interaction alphabet for the given I/O sets under `mode`.
+/// The result is duplicate-free and deterministic (sorted).
+std::vector<Interaction> makeAlphabet(const SignalSet& inputs,
+                                      const SignalSet& outputs,
+                                      InteractionMode mode);
+
+/// Renders an interaction as e.g. "{a,b}/{x}" ("-" for the empty set).
+std::string toString(const Interaction& x, const SignalTable& signals);
+
+}  // namespace mui::automata

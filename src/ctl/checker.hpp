@@ -1,0 +1,69 @@
+#pragma once
+// Explicit-state CCTL model checker over the discrete-time automaton model —
+// the RAVEN-replacing substrate (DESIGN.md §2).
+//
+// Evaluation computes the satisfaction set of every subformula over all
+// states; the verdict is taken over the initial states. Maximal paths may be
+// finite (ending in a deadlock state); see formula.hpp for the resulting
+// weak bounded semantics. One transition = one time unit, so bounds count
+// transitions.
+
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "ctl/formula.hpp"
+
+namespace mui::ctl {
+
+using automata::Automaton;
+using automata::StateId;
+
+class Checker {
+ public:
+  explicit Checker(const Automaton& m);
+
+  /// Satisfaction vector (per state) of `f`.
+  std::vector<char> evaluate(const FormulaPtr& f);
+
+  /// True iff every initial state satisfies `f`.
+  bool holds(const FormulaPtr& f);
+
+  /// δ per state: no outgoing transition.
+  [[nodiscard]] bool isDeadlockState(StateId s) const {
+    return deadlock_[s];
+  }
+
+  /// Atoms that named no proposition of the model (treated as false);
+  /// surfaced so property typos do not silently verify.
+  [[nodiscard]] const std::vector<std::string>& unknownAtoms() const {
+    return unknownAtoms_;
+  }
+
+  [[nodiscard]] const Automaton& model() const { return m_; }
+
+ private:
+  std::vector<char> atomSat(const std::string& name);
+
+  // Unbounded fixpoints.
+  std::vector<char> fixAF(const std::vector<char>& phi);
+  std::vector<char> fixEF(const std::vector<char>& phi);
+  std::vector<char> fixAG(const std::vector<char>& phi);
+  std::vector<char> fixEG(const std::vector<char>& phi);
+  std::vector<char> fixAU(const std::vector<char>& phi,
+                          const std::vector<char>& psi);
+  std::vector<char> fixEU(const std::vector<char>& phi,
+                          const std::vector<char>& psi);
+
+  // Positional (bounded / lower-bounded) evaluation; see checker.cpp.
+  std::vector<char> boundedTemporal(Op op, const Bound& b,
+                                    const std::vector<char>& phi,
+                                    const std::vector<char>& psi);
+
+  const Automaton& m_;
+  std::vector<std::vector<StateId>> succ_;  // duplicate-free successor sets
+  std::vector<char> deadlock_;
+  std::vector<std::string> unknownAtoms_;
+};
+
+}  // namespace mui::ctl

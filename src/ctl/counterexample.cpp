@@ -1,0 +1,378 @@
+#include "ctl/counterexample.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace mui::ctl {
+
+using automata::Automaton;
+using automata::Interaction;
+using automata::Run;
+
+namespace {
+
+struct PathNode {
+  StateId s;
+  std::size_t parent;  // self-index for roots
+  Interaction label;   // label from parent
+};
+
+Run buildRun(const std::vector<PathNode>& nodes, std::size_t idx) {
+  Run run;
+  std::size_t i = idx;
+  while (nodes[i].parent != i) {
+    run.states.push_back(nodes[i].s);
+    run.labels.push_back(nodes[i].label);
+    i = nodes[i].parent;
+  }
+  run.states.push_back(nodes[i].s);
+  std::reverse(run.states.begin(), run.states.end());
+  std::reverse(run.labels.begin(), run.labels.end());
+  return run;
+}
+
+/// Finds up to k runs from the initial states to distinct target states.
+std::vector<Run> searchPaths(const Automaton& m,
+                             const std::vector<char>& target, std::size_t k,
+                             CexSearch order) {
+  std::vector<PathNode> nodes;
+  std::vector<char> visited(m.stateCount(), 0);
+  std::deque<std::size_t> work;
+  std::vector<Run> out;
+  std::unordered_set<StateId> hitTargets;
+
+  const auto visit = [&](StateId s, std::size_t parent,
+                         const Interaction& via, bool root) {
+    if (visited[s]) return;
+    visited[s] = 1;
+    const std::size_t idx = nodes.size();
+    nodes.push_back({s, root ? idx : parent, via});
+    work.push_back(idx);
+  };
+
+  for (StateId q : m.initialStates()) visit(q, 0, {}, true);
+
+  while (!work.empty() && out.size() < k) {
+    std::size_t idx;
+    if (order == CexSearch::Shortest) {
+      idx = work.front();
+      work.pop_front();
+    } else {
+      idx = work.back();
+      work.pop_back();
+    }
+    const StateId s = nodes[idx].s;
+    if (target[s] && hitTargets.insert(s).second) {
+      out.push_back(buildRun(nodes, idx));
+      if (out.size() >= k) break;
+    }
+    for (const auto& t : m.transitionsFrom(s)) {
+      visit(t.to, idx, t.label, false);
+    }
+  }
+  return out;
+}
+
+/// Depth-window search for bounded AG violations: runs of length in
+/// [lo, hi] ending in a target state.
+std::vector<Run> searchPathsInWindow(const Automaton& m,
+                                     const std::vector<char>& target,
+                                     std::size_t lo, std::size_t hi,
+                                     std::size_t k, CexSearch order) {
+  struct DepthNode {
+    StateId s;
+    std::size_t depth;
+    std::size_t parent;
+    Interaction label;
+  };
+  std::vector<DepthNode> nodes;
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<std::size_t> work;
+  std::vector<Run> out;
+
+  const auto key = [](StateId s, std::size_t d) {
+    return (static_cast<std::uint64_t>(d) << 32) | s;
+  };
+  const auto visit = [&](StateId s, std::size_t depth, std::size_t parent,
+                         const Interaction& via, bool root) {
+    if (depth > hi || !visited.insert(key(s, depth)).second) return;
+    const std::size_t idx = nodes.size();
+    nodes.push_back({s, depth, root ? idx : parent, via});
+    work.push_back(idx);
+  };
+
+  for (StateId q : m.initialStates()) visit(q, 0, 0, {}, true);
+
+  while (!work.empty() && out.size() < k) {
+    std::size_t idx;
+    if (order == CexSearch::Shortest) {
+      idx = work.front();
+      work.pop_front();
+    } else {
+      idx = work.back();
+      work.pop_back();
+    }
+    const StateId s = nodes[idx].s;
+    const std::size_t depth = nodes[idx].depth;
+    if (depth >= lo && target[s]) {
+      Run run;
+      std::size_t i = idx;
+      while (nodes[i].parent != i) {
+        run.states.push_back(nodes[i].s);
+        run.labels.push_back(nodes[i].label);
+        i = nodes[i].parent;
+      }
+      run.states.push_back(nodes[i].s);
+      std::reverse(run.states.begin(), run.states.end());
+      std::reverse(run.labels.begin(), run.labels.end());
+      out.push_back(std::move(run));
+      continue;
+    }
+    for (const auto& t : m.transitionsFrom(s)) {
+      visit(t.to, depth + 1, idx, t.label, false);
+    }
+  }
+  return out;
+}
+
+/// Appends to `run` a suffix from its final state witnessing ¬AF[a,b]χ: a
+/// maximal-path prefix along which χ never holds inside the window. Returns
+/// false if the invariant (final state violates the AF) does not hold.
+bool appendNotAFWitness(Checker& checker, const Automaton& m, Run& run,
+                        const FormulaPtr& chi, Bound bound) {
+  StateId cur = run.states.back();
+  std::size_t i = 0;
+  std::unordered_set<StateId> seenSinceLo;
+  while (true) {
+    if (bound.bounded() && i >= bound.hi) return true;  // window exhausted
+    if (m.transitionsFrom(cur).empty()) return true;    // path died without χ
+    if (i >= bound.lo && !bound.bounded()) {
+      // Unbounded tail: stop at a lasso (state revisited after lo).
+      if (!seenSinceLo.insert(cur).second) return true;
+    }
+    // The AF obligation seen from position i+1 of the original window.
+    const Bound remaining{bound.lo > i + 1 ? bound.lo - (i + 1) : 0,
+                          bound.bounded() ? bound.hi - (i + 1) : Bound::kInf};
+    const auto sat = checker.evaluate(Formula::mkAF(chi, remaining));
+    bool advanced = false;
+    for (const auto& t : m.transitionsFrom(cur)) {
+      if (!sat[t.to]) {
+        run.labels.push_back(t.label);
+        run.states.push_back(t.to);
+        cur = t.to;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return false;  // should not happen if cur violates AF
+    ++i;
+  }
+}
+
+/// Propositional formulas (boolean combinations of literals) are witnessed
+/// by the violating state itself.
+bool isPropositional(const FormulaPtr& f) {
+  switch (f->op) {
+    case Op::True:
+    case Op::False:
+    case Op::Atom:
+    case Op::Deadlock:
+      return true;
+    case Op::Not:
+    case Op::And:
+    case Op::Or:
+    case Op::Implies:
+      return isPropositional(f->lhs) &&
+             (f->rhs == nullptr || isPropositional(f->rhs));
+    default:
+      return false;
+  }
+}
+
+/// Flattens an Or-chain into its arms.
+void orArms(const FormulaPtr& f, std::vector<FormulaPtr>& arms) {
+  if (f->op == Op::Or) {
+    orArms(f->lhs, arms);
+    orArms(f->rhs, arms);
+  } else {
+    arms.push_back(f);
+  }
+}
+
+/// Extends `run` (ending in a state violating ψ) with a suffix making the
+/// violation observable. Returns whether the resulting path is exact.
+bool extendWitness(Checker& checker, const Automaton& m, Run& run,
+                   const FormulaPtr& psi, const std::vector<char>& psiSat) {
+  const StateId s = run.states.back();
+  if (isPropositional(psi)) return true;
+  switch (psi->op) {
+    case Op::And: {
+      const auto l = checker.evaluate(psi->lhs);
+      if (!l[s]) return extendWitness(checker, m, run, psi->lhs, l);
+      const auto r = checker.evaluate(psi->rhs);
+      return extendWitness(checker, m, run, psi->rhs, r);
+    }
+    case Op::Or: {
+      // Every arm is false at s. Propositional arms are witnessed by the
+      // state itself; a single temporal AF arm gets a path suffix. Multiple
+      // temporal arms would need a joint witness — approximate then.
+      std::vector<FormulaPtr> arms;
+      orArms(psi, arms);
+      const FormulaPtr* temporal = nullptr;
+      for (const auto& arm : arms) {
+        if (isPropositional(arm)) continue;
+        if (arm->op == Op::AF && temporal == nullptr) {
+          temporal = &arm;
+        } else {
+          return false;
+        }
+      }
+      if (temporal == nullptr) return true;
+      return appendNotAFWitness(checker, m, run, (*temporal)->lhs,
+                                (*temporal)->bound);
+    }
+    case Op::Implies: {
+      // ¬(a → b): a holds here, b fails — extend along b's failure.
+      const auto r = checker.evaluate(psi->rhs);
+      return extendWitness(checker, m, run, psi->rhs, r);
+    }
+    case Op::AF:
+      return appendNotAFWitness(checker, m, run, psi->lhs, psi->bound);
+    default:
+      (void)psiSat;
+      return false;  // approximate witness
+  }
+}
+
+void collectPropertyCexs(Checker& checker, const Automaton& m,
+                         const FormulaPtr& phi, const VerifyOptions& opts,
+                         std::vector<Counterexample>& out) {
+  if (out.size() >= opts.maxCounterexamples) return;
+  const auto sat = checker.evaluate(phi);
+  bool fails = false;
+  StateId badInitial = 0;
+  for (StateId q : m.initialStates()) {
+    if (!sat[q]) {
+      fails = true;
+      badInitial = q;
+      break;
+    }
+  }
+  if (!fails) return;
+
+  const std::size_t want = opts.maxCounterexamples - out.size();
+
+  switch (phi->op) {
+    case Op::And: {
+      collectPropertyCexs(checker, m, phi->lhs, opts, out);
+      collectPropertyCexs(checker, m, phi->rhs, opts, out);
+      if (!out.empty()) return;
+      break;  // conjunction fails only jointly — fall through to approximate
+    }
+    case Op::AG: {
+      const auto inner = checker.evaluate(phi->lhs);
+      std::vector<char> bad(inner.size());
+      for (std::size_t i = 0; i < inner.size(); ++i) bad[i] = !inner[i];
+      const bool windowed = phi->bound.lo > 0 || phi->bound.bounded();
+      auto runs = windowed
+                      ? searchPathsInWindow(m, bad, phi->bound.lo,
+                                            phi->bound.bounded()
+                                                ? phi->bound.hi
+                                                : Bound::kInf,
+                                            want, opts.search)
+                      : searchPaths(m, bad, want, opts.search);
+      for (auto& run : runs) {
+        Counterexample cex;
+        cex.kind = Counterexample::Kind::Property;
+        cex.run = std::move(run);
+        cex.pathExact =
+            extendWitness(checker, m, cex.run, phi->lhs, inner);
+        cex.note = "violates " + phi->toString();
+        out.push_back(std::move(cex));
+        if (out.size() >= opts.maxCounterexamples) return;
+      }
+      if (!out.empty()) return;
+      break;
+    }
+    case Op::AF: {
+      Counterexample cex;
+      cex.kind = Counterexample::Kind::Property;
+      cex.run.states.push_back(badInitial);
+      cex.pathExact =
+          appendNotAFWitness(checker, m, cex.run, phi->lhs, phi->bound);
+      cex.note = "violates " + phi->toString();
+      out.push_back(std::move(cex));
+      return;
+    }
+    case Op::Atom:
+    case Op::Deadlock:
+    case Op::Not:
+    case Op::Or:
+    case Op::Implies:
+    case Op::True:
+    case Op::False: {
+      Counterexample cex;
+      cex.kind = Counterexample::Kind::Property;
+      cex.run.states.push_back(badInitial);
+      cex.pathExact = true;  // the initial state itself is the witness
+      cex.note = "initial state violates " + phi->toString();
+      out.push_back(std::move(cex));
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Fallback: approximate witness at a violating initial state.
+  Counterexample cex;
+  cex.kind = Counterexample::Kind::Property;
+  cex.run.states.push_back(badInitial);
+  cex.pathExact = false;
+  cex.note = "approximate witness for " + phi->toString();
+  out.push_back(std::move(cex));
+}
+
+}  // namespace
+
+VerifyResult verify(const Automaton& m, const FormulaPtr& phi,
+                    const VerifyOptions& opts) {
+  Checker checker(m);
+  VerifyResult result;
+  result.stateCount = m.stateCount();
+
+  const bool phiHolds = phi == nullptr || checker.holds(phi);
+  if (!phiHolds) {
+    collectPropertyCexs(checker, m, phi, opts, result.counterexamples);
+  }
+
+  if (opts.requireDeadlockFree &&
+      result.counterexamples.size() < opts.maxCounterexamples) {
+    std::vector<char> dead(m.stateCount(), 0);
+    bool any = false;
+    for (StateId s = 0; s < m.stateCount(); ++s) {
+      dead[s] = checker.isDeadlockState(s) ? 1 : 0;
+      any = any || dead[s];
+    }
+    if (any) {
+      auto runs = searchPaths(
+          m, dead, opts.maxCounterexamples - result.counterexamples.size(),
+          opts.search);
+      for (auto& run : runs) {
+        Counterexample cex;
+        cex.kind = Counterexample::Kind::Deadlock;
+        cex.run = std::move(run);
+        cex.pathExact = true;
+        cex.note = "reachable deadlock state '" +
+                   m.stateName(cex.run.states.back()) + "'";
+        result.counterexamples.push_back(std::move(cex));
+      }
+    }
+  }
+
+  result.holds = result.counterexamples.empty();
+  result.unknownAtoms = checker.unknownAtoms();
+  return result;
+}
+
+}  // namespace mui::ctl

@@ -1,0 +1,67 @@
+#pragma once
+// Counterexample generation for the verification step (paper Sec. 4.1).
+//
+// For the ACTL patterns used by MECHATRONIC UML constraints — invariants
+// AG ψ, bounded leads-to AG(p → AF[a,b] q), bounded/unbounded AF at top
+// level, conjunctions thereof — the generator produces a concrete run of the
+// model witnessing the violation (Listing 1.1 style). Deadlock freedom ¬δ
+// is checked as a reachability question and witnessed by a shortest path to
+// a stuck state. For formulas outside this fragment a non-exact witness
+// (the violating initial state) is returned and flagged.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "automata/run.hpp"
+#include "ctl/checker.hpp"
+#include "ctl/formula.hpp"
+
+namespace mui::ctl {
+
+struct Counterexample {
+  enum class Kind { Property, Deadlock };
+  Kind kind = Kind::Property;
+  automata::Run run;
+  /// False when only an approximate witness could be constructed (formula
+  /// shape outside the supported ACTL fragment).
+  bool pathExact = true;
+  std::string note;
+};
+
+/// Counterexample search order — experiment E7 compares these (paper Sec. 7
+/// suggests "specific strategies ... to derive counterexamples (e.g., the
+/// shortest one)").
+enum class CexSearch {
+  Shortest,   // BFS: shortest violating run
+  DepthFirst  // DFS: first violating run found depth-first (often longer)
+};
+
+struct VerifyOptions {
+  bool requireDeadlockFree = true;
+  /// Maximum number of counterexamples to produce (E7: handing the testing
+  /// step several counterexamples per verification round).
+  std::size_t maxCounterexamples = 1;
+  CexSearch search = CexSearch::Shortest;
+};
+
+struct VerifyResult {
+  bool holds = false;
+  std::vector<Counterexample> counterexamples;  // empty iff holds
+  std::size_t stateCount = 0;                   // explored model size
+  std::vector<std::string> unknownAtoms;
+
+  [[nodiscard]] const Counterexample& cex() const {
+    return counterexamples.front();
+  }
+};
+
+/// Checks m ⊨ φ ∧ ¬δ (the ¬δ conjunct iff requireDeadlockFree) and produces
+/// counterexamples on failure. Property violations are searched before
+/// deadlocks only if the property fails; otherwise deadlock reachability is
+/// reported. Pass phi == nullptr to check deadlock freedom alone.
+VerifyResult verify(const automata::Automaton& m, const FormulaPtr& phi,
+                    const VerifyOptions& opts = {});
+
+}  // namespace mui::ctl

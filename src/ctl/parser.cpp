@@ -1,0 +1,115 @@
+#include "ctl/parser.hpp"
+
+#include "util/parse.hpp"
+
+namespace mui::ctl {
+
+namespace {
+
+using util::Cursor;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : cur_(text) {}
+
+  FormulaPtr parse() {
+    FormulaPtr f = implies();
+    cur_.skipWs();
+    if (!cur_.atEnd()) cur_.fail("trailing input after formula");
+    return f;
+  }
+
+ private:
+  FormulaPtr implies() {
+    FormulaPtr left = orExpr();
+    if (cur_.tryConsume("->")) {
+      return Formula::mkImplies(std::move(left), implies());
+    }
+    return left;
+  }
+
+  FormulaPtr orExpr() {
+    FormulaPtr left = andExpr();
+    while (cur_.tryConsume("||")) {
+      left = Formula::mkOr(std::move(left), andExpr());
+    }
+    return left;
+  }
+
+  FormulaPtr andExpr() {
+    FormulaPtr left = unary();
+    while (cur_.tryConsume("&&")) {
+      left = Formula::mkAnd(std::move(left), unary());
+    }
+    return left;
+  }
+
+  Bound bound() {
+    Bound b;
+    cur_.skipWs();
+    if (cur_.peek() != '[') return b;
+    cur_.expect("[");
+    b.lo = cur_.integer();
+    cur_.expect(",");
+    if (cur_.tryKeyword("inf")) {
+      b.hi = Bound::kInf;
+    } else {
+      b.hi = cur_.integer();
+    }
+    if (b.bounded() && b.hi < b.lo) cur_.fail("bound upper limit below lower");
+    cur_.expect("]");
+    return b;
+  }
+
+  FormulaPtr until(bool universal) {
+    cur_.expect("[");
+    FormulaPtr left = implies();
+    if (!cur_.tryKeyword("U")) cur_.fail("expected 'U' in until formula");
+    const Bound b = bound();
+    FormulaPtr right = implies();
+    cur_.expect("]");
+    return universal ? Formula::mkAU(std::move(left), std::move(right), b)
+                     : Formula::mkEU(std::move(left), std::move(right), b);
+  }
+
+  FormulaPtr unary() {
+    if (cur_.tryConsume("!")) return Formula::mkNot(unary());
+    if (cur_.tryKeyword("AG")) {
+      const Bound b = bound();
+      return Formula::mkAG(unary(), b);
+    }
+    if (cur_.tryKeyword("AF")) {
+      const Bound b = bound();
+      return Formula::mkAF(unary(), b);
+    }
+    if (cur_.tryKeyword("EG")) {
+      const Bound b = bound();
+      return Formula::mkEG(unary(), b);
+    }
+    if (cur_.tryKeyword("EF")) {
+      const Bound b = bound();
+      return Formula::mkEF(unary(), b);
+    }
+    if (cur_.tryKeyword("AX")) return Formula::mkAX(unary());
+    if (cur_.tryKeyword("EX")) return Formula::mkEX(unary());
+    if (cur_.tryKeyword("A")) return until(true);
+    if (cur_.tryKeyword("E")) return until(false);
+    if (cur_.tryConsume("(")) {
+      FormulaPtr f = implies();
+      cur_.expect(")");
+      return f;
+    }
+    if (cur_.tryKeyword("true")) return Formula::mkTrue();
+    if (cur_.tryKeyword("false")) return Formula::mkFalse();
+    if (cur_.tryKeyword("deadlock")) return Formula::mkDeadlock();
+    return Formula::mkAtom(cur_.identifier());
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+FormulaPtr parseFormula(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace mui::ctl

@@ -1,0 +1,28 @@
+#pragma once
+// Text syntax for CCTL formulas, as annotated on patterns and roles in the
+// MECHATRONIC UML models (paper Fig. 1):
+//
+//   formula  := or ('->' or)*                      (right associative)
+//   or       := and ('||' and)*
+//   and      := unary ('&&' unary)*
+//   unary    := '!' unary
+//             | ('AG'|'AF'|'EG'|'EF') bound? unary
+//             | ('AX'|'EX') unary
+//             | ('A'|'E') '[' formula 'U' bound? formula ']'
+//             | '(' formula ')'
+//             | 'true' | 'false' | 'deadlock' | atom
+//   bound    := '[' int ',' (int | 'inf') ']'
+//
+// Atoms are dotted names like `rearRole.convoy` or hierarchical state
+// propositions like `shuttle.noConvoy::wait`.
+
+#include <string_view>
+
+#include "ctl/formula.hpp"
+
+namespace mui::ctl {
+
+/// Parses a formula; throws mui::util::ParseError on syntax errors.
+FormulaPtr parseFormula(std::string_view text);
+
+}  // namespace mui::ctl

@@ -1,0 +1,166 @@
+#include "learnlib/dfa.hpp"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace mui::learnlib {
+
+Dfa::Dfa(std::size_t stateCount, std::size_t alphabetSize, std::size_t initial)
+    : alphabet_(alphabetSize),
+      initial_(initial),
+      accepting_(stateCount, 0),
+      delta_(stateCount, std::vector<std::size_t>(alphabetSize, 0)) {
+  if (initial >= stateCount) throw std::invalid_argument("Dfa: bad initial");
+}
+
+void Dfa::setTransition(std::size_t from, Symbol a, std::size_t to) {
+  if (from >= stateCount() || to >= stateCount() || a >= alphabet_) {
+    throw std::out_of_range("Dfa::setTransition");
+  }
+  delta_[from][a] = to;
+}
+
+void Dfa::setAccepting(std::size_t s, bool accepting) {
+  if (s >= stateCount()) throw std::out_of_range("Dfa::setAccepting");
+  accepting_[s] = accepting ? 1 : 0;
+}
+
+std::size_t Dfa::next(std::size_t s, Symbol a) const {
+  if (s >= stateCount() || a >= alphabet_) throw std::out_of_range("Dfa::next");
+  return delta_[s][a];
+}
+
+std::size_t Dfa::deltaStar(const Word& w) const {
+  std::size_t s = initial_;
+  for (Symbol a : w) s = next(s, a);
+  return s;
+}
+
+std::vector<Word> Dfa::accessWords() const {
+  std::vector<Word> access(stateCount());
+  std::vector<char> seen(stateCount(), 0);
+  std::deque<std::size_t> work;
+  seen[initial_] = 1;
+  work.push_back(initial_);
+  while (!work.empty()) {
+    const std::size_t s = work.front();
+    work.pop_front();
+    for (Symbol a = 0; a < alphabet_; ++a) {
+      const std::size_t t = delta_[s][a];
+      if (!seen[t]) {
+        seen[t] = 1;
+        access[t] = access[s];
+        access[t].push_back(a);
+        work.push_back(t);
+      }
+    }
+  }
+  return access;
+}
+
+std::vector<Word> Dfa::characterizationSet() const {
+  std::vector<Word> w;
+  w.push_back({});  // ε separates accepting from rejecting states
+  // For every pair of states, find a distinguishing suffix by BFS over the
+  // pair graph, and add it if no existing suffix already separates them.
+  const auto separated = [&](std::size_t a, std::size_t b) {
+    for (const auto& suffix : w) {
+      std::size_t x = a, y = b;
+      for (Symbol s : suffix) {
+        x = delta_[x][s];
+        y = delta_[y][s];
+      }
+      if (accepting_[x] != accepting_[y]) return true;
+    }
+    return false;
+  };
+  for (std::size_t a = 0; a < stateCount(); ++a) {
+    for (std::size_t b = a + 1; b < stateCount(); ++b) {
+      if (separated(a, b)) continue;
+      // BFS for the shortest distinguishing word.
+      std::map<std::pair<std::size_t, std::size_t>, Word> seen;
+      std::deque<std::pair<std::size_t, std::size_t>> work;
+      seen[{a, b}] = {};
+      work.push_back({a, b});
+      bool found = false;
+      while (!work.empty() && !found) {
+        const auto [x, y] = work.front();
+        work.pop_front();
+        for (Symbol s = 0; s < alphabet_ && !found; ++s) {
+          const std::size_t nx = delta_[x][s];
+          const std::size_t ny = delta_[y][s];
+          auto word = seen[{x, y}];
+          word.push_back(s);
+          if (accepting_[nx] != accepting_[ny]) {
+            w.push_back(std::move(word));
+            found = true;
+          } else if (nx != ny && !seen.count({nx, ny})) {
+            seen[{nx, ny}] = std::move(word);
+            work.push_back({nx, ny});
+          }
+        }
+      }
+      // Equivalent states have no distinguishing word — nothing to add.
+    }
+  }
+  return w;
+}
+
+bool Dfa::equivalent(const Dfa& other) const {
+  if (alphabet_ != other.alphabet_) return false;
+  std::map<std::pair<std::size_t, std::size_t>, char> seen;
+  std::deque<std::pair<std::size_t, std::size_t>> work;
+  seen[{initial_, other.initial_}] = 1;
+  work.push_back({initial_, other.initial_});
+  while (!work.empty()) {
+    const auto [x, y] = work.front();
+    work.pop_front();
+    if (accepting_[x] != other.accepting_[y]) return false;
+    for (Symbol s = 0; s < alphabet_; ++s) {
+      const auto nxt = std::make_pair(delta_[x][s], other.delta_[y][s]);
+      if (!seen.count(nxt)) {
+        seen[nxt] = 1;
+        work.push_back(nxt);
+      }
+    }
+  }
+  return true;
+}
+
+automata::Automaton Dfa::toAutomaton(
+    const std::vector<automata::Interaction>& alphabet,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props, const std::string& name) const {
+  if (alphabet.size() != alphabet_) {
+    throw std::invalid_argument("Dfa::toAutomaton: alphabet size mismatch");
+  }
+  automata::Automaton out(signals, props, name);
+  automata::SignalSet ins, outs;
+  for (const auto& x : alphabet) {
+    ins |= x.in;
+    outs |= x.out;
+  }
+  out.declareSignals(ins, outs);
+
+  std::vector<automata::StateId> map(stateCount(), UINT32_MAX);
+  const auto ensure = [&](std::size_t s) {
+    if (map[s] == UINT32_MAX) {
+      map[s] = out.addState("h" + std::to_string(s));
+      out.labelWithStateName(map[s]);
+    }
+    return map[s];
+  };
+  if (accepting_[initial_]) out.markInitial(ensure(initial_));
+  for (std::size_t s = 0; s < stateCount(); ++s) {
+    if (!accepting_[s]) continue;
+    for (Symbol a = 0; a < alphabet_; ++a) {
+      const std::size_t t = delta_[s][a];
+      if (!accepting_[t]) continue;
+      out.addTransition(ensure(s), alphabet[a], ensure(t));
+    }
+  }
+  return out.prunedToReachable();
+}
+
+}  // namespace mui::learnlib

@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic finite automata over a symbol alphabet 0..|Σ|-1 — the
+// hypothesis representation of the regular-inference baselines (paper
+// Sec. 6). Symbols index into an interaction alphabet (see word.hpp); the
+// learned language is the prefix-closed set of executable interaction
+// sequences of the legacy component.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+
+namespace mui::learnlib {
+
+using Symbol = std::uint32_t;
+using Word = std::vector<Symbol>;
+
+class Dfa {
+ public:
+  Dfa(std::size_t stateCount, std::size_t alphabetSize, std::size_t initial);
+
+  void setTransition(std::size_t from, Symbol a, std::size_t to);
+  void setAccepting(std::size_t s, bool accepting);
+
+  [[nodiscard]] std::size_t stateCount() const { return accepting_.size(); }
+  [[nodiscard]] std::size_t alphabetSize() const { return alphabet_; }
+  [[nodiscard]] std::size_t initial() const { return initial_; }
+  [[nodiscard]] std::size_t next(std::size_t s, Symbol a) const;
+  [[nodiscard]] bool accepting(std::size_t s) const { return accepting_[s]; }
+
+  /// State reached by `w` from the initial state.
+  [[nodiscard]] std::size_t deltaStar(const Word& w) const;
+  [[nodiscard]] bool accepts(const Word& w) const {
+    return accepting_[deltaStar(w)];
+  }
+
+  /// Shortest access word per state (BFS).
+  [[nodiscard]] std::vector<Word> accessWords() const;
+
+  /// A characterization set W: suffixes distinguishing every pair of
+  /// inequivalent states (pairwise BFS over the pair graph). Contains ε.
+  [[nodiscard]] std::vector<Word> characterizationSet() const;
+
+  /// Language equivalence (product BFS); used by tests as ground truth.
+  [[nodiscard]] bool equivalent(const Dfa& other) const;
+
+  /// Converts the accepting part into an Automaton: states h0..hk with
+  /// transitions labeled by the interaction alphabet; the rejecting part is
+  /// dropped (non-members are refusals). Only accepting states reachable
+  /// through accepting states are kept.
+  [[nodiscard]] automata::Automaton toAutomaton(
+      const std::vector<automata::Interaction>& alphabet,
+      const automata::SignalTableRef& signals,
+      const automata::SignalTableRef& props, const std::string& name) const;
+
+ private:
+  std::size_t alphabet_;
+  std::size_t initial_;
+  std::vector<char> accepting_;
+  std::vector<std::vector<std::size_t>> delta_;  // [state][symbol]
+};
+
+}  // namespace mui::learnlib

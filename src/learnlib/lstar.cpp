@@ -1,0 +1,161 @@
+#include "learnlib/lstar.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mui::learnlib {
+
+LStar::LStar(MembershipOracle& oracle, std::size_t alphabetSize,
+             CeStrategy strategy)
+    : oracle_(oracle), alphabet_(alphabetSize), strategy_(strategy) {
+  s_.push_back({});  // ε
+  e_.push_back({});  // ε
+}
+
+LStar::Row LStar::rowOf(const Word& prefix) {
+  Row row;
+  row.reserve(e_.size());
+  for (const auto& suffix : e_) {
+    Word w = prefix;
+    w.insert(w.end(), suffix.begin(), suffix.end());
+    row.push_back(oracle_.member(w) ? 1 : 0);
+  }
+  return row;
+}
+
+void LStar::ensureClosedAndConsistent() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Closedness: every one-symbol extension's row must appear among S.
+    std::map<Row, std::size_t> sRows;
+    for (std::size_t i = 0; i < s_.size(); ++i) sRows.emplace(rowOf(s_[i]), i);
+    for (std::size_t i = 0; i < s_.size() && !changed; ++i) {
+      for (Symbol a = 0; a < alphabet_ && !changed; ++a) {
+        Word ext = s_[i];
+        ext.push_back(a);
+        if (!sRows.count(rowOf(ext))) {
+          s_.push_back(std::move(ext));
+          changed = true;
+        }
+      }
+    }
+    if (changed) continue;
+
+    // Consistency: equal rows must stay equal under every extension.
+    for (std::size_t i = 0; i < s_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < s_.size() && !changed; ++j) {
+        if (rowOf(s_[i]) != rowOf(s_[j])) continue;
+        for (Symbol a = 0; a < alphabet_ && !changed; ++a) {
+          Word wi = s_[i];
+          wi.push_back(a);
+          Word wj = s_[j];
+          wj.push_back(a);
+          const Row ri = rowOf(wi);
+          const Row rj = rowOf(wj);
+          if (ri == rj) continue;
+          // Find the separating suffix index and extend E with a·e.
+          for (std::size_t c = 0; c < ri.size(); ++c) {
+            if (ri[c] != rj[c]) {
+              Word suffix;
+              suffix.push_back(a);
+              suffix.insert(suffix.end(), e_[c].begin(), e_[c].end());
+              e_.push_back(std::move(suffix));
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Dfa LStar::buildHypothesis() {
+  ensureClosedAndConsistent();
+
+  // Distinct rows of S become states.
+  std::map<Row, std::size_t> stateOf;
+  std::vector<std::size_t> repr;  // representative prefix index per state
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    const Row row = rowOf(s_[i]);
+    if (!stateOf.count(row)) {
+      stateOf.emplace(row, stateOf.size());
+      repr.push_back(i);
+    }
+  }
+
+  Dfa dfa(stateOf.size(), alphabet_, stateOf.at(rowOf(Word{})));
+  for (const auto& [row, id] : stateOf) {
+    dfa.setAccepting(id, row[0] != 0);  // E[0] is ε
+  }
+  for (std::size_t st = 0; st < repr.size(); ++st) {
+    for (Symbol a = 0; a < alphabet_; ++a) {
+      Word ext = s_[repr[st]];
+      ext.push_back(a);
+      dfa.setTransition(st, a, stateOf.at(rowOf(ext)));
+    }
+  }
+
+  ++stats_.rounds;
+  stats_.finalStates = dfa.stateCount();
+  stats_.tableRows = s_.size() * (alphabet_ + 1);
+  stats_.tableColumns = e_.size();
+  return dfa;
+}
+
+void LStar::addCounterexample(const Word& ce, const Dfa& hypothesis) {
+  if (strategy_ == CeStrategy::AllPrefixes) {
+    for (std::size_t len = 1; len <= ce.size(); ++len) {
+      Word prefix(ce.begin(), ce.begin() + static_cast<std::ptrdiff_t>(len));
+      if (std::find(s_.begin(), s_.end(), prefix) == s_.end()) {
+        s_.push_back(std::move(prefix));
+      }
+    }
+    return;
+  }
+
+  // Rivest–Schapire: f(i) = member(access(δ*(ce[0..i))) · ce[i..]).
+  // f(0) = member(ce) and f(|ce|) = hypothesis verdict, which differ; a
+  // binary search finds i with f(i) ≠ f(i+1), making ce[i+1..] a suffix
+  // that distinguishes two rows the table currently conflates.
+  const auto access = hypothesis.accessWords();
+  const auto f = [&](std::size_t i) {
+    Word prefix(ce.begin(), ce.begin() + static_cast<std::ptrdiff_t>(i));
+    Word w = access[hypothesis.deltaStar(prefix)];
+    w.insert(w.end(), ce.begin() + static_cast<std::ptrdiff_t>(i), ce.end());
+    return oracle_.member(w);
+  };
+  const bool f0 = f(0);
+  std::size_t lo = 0, hi = ce.size();  // invariant: f(lo) == f0 != f(hi)
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    (f(mid) == f0 ? lo : hi) = mid;
+  }
+  Word suffix(ce.begin() + static_cast<std::ptrdiff_t>(hi), ce.end());
+  if (std::find(e_.begin(), e_.end(), suffix) == e_.end()) {
+    e_.push_back(std::move(suffix));
+  }
+  // The access prefix that exposes the split must be a candidate row.
+  Word prefix(ce.begin(), ce.begin() + static_cast<std::ptrdiff_t>(lo));
+  Word exposed = access[hypothesis.deltaStar(prefix)];
+  if (lo < ce.size()) exposed.push_back(ce[lo]);
+  if (std::find(s_.begin(), s_.end(), exposed) == s_.end()) {
+    s_.push_back(std::move(exposed));
+  }
+}
+
+Dfa LStar::learn(EquivalenceOracle& eq, std::size_t maxRounds) {
+  Dfa hypothesis = buildHypothesis();
+  for (std::size_t round = 0; round < maxRounds; ++round) {
+    ++stats_.equivalenceQueries;
+    const auto ce = eq.findCounterexample(hypothesis);
+    if (!ce) return hypothesis;
+    addCounterexample(*ce, hypothesis);
+    hypothesis = buildHypothesis();
+  }
+  return hypothesis;
+}
+
+}  // namespace mui::learnlib

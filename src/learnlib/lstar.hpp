@@ -1,0 +1,68 @@
+#pragma once
+// Angluin's L* (paper Sec. 6, "the most widely recognized regular inference
+// algorithm"): an observation table with prefix rows S ∪ S·Σ and suffix
+// columns E, filled by membership queries; counterexamples from the
+// equivalence oracle are absorbed by adding all their prefixes to S
+// (Angluin's original strategy).
+//
+// This is the under-approximation baseline the paper contrasts with: it
+// must learn enough of the *whole* component to pass an equivalence check,
+// whereas the chaotic-closure loop only ever explores what the context can
+// reach and needs no equivalence oracle at all.
+
+#include "learnlib/oracles.hpp"
+
+namespace mui::learnlib {
+
+/// How equivalence counterexamples are absorbed into the table.
+enum class CeStrategy {
+  /// Angluin's original: every prefix of the counterexample joins S.
+  AllPrefixes,
+  /// Rivest–Schapire: binary-search the counterexample for a single
+  /// distinguishing suffix, which joins E — O(log |ce|) membership queries
+  /// per counterexample and a much smaller table (the "domain-specific
+  /// optimization" lineage the paper cites, Sec. 6).
+  RivestSchapire,
+};
+
+struct LStarStats {
+  std::size_t equivalenceQueries = 0;
+  std::size_t rounds = 0;          // hypotheses built
+  std::size_t finalStates = 0;
+  std::size_t tableRows = 0;
+  std::size_t tableColumns = 0;
+};
+
+class LStar {
+ public:
+  LStar(MembershipOracle& oracle, std::size_t alphabetSize,
+        CeStrategy strategy = CeStrategy::AllPrefixes);
+
+  /// Closes the table (and restores consistency) and builds the hypothesis.
+  Dfa buildHypothesis();
+
+  /// Absorbs an equivalence counterexample (see CeStrategy). `hypothesis`
+  /// must be the DFA the counterexample was found against.
+  void addCounterexample(const Word& ce, const Dfa& hypothesis);
+
+  /// Full learning loop against an equivalence oracle; stops after
+  /// `maxRounds` hypotheses at the latest.
+  Dfa learn(EquivalenceOracle& eq, std::size_t maxRounds = 1000);
+
+  [[nodiscard]] const LStarStats& stats() const { return stats_; }
+
+ private:
+  using Row = std::vector<char>;
+
+  Row rowOf(const Word& prefix);
+  void ensureClosedAndConsistent();
+
+  MembershipOracle& oracle_;
+  std::size_t alphabet_;
+  CeStrategy strategy_;
+  std::vector<Word> s_;  // S: representative prefixes
+  std::vector<Word> e_;  // E: distinguishing suffixes
+  LStarStats stats_;
+};
+
+}  // namespace mui::learnlib

@@ -1,0 +1,146 @@
+#include "learnlib/oracles.hpp"
+
+#include <deque>
+
+namespace mui::learnlib {
+
+LegacyMembershipOracle::LegacyMembershipOracle(
+    testing::LegacyComponent& legacy,
+    std::vector<automata::Interaction> alphabet)
+    : legacy_(legacy), alphabet_(std::move(alphabet)) {}
+
+bool LegacyMembershipOracle::member(const Word& w) {
+  const auto it = cache_.find(w);
+  if (it != cache_.end()) return it->second;
+  ++queries_;
+  legacy_.reset();
+  bool ok = true;
+  for (Symbol s : w) {
+    const auto& x = alphabet_.at(s);
+    const auto out = legacy_.step(x.in);
+    ++periods_;
+    if (!out || !(*out == x.out)) {
+      ok = false;
+      break;
+    }
+  }
+  cache_.emplace(w, ok);
+  return ok;
+}
+
+std::optional<Word> WMethodOracle::findCounterexample(const Dfa& hypothesis) {
+  ++suites_;
+  const std::size_t k = hypothesis.stateCount();
+  const std::size_t extra = stateBound_ > k ? stateBound_ - k : 0;
+  const std::size_t sigma = hypothesis.alphabetSize();
+
+  // Transition cover P: access words plus their one-symbol extensions.
+  const auto access = hypothesis.accessWords();
+  std::vector<Word> cover;
+  cover.push_back({});
+  for (std::size_t s = 0; s < k; ++s) {
+    cover.push_back(access[s]);
+    for (Symbol a = 0; a < sigma; ++a) {
+      Word w = access[s];
+      w.push_back(a);
+      cover.push_back(std::move(w));
+    }
+  }
+  const auto w = hypothesis.characterizationSet();
+
+  std::optional<Word> counterexample;
+  // p · m · s for all middles m ∈ Σ^{≤ extra}.
+  const auto tryWord = [&](const Word& word) {
+    if (counterexample) return;
+    if (membership_.member(word) != hypothesis.accepts(word)) {
+      counterexample = word;
+    }
+  };
+  const auto sweep = [&](auto&& self, Word& middle, std::size_t depth) -> void {
+    if (counterexample) return;
+    for (const auto& p : cover) {
+      for (const auto& suffix : w) {
+        Word word = p;
+        word.insert(word.end(), middle.begin(), middle.end());
+        word.insert(word.end(), suffix.begin(), suffix.end());
+        tryWord(word);
+        if (counterexample) return;
+      }
+    }
+    if (depth == extra) return;
+    for (Symbol a = 0; a < sigma; ++a) {
+      middle.push_back(a);
+      self(self, middle, depth + 1);
+      middle.pop_back();
+      if (counterexample) return;
+    }
+  };
+  Word middle;
+  sweep(sweep, middle, 0);
+  return counterexample;
+}
+
+PerfectEquivalenceOracle::PerfectEquivalenceOracle(
+    const automata::Automaton& hidden,
+    std::vector<automata::Interaction> alphabet)
+    : hidden_(hidden), alphabet_(std::move(alphabet)) {}
+
+std::optional<Word> PerfectEquivalenceOracle::findCounterexample(
+    const Dfa& hypothesis) {
+  // Product BFS of the hidden automaton (with an implicit rejecting sink)
+  // and the hypothesis; a pair disagreeing on acceptance yields the word.
+  constexpr std::size_t kSink = static_cast<std::size_t>(-1);
+  struct Node {
+    std::size_t hidden;
+    std::size_t hyp;
+    std::size_t parent;
+    Symbol via;
+  };
+  std::vector<Node> nodes;
+  std::map<std::pair<std::size_t, std::size_t>, char> seen;
+  std::deque<std::size_t> work;
+
+  const std::size_t h0 = hidden_.initialStates().empty()
+                             ? kSink
+                             : hidden_.initialStates()[0];
+  nodes.push_back({h0, hypothesis.initial(), 0, 0});
+  seen[{h0, hypothesis.initial()}] = 1;
+  work.push_back(0);
+
+  const auto wordTo = [&](std::size_t idx) {
+    Word w;
+    while (idx != 0) {
+      w.push_back(nodes[idx].via);
+      idx = nodes[idx].parent;
+    }
+    std::reverse(w.begin(), w.end());
+    return w;
+  };
+
+  while (!work.empty()) {
+    const std::size_t idx = work.front();
+    work.pop_front();
+    const auto [hs, ys] = std::make_pair(nodes[idx].hidden, nodes[idx].hyp);
+    const bool hiddenAccepts = hs != kSink;
+    if (hiddenAccepts != hypothesis.accepting(ys)) return wordTo(idx);
+    for (Symbol a = 0; a < alphabet_.size(); ++a) {
+      std::size_t nh = kSink;
+      if (hs != kSink) {
+        const auto succ =
+            hidden_.successors(static_cast<automata::StateId>(hs),
+                               alphabet_[a]);
+        if (!succ.empty()) nh = succ.front();
+      }
+      const std::size_t ny = hypothesis.next(ys, a);
+      const auto key = std::make_pair(nh, ny);
+      if (!seen.count(key)) {
+        seen[key] = 1;
+        nodes.push_back({nh, ny, idx, a});
+        work.push_back(nodes.size() - 1);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mui::learnlib

@@ -1,0 +1,92 @@
+#pragma once
+// Teacher and Oracle of the regular-inference setting (paper Sec. 6): the
+// Learner asks membership queries against the black-box component and
+// equivalence queries against a conformance-testing oracle (Vasilevskii/
+// Chow W-method) — "conformance testing provides a systematic way of
+// achieving an answer to an equivalence query".
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "learnlib/dfa.hpp"
+#include "testing/legacy.hpp"
+
+namespace mui::learnlib {
+
+class MembershipOracle {
+ public:
+  virtual ~MembershipOracle() = default;
+  /// Is `w` an executable interaction sequence of the component?
+  virtual bool member(const Word& w) = 0;
+  /// Distinct queries actually executed on the component.
+  [[nodiscard]] virtual std::uint64_t queries() const = 0;
+  /// Total component periods driven (resets excluded).
+  [[nodiscard]] virtual std::uint64_t periods() const = 0;
+};
+
+/// Asks the real component: reset, feed the interactions one per period,
+/// accept iff every step executes with the expected outputs. Results are
+/// memoized; only cache misses touch the component.
+class LegacyMembershipOracle final : public MembershipOracle {
+ public:
+  LegacyMembershipOracle(testing::LegacyComponent& legacy,
+                         std::vector<automata::Interaction> alphabet);
+
+  bool member(const Word& w) override;
+  [[nodiscard]] std::uint64_t queries() const override { return queries_; }
+  [[nodiscard]] std::uint64_t periods() const override { return periods_; }
+
+  [[nodiscard]] const std::vector<automata::Interaction>& alphabet() const {
+    return alphabet_;
+  }
+
+ private:
+  testing::LegacyComponent& legacy_;
+  std::vector<automata::Interaction> alphabet_;
+  std::map<Word, bool> cache_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t periods_ = 0;
+};
+
+class EquivalenceOracle {
+ public:
+  virtual ~EquivalenceOracle() = default;
+  /// A word on which the hypothesis and the component disagree, if any.
+  virtual std::optional<Word> findCounterexample(const Dfa& hypothesis) = 0;
+};
+
+/// The W-method (Chow 1978 / Vasilevskii 1973): for a hypothesis with k
+/// states and a bound n on the component's state count, the suite
+/// P · Σ^{≤ n-k+1} · W is exhaustive. Exponential in n-k — the cost the
+/// paper's approach avoids by never needing an equivalence check.
+class WMethodOracle final : public EquivalenceOracle {
+ public:
+  WMethodOracle(MembershipOracle& membership, std::size_t stateBound)
+      : membership_(membership), stateBound_(stateBound) {}
+
+  std::optional<Word> findCounterexample(const Dfa& hypothesis) override;
+
+  [[nodiscard]] std::uint64_t suitesRun() const { return suites_; }
+
+ private:
+  MembershipOracle& membership_;
+  std::size_t stateBound_;
+  std::uint64_t suites_ = 0;
+};
+
+/// Test-only oracle with white-box access to the hidden automaton: compares
+/// languages exactly (BFS over the product of hypothesis and hidden model).
+class PerfectEquivalenceOracle final : public EquivalenceOracle {
+ public:
+  PerfectEquivalenceOracle(const automata::Automaton& hidden,
+                           std::vector<automata::Interaction> alphabet);
+
+  std::optional<Word> findCounterexample(const Dfa& hypothesis) override;
+
+ private:
+  const automata::Automaton& hidden_;
+  std::vector<automata::Interaction> alphabet_;
+};
+
+}  // namespace mui::learnlib

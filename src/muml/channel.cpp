@@ -1,0 +1,126 @@
+#include "muml/channel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace mui::muml {
+
+namespace {
+
+/// One in-flight message: route index and age (saturating at delay).
+using Flight = std::pair<std::uint32_t, std::uint32_t>;
+using State = std::vector<Flight>;  // kept sorted for canonical naming
+
+std::string stateName(const ChannelSpec& spec, const State& st) {
+  if (st.empty()) return "empty";
+  std::string n;
+  for (const auto& [route, age] : st) {
+    if (!n.empty()) n += "+";
+    n += spec.routes[route].source + "@" + std::to_string(age);
+  }
+  return n;
+}
+
+}  // namespace
+
+automata::Automaton makeChannel(const automata::SignalTableRef& signals,
+                                const automata::SignalTableRef& props,
+                                const ChannelSpec& spec) {
+  if (spec.routes.empty() || spec.routes.size() > 16) {
+    throw std::invalid_argument("makeChannel: need 1..16 routes");
+  }
+  if (spec.delay == 0 || spec.capacity == 0 || spec.capacity > 4) {
+    throw std::invalid_argument("makeChannel: delay >= 1, capacity in 1..4");
+  }
+
+  automata::Automaton a(signals, props, spec.name);
+  std::vector<util::NameId> srcIds, dstIds;
+  for (const auto& r : spec.routes) {
+    srcIds.push_back(a.addInput(r.source));
+    dstIds.push_back(a.addOutput(r.destination));
+  }
+
+  std::map<State, automata::StateId> ids;
+  std::deque<State> work;
+  const auto ensure = [&](State st) {
+    std::sort(st.begin(), st.end());
+    const auto it = ids.find(st);
+    if (it != ids.end()) return it->second;
+    const automata::StateId s = a.addState(stateName(spec, st));
+    a.labelWithStateName(s);
+    ids.emplace(st, s);
+    work.push_back(std::move(st));
+    return s;
+  };
+
+  a.markInitial(ensure({}));
+
+  while (!work.empty()) {
+    const State st = work.front();
+    work.pop_front();
+    const automata::StateId from = ids.at(st);
+
+    // 1. Ages advance, saturating at delay (delivery offered from then on).
+    State aged = st;
+    for (auto& [route, age] : aged) age = std::min(age + 1, spec.delay);
+
+    // Indices of messages due for delivery.
+    std::vector<std::size_t> due;
+    for (std::size_t i = 0; i < aged.size(); ++i) {
+      if (aged[i].second >= spec.delay) due.push_back(i);
+    }
+
+    // 2. Every delivery subset of the due messages (hold or hand over —
+    // the receiver's readiness decides through the composition)...
+    for (std::size_t dmask = 0; dmask < (std::size_t{1} << due.size());
+         ++dmask) {
+      State kept;
+      automata::SignalSet delivered;
+      for (std::size_t i = 0; i < aged.size(); ++i) {
+        const auto pos = std::find(due.begin(), due.end(), i);
+        const bool deliver =
+            pos != due.end() &&
+            (dmask >> static_cast<std::size_t>(pos - due.begin())) & 1;
+        if (deliver) {
+          delivered.set(dstIds[aged[i].first]);
+        } else {
+          kept.push_back(aged[i]);
+        }
+      }
+
+      // 3. ... combined with every admissible arrival subset of the routes.
+      const std::size_t room = spec.capacity - kept.size();
+      for (std::size_t amask = 0;
+           amask < (std::size_t{1} << spec.routes.size()); ++amask) {
+        if (static_cast<std::size_t>(__builtin_popcountll(amask)) > room) {
+          continue;
+        }
+        State next = kept;
+        automata::SignalSet accepted;
+        for (std::size_t r = 0; r < spec.routes.size(); ++r) {
+          if ((amask >> r) & 1) {
+            next.emplace_back(static_cast<std::uint32_t>(r), 1u);
+            accepted.set(srcIds[r]);
+          }
+        }
+        a.addTransition(from, {accepted, delivered}, ensure(std::move(next)));
+      }
+    }
+
+    // Lossiness: any single in-flight message may vanish during an idle step.
+    if (spec.lossy) {
+      for (std::size_t i = 0; i < aged.size(); ++i) {
+        State next;
+        for (std::size_t j = 0; j < aged.size(); ++j) {
+          if (j != i) next.push_back(aged[j]);
+        }
+        a.addTransition(from, automata::Interaction{}, ensure(std::move(next)));
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace mui::muml

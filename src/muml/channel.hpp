@@ -1,0 +1,41 @@
+#pragma once
+// Connector channel automata (paper Sec. "Modeling"): "The behavior of the
+// connector is described by another real-time statechart that is used to
+// model channel delay and reliability, which are of crucial importance for
+// real-time systems."
+//
+// A channel relays each message m from its source endpoint signal to its
+// destination endpoint signal after `delay` time units, holding at most
+// `capacity` in-flight messages (a full channel refuses further sends —
+// synchronous communication then exerts backpressure on the sender). With
+// `lossy`, an in-flight message may silently vanish.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+
+namespace mui::muml {
+
+struct ChannelRoute {
+  std::string source;       // signal consumed from the sender
+  std::string destination;  // signal delivered to the receiver
+};
+
+struct ChannelSpec {
+  std::string name = "channel";
+  std::vector<ChannelRoute> routes;
+  std::uint32_t delay = 1;     // ≥ 1 time units in transit
+  std::uint32_t capacity = 1;  // in-flight messages (1 keeps the state space tiny)
+  bool lossy = false;
+};
+
+/// Builds the channel automaton. Inputs are all route sources, outputs all
+/// route destinations. States are named "empty" or a "+"-joined list of
+/// "msg@age" entries.
+automata::Automaton makeChannel(const automata::SignalTableRef& signals,
+                                const automata::SignalTableRef& props,
+                                const ChannelSpec& spec);
+
+}  // namespace mui::muml

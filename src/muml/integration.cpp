@@ -1,0 +1,51 @@
+#include "muml/integration.hpp"
+
+#include <stdexcept>
+
+#include "automata/compose.hpp"
+#include "muml/channel.hpp"
+
+namespace mui::muml {
+
+IntegrationScenario makeIntegrationScenario(
+    const CoordinationPattern& pattern, std::size_t legacyRoleIdx,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props) {
+  if (legacyRoleIdx >= pattern.roles.size()) {
+    throw std::out_of_range("makeIntegrationScenario: bad role index");
+  }
+
+  std::vector<automata::Automaton> parts;
+  for (std::size_t i = 0; i < pattern.roles.size(); ++i) {
+    if (i == legacyRoleIdx) continue;
+    parts.push_back(
+        pattern.roles[i].behavior.compile(signals, props,
+                                          pattern.roles[i].name));
+  }
+  if (pattern.connector.kind == ConnectorSpec::Kind::Channel) {
+    parts.push_back(makeChannel(signals, props, pattern.connector.channel));
+  }
+  if (parts.empty()) {
+    throw std::invalid_argument(
+        "makeIntegrationScenario: no context parts remain");
+  }
+
+  std::vector<const automata::Automaton*> ptrs;
+  for (const auto& p : parts) ptrs.push_back(&p);
+
+  IntegrationScenario out{automata::composeAll(ptrs).automaton, {}};
+
+  const auto conjoin = [&](const std::string& f) {
+    if (f.empty()) return;
+    if (out.property.empty()) {
+      out.property = f;
+    } else {
+      out.property = "(" + out.property + ") && (" + f + ")";
+    }
+  };
+  conjoin(pattern.constraint);
+  for (const auto& role : pattern.roles) conjoin(role.invariant);
+  return out;
+}
+
+}  // namespace mui::muml

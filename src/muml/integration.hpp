@@ -1,0 +1,32 @@
+#pragma once
+// From pattern to integration scenario: when a legacy component plays one
+// role of a verified coordination pattern, the *context* of the integration
+// problem (paper Sec. 3, M_a^c) is the composition of all other roles plus
+// the connector, and the property is the pattern constraint conjoined with
+// the role invariants. This builder derives both mechanically from the
+// pattern model.
+
+#include "automata/automaton.hpp"
+#include "muml/model.hpp"
+
+namespace mui::muml {
+
+struct IntegrationScenario {
+  /// Composition of every role except the legacy one (plus the channel
+  /// automaton for Channel connectors).
+  automata::Automaton context;
+  /// Pattern constraint ∧ all role invariants (non-empty ones), as CCTL
+  /// text ready for synthesis::IntegrationConfig::property.
+  std::string property;
+};
+
+/// Builds the scenario for the legacy component playing
+/// `pattern.roles[legacyRoleIdx]`. Throws std::out_of_range for a bad index
+/// and std::invalid_argument for patterns whose remaining parts cannot be
+/// composed.
+IntegrationScenario makeIntegrationScenario(
+    const CoordinationPattern& pattern, std::size_t legacyRoleIdx,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props);
+
+}  // namespace mui::muml

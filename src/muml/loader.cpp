@@ -1,0 +1,300 @@
+#include "muml/loader.hpp"
+
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace mui::muml {
+
+namespace {
+
+using util::Cursor;
+
+class Loader {
+ public:
+  Loader(Model& model, std::string_view text) : model_(model), cur_(text) {}
+
+  void run() {
+    while (true) {
+      cur_.skipWs();
+      if (cur_.atEnd()) break;
+      if (cur_.tryKeyword("automaton")) {
+        parseAutomaton();
+      } else if (cur_.tryKeyword("rtsc")) {
+        parseRtsc();
+      } else if (cur_.tryKeyword("pattern")) {
+        parsePattern();
+      } else {
+        cur_.fail("expected 'automaton', 'rtsc', or 'pattern'");
+      }
+    }
+  }
+
+ private:
+  // ---- automaton -----------------------------------------------------------
+
+  void parseAutomaton() {
+    const std::string name = cur_.identifier();
+    if (model_.automata.count(name)) {
+      throw std::invalid_argument("duplicate automaton '" + name + "'");
+    }
+    automata::Automaton a(model_.signals, model_.props, name);
+    cur_.expect("{");
+    while (!cur_.tryConsume("}")) {
+      if (cur_.tryKeyword("input")) {
+        signalList([&](const std::string& s) { a.addInput(s); });
+      } else if (cur_.tryKeyword("output")) {
+        signalList([&](const std::string& s) { a.addOutput(s); });
+      } else if (cur_.tryKeyword("initial")) {
+        do {
+          a.markInitial(ensureState(a, cur_.identifier()));
+        } while (!peekStatementEnd());
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("state")) {
+        const automata::StateId s = ensureState(a, cur_.identifier());
+        if (cur_.tryKeyword("labels")) {
+          do {
+            a.addLabel(s, cur_.identifier());
+          } while (!peekStatementEnd());
+        }
+        cur_.expect(";");
+      } else {
+        parseAutomatonTransition(a);
+      }
+    }
+    model_.automata.emplace(name, std::move(a));
+  }
+
+  void parseAutomatonTransition(automata::Automaton& a) {
+    const auto from = ensureState(a, cur_.identifier());
+    cur_.expect("->");
+    const auto to = ensureState(a, cur_.identifier());
+    cur_.expect(":");
+    automata::Interaction x;
+    // Input list up to '/', output list up to ';'. Both may be empty.
+    while (!cur_.tryConsume("/")) {
+      if (peekStatementEnd()) break;
+      x.in.set(model_.signals->intern(cur_.identifier()));
+    }
+    while (!peekStatementEnd()) {
+      x.out.set(model_.signals->intern(cur_.identifier()));
+    }
+    cur_.expect(";");
+    a.addTransition(from, std::move(x), to);
+  }
+
+  static automata::StateId ensureState(automata::Automaton& a,
+                                       const std::string& name) {
+    if (auto s = a.stateByName(name)) return *s;
+    const automata::StateId s = a.addState(name);
+    a.labelWithStateName(s);
+    return s;
+  }
+
+  // ---- rtsc ---------------------------------------------------------------
+
+  void parseRtsc() {
+    const std::string name = cur_.identifier();
+    if (model_.statecharts.count(name)) {
+      throw std::invalid_argument("duplicate rtsc '" + name + "'");
+    }
+    rtsc::RealTimeStatechart sc(name);
+    clockNames_.clear();
+    cur_.expect("{");
+    while (!cur_.tryConsume("}")) {
+      if (cur_.tryKeyword("input")) {
+        signalList([&](const std::string& s) { sc.declareInput(s); });
+      } else if (cur_.tryKeyword("output")) {
+        signalList([&](const std::string& s) { sc.declareOutput(s); });
+      } else if (cur_.tryKeyword("clock")) {
+        do {
+          const std::string clock = cur_.identifier();
+          sc.addClock(clock);
+          clockNames_.push_back(clock);
+        } while (!peekStatementEnd());
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("location")) {
+        const std::string loc = cur_.identifier();
+        rtsc::Guard inv;
+        if (cur_.tryKeyword("invariant")) inv = parseGuard(sc);
+        sc.addLocation(loc, std::move(inv));
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("initial")) {
+        sc.setInitial(requireLocation(sc, cur_.identifier()));
+        cur_.expect(";");
+      } else {
+        parseRtscTransition(sc);
+      }
+    }
+    sc.checkWellFormed();
+    model_.statecharts.emplace(name, std::move(sc));
+  }
+
+  void parseRtscTransition(rtsc::RealTimeStatechart& sc) {
+    rtsc::RtscTransition t;
+    t.from = requireLocation(sc, cur_.identifier());
+    cur_.expect("->");
+    t.to = requireLocation(sc, cur_.identifier());
+    cur_.expect(":");
+    while (!peekStatementEnd()) {
+      if (cur_.tryKeyword("trigger")) {
+        t.trigger = cur_.identifier();
+      } else if (cur_.tryKeyword("emit")) {
+        t.effects.push_back(cur_.identifier());
+      } else if (cur_.tryKeyword("guard")) {
+        for (auto& c : parseGuard(sc)) t.guard.push_back(c);
+      } else if (cur_.tryKeyword("reset")) {
+        t.resets.push_back(requireClock(sc, cur_.identifier()));
+      } else {
+        cur_.fail("expected 'trigger', 'emit', 'guard', or 'reset'");
+      }
+    }
+    cur_.expect(";");
+    sc.addTransition(std::move(t));
+  }
+
+  rtsc::Guard parseGuard(const rtsc::RealTimeStatechart& sc) {
+    rtsc::Guard g;
+    do {
+      rtsc::ClockConstraint c;
+      c.clock = requireClock(sc, cur_.identifier());
+      if (cur_.tryConsume("<=")) {
+        c.rel = rtsc::ClockConstraint::Rel::Le;
+      } else if (cur_.tryConsume("<")) {
+        c.rel = rtsc::ClockConstraint::Rel::Lt;
+      } else if (cur_.tryConsume(">=")) {
+        c.rel = rtsc::ClockConstraint::Rel::Ge;
+      } else if (cur_.tryConsume(">")) {
+        c.rel = rtsc::ClockConstraint::Rel::Gt;
+      } else if (cur_.tryConsume("==")) {
+        c.rel = rtsc::ClockConstraint::Rel::Eq;
+      } else {
+        cur_.fail("expected clock relation (<=, <, >=, >, ==)");
+      }
+      c.bound = static_cast<std::uint32_t>(cur_.integer());
+      g.push_back(c);
+    } while (cur_.tryConsume("&&"));
+    return g;
+  }
+
+  rtsc::LocationId requireLocation(const rtsc::RealTimeStatechart& sc,
+                                   const std::string& name) {
+    if (auto l = sc.locationByName(name)) return *l;
+    throw std::invalid_argument("rtsc '" + sc.name() + "': unknown location '" +
+                                name + "' (declare locations before use)");
+  }
+
+  rtsc::ClockId requireClock(const rtsc::RealTimeStatechart& sc,
+                             const std::string& name) {
+    // Clock ids are indices in declaration order; names are tracked here
+    // for the statechart currently being parsed.
+    for (rtsc::ClockId c = 0; c < clockNames_.size(); ++c) {
+      if (clockNames_[c] == name) return c;
+    }
+    throw std::invalid_argument("rtsc '" + sc.name() + "': unknown clock '" +
+                                name + "'");
+  }
+
+  // ---- pattern -------------------------------------------------------------
+
+  void parsePattern() {
+    const std::string name = cur_.identifier();
+    if (model_.patterns.count(name)) {
+      throw std::invalid_argument("duplicate pattern '" + name + "'");
+    }
+    CoordinationPattern p;
+    p.name = name;
+    cur_.expect("{");
+    while (!cur_.tryConsume("}")) {
+      if (cur_.tryKeyword("role")) {
+        Role r;
+        r.name = cur_.identifier();
+        if (!cur_.tryKeyword("uses")) cur_.fail("expected 'uses'");
+        const std::string scName = cur_.identifier();
+        const auto it = model_.statecharts.find(scName);
+        if (it == model_.statecharts.end()) {
+          throw std::invalid_argument("pattern '" + name +
+                                      "': unknown rtsc '" + scName + "'");
+        }
+        r.behavior = it->second;
+        if (cur_.tryKeyword("invariant")) r.invariant = cur_.quotedString();
+        cur_.expect(";");
+        p.roles.push_back(std::move(r));
+      } else if (cur_.tryKeyword("connector")) {
+        if (cur_.tryKeyword("direct")) {
+          p.connector.kind = ConnectorSpec::Kind::Direct;
+        } else if (cur_.tryKeyword("channel")) {
+          p.connector.kind = ConnectorSpec::Kind::Channel;
+          p.connector.channel.name = name + "_channel";
+          while (!peekStatementEnd()) {
+            if (cur_.tryKeyword("delay")) {
+              p.connector.channel.delay =
+                  static_cast<std::uint32_t>(cur_.integer());
+            } else if (cur_.tryKeyword("capacity")) {
+              p.connector.channel.capacity =
+                  static_cast<std::uint32_t>(cur_.integer());
+            } else if (cur_.tryKeyword("lossy")) {
+              p.connector.channel.lossy = true;
+            } else if (cur_.tryKeyword("routes")) {
+              while (!peekStatementEnd()) {
+                ChannelRoute r;
+                r.source = cur_.identifier();
+                cur_.expect("->");
+                r.destination = cur_.identifier();
+                p.connector.channel.routes.push_back(std::move(r));
+              }
+            } else {
+              cur_.fail("expected channel attribute");
+            }
+          }
+        } else {
+          cur_.fail("expected 'direct' or 'channel'");
+        }
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("constraint")) {
+        p.constraint = cur_.quotedString();
+        cur_.expect(";");
+      } else {
+        cur_.fail("expected 'role', 'connector', or 'constraint'");
+      }
+    }
+    model_.patterns.emplace(name, std::move(p));
+  }
+
+  // ---- shared helpers ------------------------------------------------------
+
+  template <typename F>
+  void signalList(F&& declare) {
+    do {
+      declare(cur_.identifier());
+    } while (!peekStatementEnd());
+    cur_.expect(";");
+  }
+
+  /// True when the next token is ';' (does not consume it).
+  bool peekStatementEnd() {
+    cur_.skipWs();
+    return cur_.peek() == ';';
+  }
+
+  Model& model_;
+  Cursor cur_;
+  // Clock names of the rtsc currently being parsed (ids are indices).
+  std::vector<std::string> clockNames_;
+};
+
+}  // namespace
+
+Model loadModel(std::string_view text) {
+  Model m;
+  m.signals = std::make_shared<automata::SignalTable>();
+  m.props = std::make_shared<automata::SignalTable>();
+  loadModelInto(m, text);
+  return m;
+}
+
+void loadModelInto(Model& model, std::string_view text) {
+  Loader(model, text).run();
+}
+
+}  // namespace mui::muml

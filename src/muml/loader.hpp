@@ -1,0 +1,48 @@
+#pragma once
+// Textual model format (.muml) for automata, real-time statecharts, and
+// coordination patterns. The concrete syntax (see also README):
+//
+//   automaton Name {
+//     input a b; output x;
+//     initial s0 [s1 ...];
+//     s0 -> s1 : a / x;        # consume a, emit x (space-separated lists)
+//     s1 -> s1 : ;             # idle step
+//   }
+//
+//   rtsc Name {
+//     input a; output x;
+//     clock c;
+//     location idle;
+//     location busy invariant c <= 5;
+//     initial idle;
+//     idle -> busy : trigger a emit x guard c >= 2 reset c;
+//   }
+//
+//   pattern Name {
+//     role left uses SomeRtsc invariant "AG p";
+//     role right uses OtherRtsc;
+//     connector direct;
+//     connector channel delay 2 capacity 1 lossy routes a->b x->y;
+//     constraint "AG !(p && q)";
+//   }
+//
+// Comments start with '#' or '//'. States referenced in transitions are
+// created on first use and auto-labeled with their hierarchical qualified
+// name (e.g. automaton "rearRole", state "noConvoy::wait" yields
+// propositions rearRole.noConvoy and rearRole.noConvoy::wait).
+
+#include <string_view>
+
+#include "muml/model.hpp"
+
+namespace mui::muml {
+
+/// Parses a model from text; throws mui::util::ParseError on syntax errors
+/// and std::invalid_argument on semantic ones (duplicate names, unknown
+/// references).
+Model loadModel(std::string_view text);
+
+/// Parses into an existing model (shared tables), adding definitions.
+void loadModelInto(Model& model, std::string_view text);
+
+}  // namespace mui::muml

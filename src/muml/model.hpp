@@ -1,0 +1,66 @@
+#pragma once
+// The MECHATRONIC UML metamodel subset used by the paper (Sec. "Modeling"):
+// coordination patterns with roles, connectors, constraints and role
+// invariants; components with ports refining roles.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "muml/channel.hpp"
+#include "rtsc/rtsc.hpp"
+
+namespace mui::muml {
+
+/// A pattern role: protocol behavior (an RTSC) plus an optional role
+/// invariant (timed ACTL, paper Fig. 1).
+struct Role {
+  std::string name;
+  rtsc::RealTimeStatechart behavior;
+  std::string invariant;  // CCTL text; empty = none
+};
+
+/// Connector between the roles. Direct connectors hand messages over
+/// synchronously (the composition's matching condition is the handover);
+/// Channel connectors insert an explicit QoS automaton (delay / capacity /
+/// loss, see channel.hpp).
+struct ConnectorSpec {
+  enum class Kind { Direct, Channel };
+  Kind kind = Kind::Direct;
+  ChannelSpec channel;  // used when kind == Channel
+};
+
+/// A coordination pattern (paper Fig. 1): roles, a connector, and the
+/// overall pattern constraint.
+struct CoordinationPattern {
+  std::string name;
+  std::vector<Role> roles;
+  ConnectorSpec connector;
+  std::string constraint;  // CCTL text; empty = none
+};
+
+/// A component port: the refinement of one pattern role.
+struct Port {
+  std::string name;
+  std::string roleName;
+  automata::Automaton behavior;
+};
+
+/// A component: ports refining the roles of the patterns it participates in.
+struct Component {
+  std::string name;
+  std::vector<Port> ports;
+};
+
+/// Container produced by the .muml loader: named automata, statecharts and
+/// patterns over one shared pair of tables.
+struct Model {
+  automata::SignalTableRef signals;
+  automata::SignalTableRef props;
+  std::map<std::string, automata::Automaton> automata;
+  std::map<std::string, rtsc::RealTimeStatechart> statecharts;
+  std::map<std::string, CoordinationPattern> patterns;
+};
+
+}  // namespace mui::muml

@@ -1,0 +1,186 @@
+#include "muml/shuttle.hpp"
+
+namespace mui::muml::shuttle {
+
+using rtsc::ClockConstraint;
+using rtsc::RealTimeStatechart;
+using Rel = rtsc::ClockConstraint::Rel;
+
+RealTimeStatechart frontRoleStatechart() {
+  RealTimeStatechart sc("frontRole");
+  sc.declareInput(kConvoyProposal);
+  sc.declareInput(kBreakConvoyProposal);
+  sc.declareInput(kEmergency);
+  sc.declareOutput(kConvoyProposalRejected);
+  sc.declareOutput(kStartConvoy);
+  sc.declareOutput(kBreakConvoyRejected);
+  sc.declareOutput(kBreakConvoyAccepted);
+  const rtsc::ClockId c = sc.addClock("c");
+
+  const auto def = sc.addLocation("noConvoy::default");
+  // The front shuttle must answer a convoy proposal within 2 time units.
+  const auto answer =
+      sc.addLocation("noConvoy::answer", {{c, Rel::Le, 2}});
+  const auto fullBrake =
+      sc.addLocation("noConvoy::fullBraking", {{c, Rel::Le, 3}});
+  const auto convoy = sc.addLocation("convoy::default");
+  const auto brk = sc.addLocation("convoy::break", {{c, Rel::Le, 2}});
+  const auto reduced =
+      sc.addLocation("convoy::reducedBraking", {{c, Rel::Le, 3}});
+  sc.setInitial(def);
+
+  // Convoy negotiation (Fig. 5).
+  sc.addTransition({def, answer, kConvoyProposal, {}, {}, {c}});
+  sc.addTransition({answer, def, std::nullopt, {kConvoyProposalRejected}, {}, {}});
+  sc.addTransition({answer, convoy, std::nullopt, {kStartConvoy}, {}, {}});
+
+  // Breaking the convoy.
+  sc.addTransition({convoy, brk, kBreakConvoyProposal, {}, {}, {c}});
+  sc.addTransition({brk, convoy, std::nullopt, {kBreakConvoyRejected}, {}, {}});
+  sc.addTransition({brk, def, std::nullopt, {kBreakConvoyAccepted}, {}, {}});
+
+  // Emergency braking: full power only outside convoy mode; reduced power
+  // inside (the safety rationale behind the pattern constraint).
+  sc.addTransition({def, fullBrake, kEmergency, {}, {}, {c}});
+  sc.addTransition({fullBrake, def, std::nullopt, {}, {{c, Rel::Ge, 2}}, {}});
+  sc.addTransition({convoy, reduced, kEmergency, {}, {}, {c}});
+  sc.addTransition({reduced, convoy, std::nullopt, {}, {{c, Rel::Ge, 2}}, {}});
+
+  // Stay responsive to coordination messages while braking, so a patient
+  // partner is never starved (and the composition stays deadlock free).
+  sc.addTransition({fullBrake, answer, kConvoyProposal, {}, {}, {c}});
+  sc.addTransition({reduced, brk, kBreakConvoyProposal, {}, {}, {c}});
+
+  return sc;
+}
+
+RealTimeStatechart rearRoleStatechart() {
+  RealTimeStatechart sc("rearRole");
+  sc.declareInput(kConvoyProposalRejected);
+  sc.declareInput(kStartConvoy);
+  sc.declareInput(kBreakConvoyRejected);
+  sc.declareInput(kBreakConvoyAccepted);
+  sc.declareOutput(kConvoyProposal);
+  sc.declareOutput(kBreakConvoyProposal);
+
+  const auto def = sc.addLocation("noConvoy::default");
+  const auto wait = sc.addLocation("noConvoy::wait");
+  const auto convoy = sc.addLocation("convoy::default");
+  const auto cwait = sc.addLocation("convoy::wait");
+  sc.setInitial(def);
+
+  // The protocol is deliberately permissive: the rear shuttle *may* propose
+  // at any time (nondeterministic), and must then await the answer.
+  sc.addTransition({def, wait, std::nullopt, {kConvoyProposal}, {}, {}});
+  sc.addTransition({wait, def, kConvoyProposalRejected, {}, {}, {}});
+  sc.addTransition({wait, convoy, kStartConvoy, {}, {}, {}});
+  sc.addTransition({convoy, cwait, std::nullopt, {kBreakConvoyProposal}, {}, {}});
+  sc.addTransition({cwait, convoy, kBreakConvoyRejected, {}, {}, {}});
+  sc.addTransition({cwait, def, kBreakConvoyAccepted, {}, {}, {}});
+  return sc;
+}
+
+CoordinationPattern distanceCoordinationPattern() {
+  CoordinationPattern p;
+  p.name = "DistanceCoordination";
+  p.constraint = kPatternConstraint;
+  // Role invariants (Fig. 1 annotates the roles with timed ACTL): the
+  // negotiation phases resolve within bounded time.
+  p.roles.push_back({"frontRole", frontRoleStatechart(),
+                     "AG (frontRole.noConvoy::answer -> AF[1,3] "
+                     "(frontRole.noConvoy::default || frontRole.convoy))"});
+  p.roles.push_back({"rearRole", rearRoleStatechart(),
+                     "AG (rearRole.noConvoy::wait -> AF[1,6] "
+                     "(rearRole.noConvoy::default || rearRole.convoy))"});
+  p.connector.kind = ConnectorSpec::Kind::Direct;
+  return p;
+}
+
+automata::Automaton frontRoleAutomaton(const automata::SignalTableRef& signals,
+                                       const automata::SignalTableRef& props) {
+  return frontRoleStatechart().compile(signals, props);
+}
+
+namespace {
+
+/// Shared interface declaration for the hidden rear-shuttle behaviors.
+automata::Automaton rearShell(const automata::SignalTableRef& signals,
+                              const automata::SignalTableRef& props) {
+  automata::Automaton a(signals, props, "rearRole");
+  a.addInput(kConvoyProposalRejected);
+  a.addInput(kStartConvoy);
+  a.addInput(kBreakConvoyRejected);
+  a.addInput(kBreakConvoyAccepted);
+  a.addOutput(kConvoyProposal);
+  a.addOutput(kBreakConvoyProposal);
+  return a;
+}
+
+automata::Interaction sendOnly(const automata::SignalTableRef& signals,
+                               const char* msg) {
+  automata::Interaction x;
+  x.out.set(signals->intern(msg));
+  return x;
+}
+
+automata::Interaction recvOnly(const automata::SignalTableRef& signals,
+                               const char* msg) {
+  automata::Interaction x;
+  x.in.set(signals->intern(msg));
+  return x;
+}
+
+}  // namespace
+
+automata::Automaton correctRearLegacy(const automata::SignalTableRef& signals,
+                                      const automata::SignalTableRef& props) {
+  automata::Automaton a = rearShell(signals, props);
+  const auto def = a.addState("noConvoy::default");
+  const auto ready = a.addState("noConvoy::ready");
+  const auto wait = a.addState("noConvoy::wait");
+  const auto convoy = a.addState("convoy::default");
+  const auto hold = a.addState("convoy::hold");
+  const auto cwait = a.addState("convoy::wait");
+  for (automata::StateId s = 0; s < a.stateCount(); ++s) {
+    a.labelWithStateName(s);
+  }
+  a.markInitial(def);
+
+  const automata::Interaction idle{};
+  // A fixed internal schedule makes the behavior input-deterministic: one
+  // idle tick, then propose; in convoy, one idle tick, then propose a break.
+  a.addTransition(def, idle, ready);
+  a.addTransition(ready, sendOnly(signals, kConvoyProposal), wait);
+  a.addTransition(wait, idle, wait);
+  a.addTransition(wait, recvOnly(signals, kConvoyProposalRejected), def);
+  a.addTransition(wait, recvOnly(signals, kStartConvoy), convoy);
+  a.addTransition(convoy, idle, hold);
+  a.addTransition(hold, sendOnly(signals, kBreakConvoyProposal), cwait);
+  a.addTransition(cwait, idle, cwait);
+  a.addTransition(cwait, recvOnly(signals, kBreakConvoyRejected), convoy);
+  a.addTransition(cwait, recvOnly(signals, kBreakConvoyAccepted), def);
+  return a;
+}
+
+automata::Automaton faultyRearLegacy(const automata::SignalTableRef& signals,
+                                     const automata::SignalTableRef& props) {
+  automata::Automaton a = rearShell(signals, props);
+  const auto def = a.addState("noConvoy::default");
+  const auto ready = a.addState("noConvoy::ready");
+  const auto convoy = a.addState("convoy::default");
+  for (automata::StateId s = 0; s < a.stateCount(); ++s) {
+    a.labelWithStateName(s);
+  }
+  a.markInitial(def);
+
+  const automata::Interaction idle{};
+  a.addTransition(def, idle, ready);
+  // The defect (paper Fig. 6): the component enters convoy mode directly
+  // after sending the proposal, without awaiting startConvoy. The answer
+  // messages are then refused — the "blocking state" of Listing 1.3.
+  a.addTransition(ready, sendOnly(signals, kConvoyProposal), convoy);
+  a.addTransition(convoy, idle, convoy);
+  return a;
+}
+
+}  // namespace mui::muml::shuttle

@@ -1,0 +1,67 @@
+#pragma once
+// The RailCab shuttle models — the paper's running example.
+//
+// The DistanceCoordination pattern (paper Fig. 1) coordinates two successive
+// shuttles: the rear shuttle proposes a convoy, the front shuttle rejects or
+// starts it; breaking the convoy is symmetric. The safety constraint forbids
+// the rear shuttle driving in convoy mode (reduced distance) while the front
+// shuttle is in noConvoy mode (and may hence brake with full power):
+//
+//   AG !(rearRole.convoy && frontRole.noConvoy)
+//
+// Braking is modeled explicitly: an environment-controlled emergency signal
+// sends the front shuttle into full braking (a noConvoy substate) or reduced
+// braking (a convoy substate), with clock-bounded braking durations — this
+// exercises the timed part of the RTSC semantics.
+//
+// Besides the pattern roles we provide the hidden *legacy* rear-shuttle
+// behaviors used throughout Sec. 3-5 of the paper:
+//  - correctRearLegacy(): a deterministic implementation conforming to the
+//    rear role (paper Fig. 7 / Listing 1.5);
+//  - faultyRearLegacy(): enters convoy mode directly after proposing
+//    (paper Fig. 6 / Listings 1.3-1.4), which conflicts with the context.
+
+#include "automata/automaton.hpp"
+#include "muml/model.hpp"
+
+namespace mui::muml::shuttle {
+
+// Message vocabulary (rear -> front and front -> rear).
+inline constexpr const char* kConvoyProposal = "convoyProposal";
+inline constexpr const char* kBreakConvoyProposal = "breakConvoyProposal";
+inline constexpr const char* kConvoyProposalRejected = "convoyProposalRejected";
+inline constexpr const char* kStartConvoy = "startConvoy";
+inline constexpr const char* kBreakConvoyRejected = "breakConvoyRejected";
+inline constexpr const char* kBreakConvoyAccepted = "breakConvoyAccepted";
+inline constexpr const char* kEmergency = "emergencyF";  // environment input
+
+/// The pattern constraint of Fig. 1.
+inline constexpr const char* kPatternConstraint =
+    "AG !(rearRole.convoy && frontRole.noConvoy)";
+
+/// The front role statechart (paper Fig. 5, extended with the braking
+/// substates): instance name "frontRole".
+rtsc::RealTimeStatechart frontRoleStatechart();
+
+/// The rear role protocol statechart: instance name "rearRole".
+rtsc::RealTimeStatechart rearRoleStatechart();
+
+/// The DistanceCoordination pattern: both roles, a direct connector, the
+/// pattern constraint, and role invariants (response-time guarantees).
+CoordinationPattern distanceCoordinationPattern();
+
+/// Compiled front-role automaton — the *context* M_a^c of the integration
+/// scenario (paper Sec. 3, Fig. 5).
+automata::Automaton frontRoleAutomaton(const automata::SignalTableRef& signals,
+                                       const automata::SignalTableRef& props);
+
+/// Deterministic hidden behavior of the correct legacy rear shuttle.
+automata::Automaton correctRearLegacy(const automata::SignalTableRef& signals,
+                                      const automata::SignalTableRef& props);
+
+/// Hidden behavior of the faulty legacy rear shuttle: jumps to convoy mode
+/// without waiting for startConvoy.
+automata::Automaton faultyRearLegacy(const automata::SignalTableRef& signals,
+                                     const automata::SignalTableRef& props);
+
+}  // namespace mui::muml::shuttle

@@ -1,0 +1,88 @@
+#include "muml/verify.hpp"
+
+#include <algorithm>
+
+#include "ctl/checker.hpp"
+#include "ctl/parser.hpp"
+
+namespace mui::muml {
+
+PatternVerification verifyPattern(const CoordinationPattern& pattern,
+                                  const automata::SignalTableRef& signals,
+                                  const automata::SignalTableRef& props) {
+  std::vector<automata::Automaton> parts;
+  parts.reserve(pattern.roles.size() + 1);
+  for (const auto& role : pattern.roles) {
+    parts.push_back(role.behavior.compile(signals, props, role.name));
+  }
+  if (pattern.connector.kind == ConnectorSpec::Kind::Channel) {
+    parts.push_back(makeChannel(signals, props, pattern.connector.channel));
+  }
+  std::vector<const automata::Automaton*> ptrs;
+  for (const auto& p : parts) ptrs.push_back(&p);
+
+  PatternVerification out{false, false, {}, {}, automata::composeAll(ptrs)};
+
+  // Conjoin constraint and role invariants for the headline verdict.
+  ctl::FormulaPtr phi;
+  const auto conjoin = [&](const std::string& text) {
+    if (text.empty()) return;
+    auto f = ctl::parseFormula(text);
+    phi = phi ? ctl::Formula::mkAnd(std::move(phi), std::move(f))
+              : std::move(f);
+  };
+  conjoin(pattern.constraint);
+  for (const auto& role : pattern.roles) conjoin(role.invariant);
+
+  ctl::VerifyOptions opts;
+  opts.requireDeadlockFree = true;
+  out.details = ctl::verify(out.composed.automaton, phi, opts);
+
+  // Individual flags for reporting.
+  ctl::Checker checker(out.composed.automaton);
+  out.constraintHolds = pattern.constraint.empty() ||
+                        checker.holds(ctl::parseFormula(pattern.constraint));
+  bool anyDeadlock = false;
+  for (automata::StateId s = 0; s < out.composed.automaton.stateCount(); ++s) {
+    if (checker.isDeadlockState(s)) {
+      anyDeadlock = true;
+      break;
+    }
+  }
+  out.deadlockFree = !anyDeadlock;
+  for (const auto& role : pattern.roles) {
+    if (!role.invariant.empty()) {
+      out.roleInvariants.emplace_back(
+          role.name, checker.holds(ctl::parseFormula(role.invariant)));
+    }
+  }
+  return out;
+}
+
+automata::RefinementResult checkPortRefinement(
+    const Port& port, const Role& role,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props, automata::InteractionMode mode,
+    bool ignoreRefusals) {
+  const automata::Automaton roleAut =
+      role.behavior.compile(signals, props, role.name);
+  const auto alphabet =
+      automata::makeAlphabet(roleAut.inputs(), roleAut.outputs(), mode);
+
+  // Relevant propositions: the role's top-level locations.
+  std::vector<std::string> relevant;
+  for (rtsc::LocationId l = 0; l < role.behavior.locationCount(); ++l) {
+    const std::string& n = role.behavior.location(l).name;
+    const std::string top = n.substr(0, n.find("::"));
+    const std::string prop = role.name + "." + top;
+    if (std::find(relevant.begin(), relevant.end(), prop) == relevant.end()) {
+      relevant.push_back(prop);
+    }
+  }
+  automata::RefinementOptions opts;
+  opts.relevantProps = std::move(relevant);
+  opts.ignoreRefusals = ignoreRefusals;
+  return automata::checkRefinement(port.behavior, roleAut, alphabet, opts);
+}
+
+}  // namespace mui::muml

@@ -1,0 +1,57 @@
+#pragma once
+// Compositional pattern verification (paper Sec. "Modeling"): compile the
+// role statecharts (and the connector channel, if any), compose them, and
+// model check the pattern constraint, the role invariants, and deadlock
+// freedom. This is the "patterns are verified once, components refine
+// roles" half of the MECHATRONIC UML methodology; the legacy-integration
+// loop (synthesis module) builds on the same machinery.
+
+#include <string>
+#include <vector>
+
+#include "automata/compose.hpp"
+#include "automata/refine.hpp"
+#include "ctl/counterexample.hpp"
+#include "muml/model.hpp"
+
+namespace mui::muml {
+
+struct PatternVerification {
+  bool constraintHolds = false;
+  bool deadlockFree = false;
+  /// (invariant owner role, holds) for every role with an invariant.
+  std::vector<std::pair<std::string, bool>> roleInvariants;
+  /// Verification details for the conjunction (constraint ∧ invariants ∧ ¬δ).
+  ctl::VerifyResult details;
+  /// The composed pattern (roles + connector) for inspection/rendering.
+  automata::Product composed;
+
+  [[nodiscard]] bool ok() const {
+    if (!constraintHolds || !deadlockFree) return false;
+    for (const auto& [role, holds] : roleInvariants) {
+      if (!holds) return false;
+    }
+    return true;
+  }
+};
+
+/// Verifies a pattern over the shared tables. Throws std::invalid_argument
+/// on malformed statecharts or unparsable constraint text.
+PatternVerification verifyPattern(const CoordinationPattern& pattern,
+                                  const automata::SignalTableRef& signals,
+                                  const automata::SignalTableRef& props);
+
+/// Checks that a component port refines its role (paper Sec. 2.3: "derived
+/// by refining the role protocols ... not add additional behavior or block
+/// guaranteed behavior"). Label matching is restricted to the role's
+/// top-level location propositions ("<role>.<top-level location>"), so port
+/// implementations may introduce internal substates.
+automata::RefinementResult checkPortRefinement(
+    const Port& port, const Role& role,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props,
+    automata::InteractionMode mode =
+        automata::InteractionMode::AtMostOneSignal,
+    bool ignoreRefusals = false);
+
+}  // namespace mui::muml

@@ -1,0 +1,231 @@
+#include "rtsc/rtsc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace mui::rtsc {
+
+bool ClockConstraint::eval(std::uint32_t value) const {
+  switch (rel) {
+    case Rel::Le:
+      return value <= bound;
+    case Rel::Lt:
+      return value < bound;
+    case Rel::Ge:
+      return value >= bound;
+    case Rel::Gt:
+      return value > bound;
+    case Rel::Eq:
+      return value == bound;
+  }
+  return false;
+}
+
+RealTimeStatechart::RealTimeStatechart(std::string name)
+    : name_(std::move(name)) {}
+
+LocationId RealTimeStatechart::addLocation(const std::string& name,
+                                           Guard invariant) {
+  if (locationByName(name)) {
+    throw std::invalid_argument("RTSC: duplicate location '" + name + "'");
+  }
+  locations_.push_back({name, std::move(invariant)});
+  return static_cast<LocationId>(locations_.size() - 1);
+}
+
+ClockId RealTimeStatechart::addClock(const std::string& name) {
+  clocks_.push_back(name);
+  return static_cast<ClockId>(clocks_.size() - 1);
+}
+
+void RealTimeStatechart::declareInput(const std::string& message) {
+  if (std::find(inputs_.begin(), inputs_.end(), message) == inputs_.end()) {
+    inputs_.push_back(message);
+  }
+}
+
+void RealTimeStatechart::declareOutput(const std::string& message) {
+  if (std::find(outputs_.begin(), outputs_.end(), message) == outputs_.end()) {
+    outputs_.push_back(message);
+  }
+}
+
+void RealTimeStatechart::addTransition(RtscTransition t) {
+  transitions_.push_back(std::move(t));
+}
+
+void RealTimeStatechart::setInitial(LocationId l) {
+  if (l >= locations_.size()) {
+    throw std::out_of_range("RTSC::setInitial: bad location");
+  }
+  initial_ = l;
+}
+
+const Location& RealTimeStatechart::location(LocationId l) const {
+  if (l >= locations_.size()) {
+    throw std::out_of_range("RTSC::location: bad location");
+  }
+  return locations_[l];
+}
+
+std::optional<LocationId> RealTimeStatechart::locationByName(
+    const std::string& name) const {
+  for (LocationId l = 0; l < locations_.size(); ++l) {
+    if (locations_[l].name == name) return l;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t RealTimeStatechart::maxConstant() const {
+  std::uint32_t m = 0;
+  const auto scan = [&](const Guard& g) {
+    for (const auto& c : g) m = std::max(m, c.bound);
+  };
+  for (const auto& l : locations_) scan(l.invariant);
+  for (const auto& t : transitions_) scan(t.guard);
+  return m;
+}
+
+void RealTimeStatechart::checkWellFormed() const {
+  if (!initial_) {
+    throw std::invalid_argument("RTSC '" + name_ + "': no initial location");
+  }
+  const auto checkGuard = [&](const Guard& g, const std::string& where) {
+    for (const auto& c : g) {
+      if (c.clock >= clocks_.size()) {
+        throw std::invalid_argument("RTSC '" + name_ + "': unknown clock in " +
+                                    where);
+      }
+    }
+  };
+  for (const auto& l : locations_) checkGuard(l.invariant, l.name);
+  for (const auto& t : transitions_) {
+    if (t.from >= locations_.size() || t.to >= locations_.size()) {
+      throw std::invalid_argument("RTSC '" + name_ +
+                                  "': transition references unknown location");
+    }
+    checkGuard(t.guard, "transition guard");
+    for (ClockId c : t.resets) {
+      if (c >= clocks_.size()) {
+        throw std::invalid_argument("RTSC '" + name_ +
+                                    "': reset of unknown clock");
+      }
+    }
+    if (t.trigger && std::find(inputs_.begin(), inputs_.end(), *t.trigger) ==
+                         inputs_.end()) {
+      throw std::invalid_argument("RTSC '" + name_ + "': trigger '" +
+                                  *t.trigger + "' is not a declared input");
+    }
+    for (const auto& e : t.effects) {
+      if (std::find(outputs_.begin(), outputs_.end(), e) == outputs_.end()) {
+        throw std::invalid_argument("RTSC '" + name_ + "': effect '" + e +
+                                    "' is not a declared output");
+      }
+    }
+  }
+}
+
+namespace {
+
+using ClockVals = std::vector<std::uint32_t>;
+
+bool holds(const Guard& g, const ClockVals& v) {
+  for (const auto& c : g) {
+    if (!c.eval(v[c.clock])) return false;
+  }
+  return true;
+}
+
+std::string configName(const RealTimeStatechart& sc, LocationId l,
+                       const ClockVals& v) {
+  std::string n = sc.location(l).name;
+  if (!v.empty()) {
+    n += "@";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) n += ",";
+      n += std::to_string(v[i]);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+automata::Automaton RealTimeStatechart::compile(
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props,
+    const std::string& instanceName) const {
+  checkWellFormed();
+  const std::string& inst = instanceName.empty() ? name_ : instanceName;
+  automata::Automaton out(signals, props, inst);
+  for (const auto& m : inputs_) out.addInput(m);
+  for (const auto& m : outputs_) out.addOutput(m);
+
+  const std::uint32_t cap = maxConstant() + 1;
+
+  // Hierarchical location labels (ignoring the clock part of state names).
+  const auto labelWithLocation = [&](automata::StateId s, LocationId l) {
+    const std::string& n = locations_[l].name;
+    const std::string prefix = inst.empty() ? std::string() : inst + ".";
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t sep = n.find("::", pos);
+      if (sep == std::string::npos) break;
+      out.addLabel(s, prefix + n.substr(0, sep));
+      pos = sep + 2;
+    }
+    out.addLabel(s, prefix + n);
+  };
+
+  std::map<std::pair<LocationId, ClockVals>, automata::StateId> ids;
+  std::deque<std::pair<LocationId, ClockVals>> work;
+  const auto ensure = [&](LocationId l, const ClockVals& v) {
+    const auto key = std::make_pair(l, v);
+    const auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    const automata::StateId s = out.addState(configName(*this, l, v));
+    labelWithLocation(s, l);
+    ids.emplace(key, s);
+    work.push_back(key);
+    return s;
+  };
+
+  const ClockVals zero(clocks_.size(), 0);
+  out.markInitial(ensure(*initial_, zero));
+
+  const auto interaction = [&](const RtscTransition& t) {
+    automata::Interaction x;
+    if (t.trigger) x.in.set(signals->intern(*t.trigger));
+    for (const auto& e : t.effects) x.out.set(signals->intern(e));
+    return x;
+  };
+
+  while (!work.empty()) {
+    const auto [loc, vals] = work.front();
+    work.pop_front();
+    const automata::StateId from = ids.at({loc, vals});
+
+    // 1. Time advances by one unit (saturating).
+    ClockVals advanced = vals;
+    for (auto& v : advanced) v = std::min(v + 1, cap);
+
+    // 2. Fire an enabled transition...
+    for (const auto& t : transitions_) {
+      if (t.from != loc || !holds(t.guard, advanced)) continue;
+      ClockVals next = advanced;
+      for (ClockId c : t.resets) next[c] = 0;
+      if (!holds(locations_[t.to].invariant, next)) continue;
+      out.addTransition(from, interaction(t), ensure(t.to, next));
+    }
+
+    // 3. ... or let time pass in place, while the invariant allows it.
+    if (holds(locations_[loc].invariant, advanced)) {
+      out.addTransition(from, automata::Interaction{}, ensure(loc, advanced));
+    }
+  }
+  return out;
+}
+
+}  // namespace mui::rtsc

@@ -1,0 +1,130 @@
+#pragma once
+// Real-Time Statecharts (RTSC) — the behavior notation of MECHATRONIC UML
+// roles, connectors, and component internals (paper Sec. "Modeling").
+//
+// The paper maps RTSC to finite transition systems where "discrete time is
+// mapped to single states and transitions" (Sec. 2). This module implements
+// that mapping: an RTSC with integer clocks, location invariants, guards,
+// triggers/effects and resets is *compiled* to an automata::Automaton by
+// unfolding clock valuations up to (max constant + 1), saturating beyond.
+//
+// Step semantics (one automaton transition = one time unit):
+//   1. all clocks advance by 1 (saturating at the cap);
+//   2. either an RTSC transition whose guard holds for the advanced values
+//      fires — consuming its trigger, emitting its effects, applying its
+//      resets, and requiring the target invariant for the resulting values —
+//   3. or the statechart stays in its location, which requires the location
+//      invariant to hold for the advanced values. A configuration whose
+//      invariant expires with no enabled transition is *stuck*: time cannot
+//      progress, which surfaces as a deadlock state (the δ of Sec. 2.1) —
+//      exactly how missed deadlines manifest in the verification step.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+
+namespace mui::rtsc {
+
+using LocationId = std::uint32_t;
+using ClockId = std::uint32_t;
+
+struct ClockConstraint {
+  enum class Rel { Le, Lt, Ge, Gt, Eq };
+  ClockId clock = 0;
+  Rel rel = Rel::Le;
+  std::uint32_t bound = 0;
+
+  [[nodiscard]] bool eval(std::uint32_t value) const;
+};
+
+/// Conjunction of clock constraints; empty = true.
+using Guard = std::vector<ClockConstraint>;
+
+struct RtscTransition {
+  LocationId from = 0;
+  LocationId to = 0;
+  /// Input message consumed when firing (at most one per step, matching the
+  /// AtMostOneSignal interaction discipline of the RailCab models).
+  std::optional<std::string> trigger;
+  /// Output messages emitted when firing.
+  std::vector<std::string> effects;
+  Guard guard;
+  std::vector<ClockId> resets;
+};
+
+struct Location {
+  std::string name;
+  /// Conjunction; staying in (or entering) the location requires it.
+  Guard invariant;
+};
+
+class RealTimeStatechart {
+ public:
+  explicit RealTimeStatechart(std::string name = {});
+
+  // ---- Construction --------------------------------------------------------
+
+  LocationId addLocation(const std::string& name, Guard invariant = {});
+  ClockId addClock(const std::string& name);
+  void declareInput(const std::string& message);
+  void declareOutput(const std::string& message);
+  void addTransition(RtscTransition t);
+  void setInitial(LocationId l);
+
+  // ---- Accessors -----------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t locationCount() const { return locations_.size(); }
+  [[nodiscard]] std::size_t clockCount() const { return clocks_.size(); }
+  [[nodiscard]] const Location& location(LocationId l) const;
+  [[nodiscard]] const std::vector<RtscTransition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] const std::vector<std::string>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] std::optional<LocationId> locationByName(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<LocationId> initialLocation() const {
+    return initial_;
+  }
+
+  /// Largest constant in any guard or invariant; clock values saturate at
+  /// maxConstant() + 1 during compilation.
+  [[nodiscard]] std::uint32_t maxConstant() const;
+
+  /// Validates the statechart; throws std::invalid_argument with a
+  /// description of the first problem (no initial location, dangling
+  /// location/clock references, undeclared trigger/effect messages).
+  void checkWellFormed() const;
+
+  // ---- Compilation ---------------------------------------------------------
+
+  /// Unfolds to the discrete automaton model over the shared tables. States
+  /// are named "loc" (clock-free) or "loc@c1=v,...". Every state is labeled
+  /// with the hierarchical location propositions ("<instance>.<loc prefix>")
+  /// so CCTL constraints can refer to locations regardless of clock values.
+  /// `instanceName` overrides the statechart name as automaton name and
+  /// proposition prefix — a pattern role compiles under its *role* name.
+  [[nodiscard]] automata::Automaton compile(
+      const automata::SignalTableRef& signals,
+      const automata::SignalTableRef& props,
+      const std::string& instanceName = {}) const;
+
+ private:
+  std::string name_;
+  std::vector<Location> locations_;
+  std::vector<std::string> clocks_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<RtscTransition> transitions_;
+  std::optional<LocationId> initial_;
+};
+
+}  // namespace mui::rtsc

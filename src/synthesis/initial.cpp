@@ -1,0 +1,18 @@
+#include "synthesis/initial.hpp"
+
+namespace mui::synthesis {
+
+automata::IncompleteAutomaton initialModel(
+    testing::LegacyComponent& legacy,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props) {
+  automata::IncompleteAutomaton m(signals, props, legacy.name());
+  m.declareSignals(legacy.inputs(), legacy.outputs());
+  legacy.reset();
+  // A zero-length observed run seeds the initial state (Def. 11 marks the
+  // run's first state initial and labels it).
+  m.learn({{legacy.currentStateName()}, {}, false});
+  return m;
+}
+
+}  // namespace mui::synthesis

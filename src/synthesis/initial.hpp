@@ -1,0 +1,20 @@
+#pragma once
+// Initial behavior synthesis (paper Sec. 3, Lemma 4): build the trivial
+// incomplete automaton M_l^0 from the structural interface description and
+// the initial state of the legacy component. The chaotic closure of this
+// model (Fig. 4(b)) is the first safe abstraction M_a^0.
+
+#include "automata/incomplete.hpp"
+#include "testing/legacy.hpp"
+
+namespace mui::synthesis {
+
+/// Builds M_l^0 = ({s0}, I, O, ∅, ∅, {s0}): the component's interface plus
+/// its (probed) initial state, nothing else. The state is auto-labeled with
+/// its hierarchical qualified name so properties can refer to it.
+automata::IncompleteAutomaton initialModel(
+    testing::LegacyComponent& legacy,
+    const automata::SignalTableRef& signals,
+    const automata::SignalTableRef& props);
+
+}  // namespace mui::synthesis

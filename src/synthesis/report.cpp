@@ -1,0 +1,63 @@
+#include "synthesis/report.hpp"
+
+#include "util/text_table.hpp"
+
+namespace mui::synthesis {
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::ProvenCorrect:
+      return "proven";
+    case Verdict::RealError:
+      return "real-error";
+    case Verdict::IterationLimit:
+      return "iter-limit";
+    case Verdict::Unsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+std::string renderJournal(const IntegrationResult& result) {
+  util::TextTable table({"iter", "model S/T/F", "closure S", "product S",
+                         "cex", "cex len", "test periods", "learned"});
+  for (const auto& rec : result.journal) {
+    table.row({std::to_string(rec.iteration),
+               std::to_string(rec.modelStates) + "/" +
+                   std::to_string(rec.modelTransitions) + "/" +
+                   std::to_string(rec.modelForbidden),
+               std::to_string(rec.closureStates),
+               std::to_string(rec.productStates),
+               rec.checkPassed ? "-"
+                               : (rec.cexWasDeadlock ? "deadlock" : "property"),
+               std::to_string(rec.cexLength), std::to_string(rec.testPeriods),
+               std::to_string(rec.learnedFacts)});
+  }
+  return table.str();
+}
+
+std::string renderSummary(const IntegrationResult& result) {
+  std::string out = "verdict: ";
+  out += verdictName(result.verdict);
+  out += " (" + result.explanation + ") after " +
+         std::to_string(result.iterations) + " iterations, " +
+         std::to_string(result.totalTestPeriods) + " test periods, " +
+         std::to_string(result.totalLearnedFacts) + " learned facts";
+  std::size_t states = 0, transitions = 0, refusals = 0;
+  for (const auto& m : result.learnedModels) {
+    states += m.base().stateCount();
+    transitions += m.base().transitionCount();
+    refusals += m.forbiddenCount();
+  }
+  out += "; learned model(s): " + std::to_string(states) + " states, " +
+         std::to_string(transitions) + " transitions, " +
+         std::to_string(refusals) + " refusals\n";
+  if (!result.unknownAtoms.empty()) {
+    out += "WARNING: property atoms matching no proposition:";
+    for (const auto& a : result.unknownAtoms) out += " " + a;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mui::synthesis

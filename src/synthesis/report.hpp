@@ -1,0 +1,23 @@
+#pragma once
+// Human-readable reporting for integration results: the per-iteration
+// journal as an aligned table (the shape of paper Fig. 2's loop unrolled)
+// and a one-paragraph verdict summary. Used by the examples and the bench
+// harness.
+
+#include <string>
+
+#include "synthesis/verifier.hpp"
+
+namespace mui::synthesis {
+
+/// One-word verdict name ("proven", "real-error", ...).
+const char* verdictName(Verdict v);
+
+/// The journal as an aligned text table:
+///   iter  model S/T/F  closure S  product S  cex  len  periods  learned
+std::string renderJournal(const IntegrationResult& result);
+
+/// Verdict, explanation, and headline numbers in a short paragraph.
+std::string renderSummary(const IntegrationResult& result);
+
+}  // namespace mui::synthesis

@@ -1,0 +1,202 @@
+#include "synthesis/test_suite.hpp"
+
+#include "util/parse.hpp"
+
+namespace mui::synthesis {
+
+namespace {
+
+std::string interactionText(const automata::Interaction& x,
+                            const automata::SignalTable& signals) {
+  return automata::toString(x, signals);
+}
+
+const char* kindName(testing::TestOutcome::Kind k) {
+  switch (k) {
+    case testing::TestOutcome::Kind::Confirmed:
+      return "confirmed";
+    case testing::TestOutcome::Kind::Diverged:
+      return "diverged";
+    case testing::TestOutcome::Kind::Blocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SuiteRunResult runSuite(const ComponentTestSuite& suite,
+                        testing::LegacyComponent& component,
+                        const automata::SignalTable& signals) {
+  SuiteRunResult result;
+  testing::CounterexampleTestDriver driver(component, signals);
+  for (const auto& test : suite.tests) {
+    const auto outcome = driver.execute(test.steps);
+    std::string diff;
+    if (outcome.kind != test.expectedKind) {
+      diff = std::string("outcome ") + kindName(outcome.kind) + " (expected " +
+             kindName(test.expectedKind) + ")";
+    } else if (outcome.observed.labels.size() != test.expected.labels.size()) {
+      diff = "observed " + std::to_string(outcome.observed.labels.size()) +
+             " interactions (expected " +
+             std::to_string(test.expected.labels.size()) + ")";
+    } else {
+      for (std::size_t i = 0; i < test.expected.labels.size() && diff.empty();
+           ++i) {
+        if (!(outcome.observed.labels[i] == test.expected.labels[i])) {
+          diff = "interaction " + std::to_string(i) + " is " +
+                 interactionText(outcome.observed.labels[i], signals) +
+                 " (expected " +
+                 interactionText(test.expected.labels[i], signals) + ")";
+        }
+      }
+      for (std::size_t i = 0;
+           i < test.expected.stateNames.size() && diff.empty(); ++i) {
+        if (outcome.observed.stateNames[i] != test.expected.stateNames[i]) {
+          diff = "state " + std::to_string(i) + " is '" +
+                 outcome.observed.stateNames[i] + "' (expected '" +
+                 test.expected.stateNames[i] + "')";
+        }
+      }
+    }
+    if (diff.empty()) {
+      ++result.passed;
+    } else {
+      result.failures.push_back(test.name + ": " + diff);
+    }
+  }
+  return result;
+}
+
+std::string renderSuite(const ComponentTestSuite& suite,
+                        const automata::SignalTable& signals) {
+  std::string out;
+  for (const auto& test : suite.tests) {
+    out += "test " + test.name + " (" + kindName(test.expectedKind) + ", " +
+           std::to_string(test.steps.size()) + " steps)\n";
+    for (std::size_t i = 0; i < test.steps.size(); ++i) {
+      out += "  step " + std::to_string(i) + ": " +
+             interactionText(test.steps[i], signals);
+      if (i + 1 < test.expected.stateNames.size()) {
+        out += "  -> " + test.expected.stateNames[i + 1];
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string signalCsv(const automata::SignalSet& set,
+                      const automata::SignalTable& signals) {
+  std::string out;
+  set.forEach([&](std::size_t bit) {
+    if (!out.empty()) out += ",";
+    out += signals.name(static_cast<util::NameId>(bit));
+  });
+  return out;
+}
+
+automata::SignalSet csvSignals(const std::string& csv,
+                               automata::SignalTable& signals) {
+  automata::SignalSet out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string name =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!name.empty()) out.set(signals.intern(name));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string interactionAttrs(const automata::Interaction& x,
+                             const automata::SignalTable& signals) {
+  return "in=\"" + signalCsv(x.in, signals) + "\" out=\"" +
+         signalCsv(x.out, signals) + "\"";
+}
+
+}  // namespace
+
+std::string writeSuite(const ComponentTestSuite& suite,
+                       const automata::SignalTable& signals) {
+  std::string out;
+  for (const auto& test : suite.tests) {
+    out += "suite-test \"" + test.name + "\" kind=" +
+           kindName(test.expectedKind) + "\n";
+    for (const auto& step : test.steps) {
+      out += "stimulus " + interactionAttrs(step, signals) + "\n";
+    }
+    out += "observed state=\"" + test.expected.stateNames.front() + "\"\n";
+    const std::size_t regular = test.expected.blocked
+                                    ? test.expected.labels.size() - 1
+                                    : test.expected.labels.size();
+    for (std::size_t i = 0; i < regular; ++i) {
+      out += "observed " + interactionAttrs(test.expected.labels[i], signals) +
+             " state=\"" + test.expected.stateNames[i + 1] + "\"\n";
+    }
+    if (test.expected.blocked) {
+      out += "observed-blocked " +
+             interactionAttrs(test.expected.labels.back(), signals) + "\n";
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+ComponentTestSuite parseSuite(std::string_view text,
+                              automata::SignalTable& signals) {
+  util::Cursor cur(text);
+  ComponentTestSuite suite;
+  const auto interaction = [&]() {
+    automata::Interaction x;
+    cur.expect("in=");
+    x.in = csvSignals(cur.quotedString(), signals);
+    cur.expect("out=");
+    x.out = csvSignals(cur.quotedString(), signals);
+    return x;
+  };
+  while (true) {
+    cur.skipWs();
+    if (cur.atEnd()) break;
+    if (!cur.tryKeyword("suite-test")) cur.fail("expected 'suite-test'");
+    ComponentTest test;
+    test.name = cur.quotedString();
+    cur.expect("kind=");
+    if (cur.tryKeyword("confirmed")) {
+      test.expectedKind = testing::TestOutcome::Kind::Confirmed;
+    } else if (cur.tryKeyword("diverged")) {
+      test.expectedKind = testing::TestOutcome::Kind::Diverged;
+    } else if (cur.tryKeyword("blocked")) {
+      test.expectedKind = testing::TestOutcome::Kind::Blocked;
+    } else {
+      cur.fail("expected test kind");
+    }
+    bool sawInitialState = false;
+    while (!cur.tryKeyword("end")) {
+      if (cur.tryKeyword("stimulus")) {
+        test.steps.push_back(interaction());
+      } else if (cur.tryKeyword("observed-blocked")) {
+        test.expected.labels.push_back(interaction());
+        test.expected.blocked = true;
+      } else if (cur.tryKeyword("observed")) {
+        if (sawInitialState) test.expected.labels.push_back(interaction());
+        cur.expect("state=");
+        test.expected.stateNames.push_back(cur.quotedString());
+        sawInitialState = true;
+      } else {
+        cur.fail("expected 'stimulus', 'observed', or 'end'");
+      }
+    }
+    if (!test.expected.wellFormed()) {
+      cur.fail("malformed observed run in test '" + test.name + "'");
+    }
+    suite.tests.push_back(std::move(test));
+  }
+  return suite;
+}
+
+}  // namespace mui::synthesis

@@ -1,0 +1,71 @@
+#pragma once
+// Systematic component test generation (paper abstract: "incremental
+// synthesis using formal verification techniques for the systematic
+// generation of component tests").
+//
+// Every counterexample the verification step produces is, projected onto
+// the legacy component, a concrete test case. The integration loop can
+// record these cases together with the observed outcome; the resulting
+// suite is a *regression oracle* for the component: a later revision that
+// behaves differently on any recorded case (different outputs, different
+// refusals, different states under full instrumentation) is flagged without
+// re-running the verification loop.
+
+#include <string>
+#include <vector>
+
+#include "automata/run.hpp"
+#include "testing/driver.hpp"
+#include "testing/legacy.hpp"
+
+namespace mui::synthesis {
+
+/// One recorded component test: the stimulus and the outcome the recorded
+/// component exhibited.
+struct ComponentTest {
+  std::string name;  // e.g. "iter3/property cex"
+  std::vector<automata::Interaction> steps;
+  testing::TestOutcome::Kind expectedKind = testing::TestOutcome::Kind::Confirmed;
+  /// Expected observation (state names + performed interactions) under full
+  /// instrumentation.
+  automata::ObservedRun expected;
+};
+
+struct ComponentTestSuite {
+  std::vector<ComponentTest> tests;
+
+  [[nodiscard]] std::size_t size() const { return tests.size(); }
+};
+
+struct SuiteRunResult {
+  std::size_t passed = 0;
+  std::vector<std::string> failures;  // "name: what differed"
+
+  [[nodiscard]] bool allPassed() const { return failures.empty(); }
+};
+
+/// Replays every recorded test against `component` and compares outcome
+/// kind, interactions, and monitored states.
+SuiteRunResult runSuite(const ComponentTestSuite& suite,
+                        testing::LegacyComponent& component,
+                        const automata::SignalTable& signals);
+
+/// Renders the suite in the monitoring listing style (one block per test).
+std::string renderSuite(const ComponentTestSuite& suite,
+                        const automata::SignalTable& signals);
+
+/// Persistent text format (one line per step):
+///   suite-test <name> <confirmed|diverged|blocked>
+///   state <name>
+///   step in=<sig,sig|-> out=<sig,sig|-> state <name>
+///   [refused in=... out=...]          # blocked tests: the final refusal
+/// Round-trips through parseSuite.
+std::string writeSuite(const ComponentTestSuite& suite,
+                       const automata::SignalTable& signals);
+
+/// Parses the writeSuite format; signals are interned into `signals`.
+/// Throws util::ParseError on malformed input.
+ComponentTestSuite parseSuite(std::string_view text,
+                              automata::SignalTable& signals);
+
+}  // namespace mui::synthesis

@@ -1,0 +1,386 @@
+#include "synthesis/verifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "automata/minimize.hpp"
+#include "ctl/formula.hpp"
+#include "ctl/parser.hpp"
+#include "synthesis/initial.hpp"
+
+namespace mui::synthesis {
+
+namespace {
+constexpr std::size_t kNoChaos = static_cast<std::size_t>(-1);
+}
+
+IntegrationVerifier::IntegrationVerifier(
+    automata::Automaton context,
+    std::vector<testing::LegacyComponent*> legacies, IntegrationConfig config)
+    : context_(std::move(context)),
+      legacies_(std::move(legacies)),
+      config_(std::move(config)) {
+  if (legacies_.empty()) {
+    throw std::invalid_argument("IntegrationVerifier: no legacy components");
+  }
+  if (config_.minimizeContext) {
+    context_ = automata::minimizeBisimulation(context_);
+  }
+  for (auto* legacy : legacies_) {
+    models_.push_back(
+        initialModel(*legacy, context_.signalTable(), context_.propTable()));
+    alphabets_.push_back(
+        automata::makeAlphabet(legacy->inputs(), legacy->outputs(),
+                               config_.mode));
+  }
+  suites_.resize(legacies_.size());
+}
+
+IntegrationVerifier::IntegrationVerifier(automata::Automaton context,
+                                         testing::LegacyComponent& legacy,
+                                         IntegrationConfig config)
+    : IntegrationVerifier(std::move(context), std::vector{&legacy},
+                          std::move(config)) {}
+
+IntegrationResult IntegrationVerifier::run() {
+  IntegrationResult res;
+
+  ctl::FormulaPtr phi;
+  if (!config_.property.empty()) {
+    // Sec. 2.7 weakening: chaotic states satisfy every literal, so the
+    // over-approximation never produces spurious *property* witnesses.
+    phi = ctl::weakenForChaos(ctl::parseFormula(config_.property));
+  }
+
+  const auto totalKnowledge = [&] {
+    std::size_t n = 0;
+    for (const auto& m : models_) n += m.knowledge();
+    return n;
+  };
+
+  for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
+    IterationRecord rec;
+    rec.iteration = iter;
+    for (const auto& m : models_) {
+      rec.modelStates += m.base().stateCount();
+      rec.modelTransitions += m.base().transitionCount();
+      rec.modelForbidden += m.forbiddenCount();
+    }
+
+    // 1. Closures and compositions with the context. Two abstractions are
+    // checked per round (see ClosureCopies):
+    //  - the *pessimistic* product (Def. 9 verbatim, both copies) decides
+    //    deadlock freedom — unknown interactions may be refusals;
+    //  - the *optimistic* product (copy-1 only) decides the property —
+    //    unknown continuations end in chaos, which satisfies every
+    //    weakened literal, so a surviving violation is forced by the
+    //    visited (learned) states alone and is therefore real. The
+    //    combination is sound: once the pessimistic ¬δ check passes, the
+    //    real system has no unlearned refusals on reachable paths, and
+    //    ACTL properties transfer through the optimistic abstraction.
+    std::vector<automata::Closure> closuresPess, closuresOpt;
+    for (std::size_t k = 0; k < models_.size(); ++k) {
+      closuresPess.push_back(
+          automata::chaoticClosure(models_[k], alphabets_[k],
+                                   config_.closureStyle,
+                                   automata::ClosureCopies::Both));
+      closuresOpt.push_back(
+          automata::chaoticClosure(models_[k], alphabets_[k],
+                                   config_.closureStyle,
+                                   automata::ClosureCopies::Copy1Only));
+      rec.closureStates += closuresPess.back().automaton.stateCount();
+    }
+    const auto composeWith = [&](const std::vector<automata::Closure>& cs) {
+      std::vector<const automata::Automaton*> parts;
+      parts.push_back(&context_);
+      for (const auto& c : cs) parts.push_back(&c.automaton);
+      return automata::composeAll(parts);
+    };
+    const automata::Product productPess = composeWith(closuresPess);
+    const automata::Product productOpt = composeWith(closuresOpt);
+    rec.productStates = productPess.automaton.stateCount();
+
+    // 2. Verification step (Sec. 4.1).
+    ctl::VerifyOptions vo;
+    vo.maxCounterexamples = config_.counterexamplesPerCheck;
+    vo.search = config_.search;
+    vo.requireDeadlockFree = false;
+    const auto propRes =
+        phi ? ctl::verify(productOpt.automaton, phi, vo)
+            : ctl::VerifyResult{true, {}, 0, {}};
+    vo.requireDeadlockFree = true;
+    const auto dlRes =
+        config_.requireDeadlockFree
+            ? ctl::verify(productPess.automaton, nullptr, vo)
+            : ctl::VerifyResult{true, {}, 0, {}};
+    rec.checkPassed = propRes.holds && dlRes.holds;
+    // Atoms can become known as states are learned: report the final round's
+    // view, not the union over all rounds.
+    res.unknownAtoms.clear();
+    for (const auto& atom : propRes.unknownAtoms) {
+      if (atom != automata::kChaosProp) res.unknownAtoms.push_back(atom);
+    }
+
+    if (rec.checkPassed) {
+      res.journal.push_back(std::move(rec));
+      res.verdict = Verdict::ProvenCorrect;
+      res.explanation =
+          "the abstraction satisfies the property and deadlock freedom; by "
+          "Lemma 5 the real integration is correct";
+      break;
+    }
+
+    // 3./4. Testing and learning steps per counterexample — property
+    // counterexamples first (fast conflict detection), then deadlocks.
+    const std::size_t knowledgeBefore = totalKnowledge();
+    const auto& firstCex =
+        !propRes.holds ? propRes.cex() : dlRes.cex();
+    rec.cexWasDeadlock =
+        firstCex.kind == ctl::Counterexample::Kind::Deadlock;
+    rec.cexLength = firstCex.run.length();
+    bool realError = false;
+    bool unsupported = false;
+    const auto process = [&](const ctl::VerifyResult& vres,
+                             const automata::Product& product,
+                             const std::vector<automata::Closure>& closures) {
+      for (const auto& cex : vres.counterexamples) {
+        if (config_.keepTraces) {
+          rec.cexText += product.renderRun(cex.run);
+          rec.cexText += "--\n";
+        }
+        if (!cex.pathExact) {
+          unsupported = true;
+          continue;
+        }
+        const auto handling =
+            handleCounterexample(cex, product, closures, rec);
+        if (handling.realError) {
+          res.verdict = Verdict::RealError;
+          res.explanation = handling.errorText;
+          res.counterexampleText = product.renderRun(cex.run);
+          realError = true;
+          return;
+        }
+      }
+    };
+    if (!propRes.holds) process(propRes, productOpt, closuresOpt);
+    if (!realError && !dlRes.holds) {
+      process(dlRes, productPess, closuresPess);
+    }
+    rec.learnedFacts = totalKnowledge() - knowledgeBefore;
+    res.totalLearnedFacts += rec.learnedFacts;
+    res.totalTestPeriods += rec.testPeriods;
+    const bool progressed = rec.learnedFacts > 0;
+    res.journal.push_back(std::move(rec));
+    if (realError) break;
+    if (!progressed) {
+      res.verdict = Verdict::Unsupported;
+      res.explanation =
+          unsupported
+              ? "counterexample shape outside the supported ACTL fragment"
+              : "no learning progress (use ClosureStyle::DeterministicTarget "
+                "for guaranteed progress)";
+      break;
+    }
+  }
+
+  res.iterations = res.journal.size();
+  res.learnedModels = models_;
+  if (config_.recordTests) res.recordedTests = suites_;
+  if (res.verdict == Verdict::IterationLimit) {
+    res.explanation = "iteration budget exhausted";
+  }
+  return res;
+}
+
+IntegrationVerifier::CexHandling IntegrationVerifier::handleCounterexample(
+    const ctl::Counterexample& cex, const automata::Product& product,
+    const std::vector<automata::Closure>& closures, IterationRecord& rec) {
+  const automata::Run& run = cex.run;
+
+  // Positions where each legacy's closure side first enters chaos.
+  std::vector<std::size_t> chaosAt(legacies_.size(), kNoChaos);
+  for (std::size_t pos = 0; pos < run.states.size(); ++pos) {
+    for (std::size_t k = 0; k < legacies_.size(); ++k) {
+      if (chaosAt[k] != kNoChaos) continue;
+      const automata::StateId cs = product.origins[run.states[pos]][k + 1];
+      if (closures[k].isChaos(cs)) chaosAt[k] = pos;
+    }
+  }
+  const bool anyChaos =
+      std::any_of(chaosAt.begin(), chaosAt.end(),
+                  [](std::size_t p) { return p != kNoChaos; });
+
+  const auto projectSteps = [&](std::size_t k) {
+    std::vector<automata::Interaction> steps;
+    steps.reserve(run.labels.size());
+    for (const auto& l : run.labels) {
+      steps.push_back(product.projectInteraction(l, k + 1));
+    }
+    return steps;
+  };
+
+  const auto runTest = [&](std::size_t k,
+                           std::vector<automata::Interaction> steps) {
+    testing::CounterexampleTestDriver driver(*legacies_[k],
+                                             *context_.signalTable());
+    auto outcome = driver.execute(steps);
+    rec.testPeriods += driver.periodsDriven();
+    if (config_.recordTests) {
+      ComponentTest test;
+      test.name = "iter" + std::to_string(rec.iteration) + "/" +
+                  (cex.kind == ctl::Counterexample::Kind::Deadlock
+                       ? "deadlock"
+                       : "property") +
+                  "#" + std::to_string(suites_[k].tests.size());
+      test.steps = std::move(steps);
+      test.expectedKind = outcome.kind;
+      test.expected = outcome.observed;
+      suites_[k].tests.push_back(std::move(test));
+    }
+    if (config_.keepTraces) {
+      rec.monitorText += "# target recording (legacy " +
+                         legacies_[k]->name() + ")\n" +
+                         outcome.targetLog.render();
+      rec.monitorText += "# deterministic replay (full probes)\n" +
+                         outcome.replayLog.render();
+    }
+    return outcome;
+  };
+
+  CexHandling out;
+
+  if (!anyChaos) {
+    if (cex.kind == ctl::Counterexample::Kind::Property) {
+      // Listing 1.4: the violation lies entirely within learned behavior;
+      // observation conformance (Def. 10) makes it realizable — a proof of
+      // conflict without further testing.
+      out.realError = true;
+      out.errorText =
+          "property violation within the learned (synthesized) behavior — "
+          "realizable by observation conformance (fast conflict detection)";
+      return out;
+    }
+
+    // Deadlock among learned states: decide by testing the unknown context
+    // offers at the stuck state.
+    std::vector<const automata::Automaton*> parts;
+    parts.push_back(&context_);
+    for (const auto& c : closures) parts.push_back(&c.automaton);
+    const automata::StateId p = run.states.back();
+
+    bool anyUnknown = false;
+    bool anyEscape = false;
+    for (std::size_t k = 0; k < legacies_.size(); ++k) {
+      const automata::StateId cs = product.origins[p][k + 1];
+      const automata::StateId sk = closures[k].knownOrigin(cs);
+      for (const auto& x : jointOffers(product, parts, closures, p, k)) {
+        if (models_[k].base().hasTransition(sk, x)) {
+          // The offer is already known to be accepted. This happens when a
+          // previous counterexample of the same batch taught it (the stuck
+          // state is stale), or — with several legacies — when the combo
+          // hinges on another legacy's still-unknown part. Either way the
+          // deadlock is not confirmed.
+          anyEscape = true;
+          continue;
+        }
+        if (models_[k].isForbidden(sk, x)) continue;  // verified refusal
+        anyUnknown = true;
+        auto steps = projectSteps(k);
+        steps.push_back(x);
+        const auto outcome = runTest(k, std::move(steps));
+        out.learnedAnything |= applyOutcome(k, outcome);
+      }
+    }
+    if (out.learnedAnything) return out;
+    if (!anyUnknown && !anyEscape) {
+      out.realError = true;
+      out.errorText =
+          "reachable deadlock: every interaction the context offers at the "
+          "final state is verifiably refused by the legacy component(s)";
+      return out;
+    }
+    return out;  // unresolved here; the next iteration re-checks
+  }
+
+  // The counterexample enters chaos: test every legacy that does, over the
+  // full projected interaction sequence; learning merges the observations.
+  for (std::size_t k = 0; k < legacies_.size(); ++k) {
+    if (chaosAt[k] == kNoChaos) continue;
+    const auto outcome = runTest(k, projectSteps(k));
+    out.learnedAnything |= applyOutcome(k, outcome);
+  }
+  return out;
+}
+
+std::vector<automata::Interaction> IntegrationVerifier::jointOffers(
+    const automata::Product& product,
+    const std::vector<const automata::Automaton*>& parts,
+    const std::vector<automata::Closure>& closures, automata::StateId p,
+    std::size_t legacyIdx) const {
+  const automata::SignalSet& legacyIn = legacies_[legacyIdx]->inputs();
+  const automata::SignalSet& legacyOut = legacies_[legacyIdx]->outputs();
+
+  // Indices of the participating components other than the legacy.
+  std::vector<std::size_t> others;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != legacyIdx + 1) others.push_back(i);
+  }
+
+  std::vector<automata::Interaction> offers;
+  std::vector<const automata::Transition*> chosen(others.size(), nullptr);
+
+  const auto pairwiseOk = [&](std::size_t a, std::size_t b) {
+    const auto& ta = *chosen[a];
+    const auto& tb = *chosen[b];
+    const automata::Automaton& aa = *parts[others[a]];
+    const automata::Automaton& ab = *parts[others[b]];
+    return (ta.label.in & ab.outputs()) == (tb.label.out & aa.inputs()) &&
+           (tb.label.in & aa.outputs()) == (ta.label.out & ab.inputs());
+  };
+
+  const auto emit = [&] {
+    automata::Interaction x;
+    for (const auto* t : chosen) {
+      x.in |= t->label.out & legacyIn;
+      x.out |= t->label.in & legacyOut;
+    }
+    if (std::find(offers.begin(), offers.end(), x) == offers.end()) {
+      offers.push_back(std::move(x));
+    }
+  };
+
+  const auto recurse = [&](auto&& self, std::size_t idx) -> void {
+    if (idx == others.size()) {
+      emit();
+      return;
+    }
+    automata::StateId s = product.origins[p][others[idx]];
+    if (others[idx] > 0) {
+      // Another legacy's closure: move to the copy-1 twin so its chaotic
+      // (possible-but-unknown) moves participate in the offers.
+      const auto& cl = closures[others[idx] - 1];
+      s = cl.copy1[cl.knownOrigin(s)];
+    }
+    for (const auto& t : parts[others[idx]]->transitionsFrom(s)) {
+      chosen[idx] = &t;
+      bool ok = true;
+      for (std::size_t j = 0; j < idx && ok; ++j) ok = pairwiseOk(j, idx);
+      if (ok) self(self, idx + 1);
+    }
+    chosen[idx] = nullptr;
+  };
+  recurse(recurse, 0);
+  return offers;
+}
+
+bool IntegrationVerifier::applyOutcome(std::size_t legacyIdx,
+                                       const testing::TestOutcome& outcome) {
+  bool any = models_[legacyIdx].learn(outcome.observed).any();
+  if (outcome.refusalRun) {
+    any = models_[legacyIdx].learn(*outcome.refusalRun).any() || any;
+  }
+  return any;
+}
+
+}  // namespace mui::synthesis

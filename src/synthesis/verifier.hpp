@@ -1,0 +1,161 @@
+#pragma once
+// The iterative behavior-synthesis engine (paper Fig. 2, Secs. 3-4).
+//
+// Loop per iteration i:
+//   1. Build the chaotic closures chaos(M_l^i) of the learned models
+//      (Def. 9) and compose them with the context (Def. 3).
+//   2. Model check the weakened property plus deadlock freedom (Sec. 4.1,
+//      Lemma 5). Success proves the integration correct for the real
+//      system — without having learned the rest of the legacy component.
+//   3. Otherwise project the counterexample onto the legacy component(s)
+//      and test it with deterministic replay (Sec. 4.2, Sec. 5):
+//        - a property counterexample that stays entirely in learned states
+//          is a *real* integration error (fast conflict detection,
+//          Listing 1.4; no test needed — observation conformance already
+//          guarantees realizability);
+//        - a deadlock whose context offers are all verifiably refused (T̄)
+//          is a *real* deadlock;
+//        - anything else yields new observations, which the learning step
+//          merges into M_l^{i+1} (Defs. 11/12, Lemma 7) — strictly
+//          increasing knowledge, which bounds the number of iterations for
+//          finite deterministic components (Thm. 2 discussion, Sec. 4.4).
+//
+// The engine supports multiple legacy components (paper Sec. 7 future
+// work): every legacy gets its own model/closure, counterexamples are
+// projected per component, and deadlock offers are computed from the joint
+// moves of the respective other components.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/chaos.hpp"
+#include "automata/compose.hpp"
+#include "automata/incomplete.hpp"
+#include "ctl/counterexample.hpp"
+#include "synthesis/test_suite.hpp"
+#include "testing/driver.hpp"
+#include "testing/legacy.hpp"
+
+namespace mui::synthesis {
+
+struct IntegrationConfig {
+  /// CCTL property text (empty: deadlock freedom only). Must be over the
+  /// propositions of the context and the legacy state names.
+  std::string property;
+  bool requireDeadlockFree = true;
+  automata::InteractionMode mode = automata::InteractionMode::AtMostOneSignal;
+  automata::ClosureStyle closureStyle =
+      automata::ClosureStyle::DeterministicTarget;
+  ctl::CexSearch search = ctl::CexSearch::Shortest;
+  /// Counterexamples requested per verification round (paper Sec. 7
+  /// suggests deriving several; experiment E7 measures the effect).
+  std::size_t counterexamplesPerCheck = 1;
+  std::size_t maxIterations = 100000;
+  /// Keep rendered counterexample/monitor texts in the journal (examples
+  /// use this to reproduce the paper's listings; benches leave it off).
+  bool keepTraces = false;
+  /// Replace the context by its bisimulation quotient before the loop —
+  /// shrinks every product the checker sees; counterexample rendering then
+  /// shows class-representative state names.
+  bool minimizeContext = false;
+  /// Record every executed component test (stimulus + observed outcome) as
+  /// a regression suite (paper abstract: "systematic generation of
+  /// component tests"); see test_suite.hpp.
+  bool recordTests = false;
+};
+
+enum class Verdict {
+  ProvenCorrect,   // Lemma 5: property + ¬δ hold for the real integration
+  RealError,       // Lemma 6 / Listing 1.4: a realizable violation exists
+  IterationLimit,  // budget exhausted (cannot happen for finite components
+                   // with DeterministicTarget closures before completeness)
+  Unsupported,     // property shape outside the counterexample fragment, or
+                   // no learning progress (possible with PaperExact style)
+};
+
+struct IterationRecord {
+  std::size_t iteration = 0;
+  // Learned-model sizes (summed over legacies) before this iteration's check.
+  std::size_t modelStates = 0;
+  std::size_t modelTransitions = 0;
+  std::size_t modelForbidden = 0;
+  std::size_t closureStates = 0;  // summed closure sizes
+  std::size_t productStates = 0;
+  bool checkPassed = false;
+  bool cexWasDeadlock = false;
+  std::size_t cexLength = 0;
+  std::size_t learnedFacts = 0;      // knowledge delta during this iteration
+  std::uint64_t testPeriods = 0;     // legacy periods driven this iteration
+  std::string cexText;               // rendered (keepTraces only)
+  std::string monitorText;           // replay log (keepTraces only)
+};
+
+struct IntegrationResult {
+  Verdict verdict = Verdict::IterationLimit;
+  std::string explanation;
+  /// RealError: the witness run rendered in Listing-1.1 style.
+  std::string counterexampleText;
+  std::vector<IterationRecord> journal;
+  /// Final learned model per legacy component.
+  std::vector<automata::IncompleteAutomaton> learnedModels;
+  std::size_t iterations = 0;
+  std::uint64_t totalTestPeriods = 0;
+  std::size_t totalLearnedFacts = 0;
+  /// Atoms of the property that named no proposition of the composed model
+  /// (typo or wrong instance prefix — they evaluate to false silently).
+  std::vector<std::string> unknownAtoms;
+  /// Regression suite per legacy component (recordTests only).
+  std::vector<ComponentTestSuite> recordedTests;
+};
+
+class IntegrationVerifier {
+ public:
+  /// Multi-legacy constructor. The context automaton and the legacy
+  /// components must share the signal universe; components must be pairwise
+  /// composable with the context and each other.
+  IntegrationVerifier(automata::Automaton context,
+                      std::vector<testing::LegacyComponent*> legacies,
+                      IntegrationConfig config);
+
+  /// Single-legacy convenience.
+  IntegrationVerifier(automata::Automaton context,
+                      testing::LegacyComponent& legacy,
+                      IntegrationConfig config);
+
+  IntegrationResult run();
+
+ private:
+  struct CexHandling {
+    bool realError = false;
+    bool learnedAnything = false;
+    std::string errorText;
+  };
+
+  CexHandling handleCounterexample(const ctl::Counterexample& cex,
+                                   const automata::Product& product,
+                                   const std::vector<automata::Closure>& closures,
+                                   IterationRecord& record);
+
+  /// Legacy-k interactions required by some joint move of all *other*
+  /// components at product state `p` (deduplicated). Other legacies are
+  /// taken at their copy-1 twin so their *possible* (chaotic) moves count —
+  /// a real deadlock must be unescapable for every behavior the others
+  /// might still reveal.
+  std::vector<automata::Interaction> jointOffers(
+      const automata::Product& product,
+      const std::vector<const automata::Automaton*>& parts,
+      const std::vector<automata::Closure>& closures, automata::StateId p,
+      std::size_t legacyIdx) const;
+
+  bool applyOutcome(std::size_t legacyIdx, const testing::TestOutcome& outcome);
+
+  automata::Automaton context_;
+  std::vector<testing::LegacyComponent*> legacies_;
+  IntegrationConfig config_;
+  std::vector<automata::IncompleteAutomaton> models_;
+  std::vector<std::vector<automata::Interaction>> alphabets_;
+  std::vector<ComponentTestSuite> suites_;  // recordTests only
+};
+
+}  // namespace mui::synthesis

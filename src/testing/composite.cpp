@@ -1,0 +1,61 @@
+#include "testing/composite.hpp"
+
+#include <stdexcept>
+
+namespace mui::testing {
+
+CompositeLegacy::CompositeLegacy(
+    std::vector<std::unique_ptr<LegacyComponent>> parts, std::string name)
+    : parts_(std::move(parts)), name_(std::move(name)) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("CompositeLegacy: no parts");
+  }
+  for (const auto& p : parts_) {
+    if (p->inputs().intersects(inputs_) || p->outputs().intersects(outputs_)) {
+      throw std::invalid_argument(
+          "CompositeLegacy: parts must have disjoint I/O");
+    }
+    inputs_ |= p->inputs();
+    outputs_ |= p->outputs();
+  }
+}
+
+void CompositeLegacy::reset() {
+  for (auto& p : parts_) p->reset();
+}
+
+std::optional<SignalSet> CompositeLegacy::step(const SignalSet& inputs) {
+  // Probe all parts on clones first so a late refusal does not leave the
+  // composite half-stepped.
+  SignalSet out;
+  std::vector<std::unique_ptr<LegacyComponent>> probes;
+  probes.reserve(parts_.size());
+  for (const auto& p : parts_) {
+    auto probe = p->clone();
+    const auto produced = probe->step(inputs & p->inputs());
+    if (!produced) return std::nullopt;
+    out |= *produced;
+    probes.push_back(std::move(probe));
+  }
+  parts_ = std::move(probes);  // commit the advanced clones
+  return out;
+}
+
+std::string CompositeLegacy::currentStateName() const {
+  std::string n;
+  for (const auto& p : parts_) {
+    if (!n.empty()) n += "|";
+    n += p->currentStateName();
+  }
+  return n;
+}
+
+std::unique_ptr<LegacyComponent> CompositeLegacy::clone() const {
+  std::vector<std::unique_ptr<LegacyComponent>> copies;
+  copies.reserve(parts_.size());
+  for (const auto& p : parts_) copies.push_back(p->clone());
+  return std::unique_ptr<LegacyComponent>(
+      new CompositeLegacy(std::move(copies), name_));
+}
+
+}  // namespace mui::testing

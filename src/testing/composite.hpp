@@ -1,0 +1,37 @@
+#pragma once
+// Composite legacy component: several I/O-disjoint legacy components driven
+// in lockstep as a single black box. This realizes the baseline variant of
+// the paper's Sec.-7 multi-legacy extension (learning one joint model) that
+// experiment E6 compares against true per-component parallel learning.
+
+#include <memory>
+#include <vector>
+
+#include "testing/legacy.hpp"
+
+namespace mui::testing {
+
+class CompositeLegacy final : public LegacyComponent {
+ public:
+  /// Takes ownership; parts must have pairwise disjoint inputs and outputs.
+  explicit CompositeLegacy(std::vector<std::unique_ptr<LegacyComponent>> parts,
+                           std::string name = "composite");
+
+  void reset() override;
+  /// A joint step: every part receives its share of the inputs; the step is
+  /// refused if any part refuses (lockstep semantics of Def. 3).
+  std::optional<SignalSet> step(const SignalSet& inputs) override;
+  [[nodiscard]] std::string currentStateName() const override;
+  [[nodiscard]] const SignalSet& inputs() const override { return inputs_; }
+  [[nodiscard]] const SignalSet& outputs() const override { return outputs_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<LegacyComponent> clone() const override;
+
+ private:
+  std::vector<std::unique_ptr<LegacyComponent>> parts_;
+  std::string name_;
+  SignalSet inputs_;
+  SignalSet outputs_;
+};
+
+}  // namespace mui::testing

@@ -1,0 +1,99 @@
+#include "testing/driver.hpp"
+
+#include <stdexcept>
+
+namespace mui::testing {
+
+void CounterexampleTestDriver::logMessages(Recorder& rec,
+                                           const SignalSet& signals,
+                                           bool outgoing,
+                                           std::uint64_t period) const {
+  signals.forEach([&](std::size_t s) {
+    rec.onMessage(signals_.name(static_cast<util::NameId>(s)), legacy_.name(),
+                  outgoing, period);
+  });
+}
+
+TestOutcome CounterexampleTestDriver::execute(
+    const std::vector<automata::Interaction>& expectedSteps) {
+  TestOutcome out;
+
+  // ---- Phase 1: execute on the "target" with minimal probes. -------------
+  legacy_.reset();
+  std::vector<SignalSet> actualOutputs;
+  for (std::size_t k = 0; k < expectedSteps.size(); ++k) {
+    const auto& expected = expectedSteps[k];
+    logMessages(out.targetLog, expected.in, /*outgoing=*/false, k + 1);
+    const auto produced = legacy_.step(expected.in);
+    ++periods_;
+    if (!produced) {
+      out.kind = TestOutcome::Kind::Blocked;
+      out.executedSteps = k;
+      break;
+    }
+    logMessages(out.targetLog, *produced, /*outgoing=*/true, k + 1);
+    actualOutputs.push_back(*produced);
+    out.executedSteps = k + 1;
+    if (!(*produced == expected.out)) {
+      out.kind = TestOutcome::Kind::Diverged;
+      break;
+    }
+  }
+  const std::size_t replaySteps = actualOutputs.size();
+
+  // ---- Phase 2: deterministic replay with full instrumentation. ----------
+  legacy_.reset();
+  out.observed.stateNames.push_back(legacy_.currentStateName());
+  out.replayLog.onCurrentState(legacy_.currentStateName(), 0);
+  for (std::size_t k = 0; k < replaySteps; ++k) {
+    const auto& inputs = expectedSteps[k].in;
+    logMessages(out.replayLog, inputs, /*outgoing=*/false, k + 1);
+    const auto produced = legacy_.step(inputs);
+    ++periods_;
+    if (!produced || !(*produced == actualOutputs[k])) {
+      throw std::logic_error(
+          "deterministic replay diverged from the recorded execution "
+          "(probe effect or nondeterministic component)");
+    }
+    logMessages(out.replayLog, *produced, /*outgoing=*/true, k + 1);
+    out.replayLog.onTiming(k + 1);
+    out.replayLog.onCurrentState(legacy_.currentStateName(), k + 1);
+    out.observed.labels.push_back({inputs, *produced});
+    out.observed.stateNames.push_back(legacy_.currentStateName());
+  }
+
+  // ---- Assemble the learnable runs. ---------------------------------------
+  switch (out.kind) {
+    case TestOutcome::Kind::Confirmed:
+      break;  // regular observed run as-is
+    case TestOutcome::Kind::Blocked:
+      // Append the refused interaction (Def. 12): states == labels.
+      out.observed.labels.push_back(expectedSteps[out.executedSteps]);
+      out.observed.blocked = true;
+      break;
+    case TestOutcome::Kind::Diverged: {
+      // The observed run ends with the *actual* output (Def. 11); the
+      // *expected* interaction is additionally refused at the divergence
+      // state because the component is deterministic (Def. 12).
+      automata::ObservedRun refusal;
+      const std::size_t divergeIdx = out.executedSteps - 1;
+      refusal.stateNames.assign(out.observed.stateNames.begin(),
+                                out.observed.stateNames.begin() +
+                                    static_cast<std::ptrdiff_t>(divergeIdx) +
+                                    1);
+      refusal.labels.assign(out.observed.labels.begin(),
+                            out.observed.labels.begin() +
+                                static_cast<std::ptrdiff_t>(divergeIdx));
+      refusal.labels.push_back(expectedSteps[divergeIdx]);
+      refusal.blocked = true;
+      out.refusalRun = std::move(refusal);
+      break;
+    }
+  }
+  if (!out.observed.wellFormed()) {
+    throw std::logic_error("test driver produced a malformed observed run");
+  }
+  return out;
+}
+
+}  // namespace mui::testing

@@ -1,0 +1,94 @@
+#pragma once
+// A hand-written "legacy code" rear-shuttle controller, in the style of the
+// embedded C code the paper's approach targets: integer mode variables,
+// switch-based stepping, numeric return codes — no model, no documentation
+// of the protocol. The adapter below puts it behind the LegacyComponent
+// interface so the integration loop can treat it exactly like any other
+// black box (with the state-name probe as the only white-box concession,
+// paper Sec. 5).
+//
+// Two builds of the controller exist: the shipped (correct) firmware and an
+// older faulty revision that enters convoy mode straight after proposing —
+// the defect of paper Fig. 6 / Listing 1.3.
+
+#include "testing/legacy.hpp"
+
+namespace mui::testing {
+
+/// The raw legacy controller ("firmware").
+class ShuttleControllerFirmware {
+ public:
+  // Message codes on the coordination bus (legacy wire protocol).
+  enum : int {
+    MSG_NONE = 0,
+    MSG_CONVOY_PROPOSAL_REJECTED = 1,
+    MSG_START_CONVOY = 2,
+    MSG_BREAK_CONVOY_REJECTED = 3,
+    MSG_BREAK_CONVOY_ACCEPTED = 4,
+  };
+  enum : int {
+    OUT_NONE = 0,
+    OUT_CONVOY_PROPOSAL = 1,
+    OUT_BREAK_CONVOY_PROPOSAL = 2,
+  };
+  // Return codes of tick().
+  enum : int { RC_OK = 0, RC_UNEXPECTED_MSG = -1 };
+
+  explicit ShuttleControllerFirmware(bool faultyRevision)
+      : faulty_(faultyRevision) {}
+
+  void init();
+
+  /// Executes one control period. `rx` is the message received this period
+  /// (MSG_NONE if the bus was silent); `tx` receives the message to send.
+  /// Returns RC_UNEXPECTED_MSG (without changing state) when the received
+  /// message makes no sense in the current mode — the behavior that shows
+  /// up as a blocked interaction during testing.
+  int tick(int rx, int* tx);
+
+  /// Debug hook (compiled into the instrumented build only, in the spirit
+  /// of the paper's probe discussion): the current mode as text.
+  [[nodiscard]] const char* debugModeName() const;
+
+ private:
+  // Controller modes. The faulty revision lacks the WAIT handshake.
+  enum Mode {
+    MODE_DEFAULT = 0,
+    MODE_READY = 1,
+    MODE_WAIT = 2,
+    MODE_CONVOY = 3,
+    MODE_HOLD = 4,
+    MODE_CONVOY_WAIT = 5,
+  };
+  int mode_ = MODE_DEFAULT;
+  bool faulty_ = false;
+};
+
+/// Adapter: ShuttleControllerFirmware behind the LegacyComponent interface.
+/// State names follow the monitored hierarchy of the paper's listings
+/// ("noConvoy::default", "noConvoy::wait", "convoy::default", ...).
+class FirmwareShuttleLegacy final : public LegacyComponent {
+ public:
+  /// `signals` must be the shared signal table of the surrounding model so
+  /// that the adapter's signal ids line up with the context automaton.
+  FirmwareShuttleLegacy(const automata::SignalTableRef& signals,
+                        bool faultyRevision);
+
+  void reset() override;
+  std::optional<SignalSet> step(const SignalSet& inputs) override;
+  [[nodiscard]] std::string currentStateName() const override;
+  [[nodiscard]] const SignalSet& inputs() const override { return inputs_; }
+  [[nodiscard]] const SignalSet& outputs() const override { return outputs_; }
+  [[nodiscard]] std::string name() const override { return "rearRole"; }
+  [[nodiscard]] std::unique_ptr<LegacyComponent> clone() const override;
+
+ private:
+  automata::SignalTableRef signals_;
+  SignalSet inputs_;
+  SignalSet outputs_;
+  util::NameId inRejected_, inStart_, inBreakRejected_, inBreakAccepted_;
+  util::NameId outProposal_, outBreakProposal_;
+  ShuttleControllerFirmware fw_;
+};
+
+}  // namespace mui::testing

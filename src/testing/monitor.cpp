@@ -1,0 +1,42 @@
+#include "testing/monitor.hpp"
+
+namespace mui::testing {
+
+void Recorder::onCurrentState(const std::string& stateName,
+                              std::uint64_t period) {
+  if (level_ != ProbeLevel::Full) return;  // probe compiled out on target
+  events_.push_back(
+      {MonitorEvent::Kind::CurrentState, stateName, {}, false, period});
+}
+
+void Recorder::onMessage(const std::string& message, const std::string& port,
+                         bool outgoing, std::uint64_t period) {
+  events_.push_back(
+      {MonitorEvent::Kind::Message, message, port, outgoing, period});
+}
+
+void Recorder::onTiming(std::uint64_t period) {
+  if (level_ != ProbeLevel::Full) return;
+  events_.push_back({MonitorEvent::Kind::Timing, {}, {}, false, period});
+}
+
+std::string Recorder::render() const {
+  std::string out;
+  for (const auto& e : events_) {
+    switch (e.kind) {
+      case MonitorEvent::Kind::CurrentState:
+        out += "[CurrentState] name=\"" + e.name + "\"\n";
+        break;
+      case MonitorEvent::Kind::Message:
+        out += "[Message] name=\"" + e.name + "\", portName=\"" + e.portName +
+               "\", type=\"" + (e.outgoing ? "outgoing" : "incoming") + "\"\n";
+        break;
+      case MonitorEvent::Kind::Timing:
+        out += "[Timing] count=" + std::to_string(e.period) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mui::testing

@@ -1,0 +1,59 @@
+#pragma once
+// Monitoring events and probe levels (paper Sec. 5, Listings 1.2/1.3/1.5).
+//
+// Probe levels reflect the paper's probe-effect discussion: on the target
+// system only the events needed for deterministic replay are recorded
+// (messages + period numbers); during replay on the host, additional probes
+// (current state, timing) can be enabled without perturbing the execution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mui::testing {
+
+enum class ProbeLevel {
+  ReplayOnly,  // messages and period numbers only (Listing 1.2)
+  Full,        // + current state and timing counters (Listing 1.3/1.5)
+};
+
+struct MonitorEvent {
+  enum class Kind { CurrentState, Message, Timing };
+  Kind kind = Kind::Message;
+  std::string name;              // state name or message name
+  std::string portName;          // Message only
+  bool outgoing = false;         // Message only
+  std::uint64_t period = 0;      // period the event belongs to
+
+  bool operator==(const MonitorEvent&) const = default;
+};
+
+/// Collects monitor events subject to a probe level and renders them in the
+/// paper's listing format.
+class Recorder {
+ public:
+  explicit Recorder(ProbeLevel level) : level_(level) {}
+
+  [[nodiscard]] ProbeLevel level() const { return level_; }
+
+  void onCurrentState(const std::string& stateName, std::uint64_t period);
+  void onMessage(const std::string& message, const std::string& port,
+                 bool outgoing, std::uint64_t period);
+  void onTiming(std::uint64_t period);
+
+  [[nodiscard]] const std::vector<MonitorEvent>& events() const {
+    return events_;
+  }
+
+  /// Listing 1.2/1.3 format:
+  ///   [CurrentState] name="noConvoy::default"
+  ///   [Message] name="convoyProposal", portName="rearRole", type="outgoing"
+  ///   [Timing] count=1
+  [[nodiscard]] std::string render() const;
+
+ private:
+  ProbeLevel level_;
+  std::vector<MonitorEvent> events_;
+};
+
+}  // namespace mui::testing

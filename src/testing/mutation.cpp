@@ -1,0 +1,122 @@
+#include "testing/mutation.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mui::testing {
+
+namespace {
+
+using automata::Automaton;
+using automata::Interaction;
+using automata::StateId;
+using automata::Transition;
+
+/// Rebuilds `original` with `edit` applied to the matching transition.
+/// `edit` returns false to drop the transition, or mutates it in place.
+template <typename Edit>
+Automaton rebuild(const Automaton& original, const Transition& target,
+                  Edit&& edit) {
+  Automaton out(original.signalTable(), original.propTable(), original.name());
+  out.declareSignals(original.inputs(), original.outputs());
+  for (StateId s = 0; s < original.stateCount(); ++s) {
+    out.addState(original.stateName(s));
+    out.addLabels(s, original.labels(s));
+  }
+  for (StateId s = 0; s < original.stateCount(); ++s) {
+    for (const auto& t : original.transitionsFrom(s)) {
+      Transition copy = t;
+      if (t == target) {
+        if (!edit(copy)) continue;  // deleted
+      }
+      out.addTransition(copy.from, copy.label, copy.to);
+    }
+  }
+  for (StateId q : original.initialStates()) out.markInitial(q);
+  return out;
+}
+
+std::vector<Transition> allTransitions(const Automaton& a) {
+  std::vector<Transition> out;
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    for (const auto& t : a.transitionsFrom(s)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Mutation::describe(const Automaton& original) const {
+  std::string out;
+  switch (op) {
+    case MutationOp::DeleteTransition:
+      out = "delete ";
+      break;
+    case MutationOp::DropOutputs:
+      out = "silence ";
+      break;
+    case MutationOp::RedirectTarget:
+      out = "redirect ";
+      break;
+  }
+  out += original.stateName(from) + " --" +
+         original.interactionToString(label) + "-->";
+  if (op == MutationOp::RedirectTarget) {
+    out += " to " + original.stateName(newTarget);
+  }
+  return out;
+}
+
+std::optional<std::pair<Automaton, Mutation>> mutateAutomaton(
+    const Automaton& original, MutationOp op, std::uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 17);
+  auto sites = allTransitions(original);
+  // Random visiting order.
+  for (std::size_t i = sites.size(); i > 1; --i) {
+    std::swap(sites[i - 1], sites[rng.below(i)]);
+  }
+
+  for (const auto& site : sites) {
+    Mutation m;
+    m.op = op;
+    m.from = site.from;
+    m.label = site.label;
+    switch (op) {
+      case MutationOp::DeleteTransition: {
+        return std::make_pair(
+            rebuild(original, site, [](Transition&) { return false; }), m);
+      }
+      case MutationOp::DropOutputs: {
+        if (site.label.out.empty()) continue;  // already silent
+        // The silenced transition keeps its input set, so determinism is
+        // unaffected; only the output changes.
+        return std::make_pair(rebuild(original, site,
+                                      [](Transition& t) {
+                                        t.label.out = {};
+                                        return true;
+                                      }),
+                              m);
+      }
+      case MutationOp::RedirectTarget: {
+        if (original.stateCount() < 2) continue;
+        StateId target = static_cast<StateId>(
+            rng.below(original.stateCount()));
+        if (target == site.to) {
+          target = static_cast<StateId>((target + 1) % original.stateCount());
+        }
+        if (target == site.to) continue;
+        m.newTarget = target;
+        return std::make_pair(rebuild(original, site,
+                                      [&](Transition& t) {
+                                        t.to = target;
+                                        return true;
+                                      }),
+                              m);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mui::testing

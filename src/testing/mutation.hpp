@@ -1,0 +1,42 @@
+#pragma once
+// Structural mutation operators for hidden component behaviors — the fault
+// model behind experiment E11 (mutation adequacy): how many seeded defects
+// does the integration loop kill (RealError), and are the survivors truly
+// equivalent in the given context (ProvenCorrect *and* ground truth holds)?
+//
+// Mutants are generated on the automaton level so that ground truth remains
+// model-checkable; all operators preserve input-determinism (a mutation
+// that would break it is skipped and another site is drawn).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "automata/automaton.hpp"
+
+namespace mui::testing {
+
+enum class MutationOp {
+  DeleteTransition,  // introduces a refusal
+  DropOutputs,       // the transition fires silently (outputs := ∅)
+  RedirectTarget,    // the transition jumps to a random other state
+};
+
+struct Mutation {
+  MutationOp op = MutationOp::DeleteTransition;
+  automata::StateId from = 0;
+  automata::Interaction label;
+  automata::StateId newTarget = 0;  // RedirectTarget only
+
+  [[nodiscard]] std::string describe(
+      const automata::Automaton& original) const;
+};
+
+/// Draws a random applicable mutation (deterministic in `seed`) and applies
+/// it. Returns std::nullopt if no applicable site exists (e.g. DropOutputs
+/// would violate input-determinism everywhere). The mutant keeps the
+/// original's name, states, and labels.
+std::optional<std::pair<automata::Automaton, Mutation>> mutateAutomaton(
+    const automata::Automaton& original, MutationOp op, std::uint64_t seed);
+
+}  // namespace mui::testing

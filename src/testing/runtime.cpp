@@ -1,0 +1,75 @@
+#include "testing/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mui::testing {
+
+PeriodicRuntime::PeriodicRuntime(const automata::Automaton& environment,
+                                 LegacyComponent& legacy, std::uint64_t seed)
+    : env_(environment), legacy_(legacy), rng_(seed) {
+  if (env_.initialStates().size() != 1) {
+    throw std::invalid_argument(
+        "PeriodicRuntime: environment needs one initial state");
+  }
+  envState_ = env_.initialStates()[0];
+  legacy_.reset();
+}
+
+void PeriodicRuntime::reset() {
+  envState_ = env_.initialStates()[0];
+  legacy_.reset();
+  period_ = 0;
+}
+
+std::uint64_t PeriodicRuntime::run(std::uint64_t periods, Recorder& recorder) {
+  const auto& sigTable = *env_.signalTable();
+  std::uint64_t executed = 0;
+  for (; executed < periods; ++executed) {
+    // Candidate environment moves in random order.
+    auto candidates = env_.transitionsFrom(envState_);
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+      std::swap(candidates[i - 1], candidates[rng_.below(i)]);
+    }
+
+    bool stepped = false;
+    for (const auto& cand : candidates) {
+      // Inputs the environment move would deliver to the legacy component.
+      const SignalSet legacyIn = cand.label.out & legacy_.inputs();
+      // Probe a clone: would the component accept, and do its outputs match
+      // what the environment move consumes from it?
+      const auto probe = legacy_.clone();
+      const auto out = probe->step(legacyIn);
+      if (!out) continue;
+      if (!((cand.label.in & legacy_.outputs()) ==
+            (*out & env_.inputs()))) {
+        continue;
+      }
+      // Commit.
+      ++period_;
+      legacyIn.forEach([&](std::size_t s) {
+        recorder.onMessage(sigTable.name(static_cast<util::NameId>(s)),
+                           legacy_.name(), /*outgoing=*/false, period_);
+      });
+      const auto committed = legacy_.step(legacyIn);
+      if (!committed || !(*committed == *out)) {
+        throw std::logic_error(
+            "PeriodicRuntime: component diverged from its probe clone "
+            "(nondeterministic legacy component)");
+      }
+      committed->forEach([&](std::size_t s) {
+        recorder.onMessage(sigTable.name(static_cast<util::NameId>(s)),
+                           legacy_.name(), /*outgoing=*/true, period_);
+      });
+      recorder.onTiming(period_);
+      recorder.onCurrentState(legacy_.currentStateName(), period_);
+      envState_ = cand.to;
+      stepped = true;
+      break;
+    }
+    if (!stepped) break;  // joint deadlock
+  }
+  return executed;
+}
+
+}  // namespace mui::testing

@@ -1,0 +1,117 @@
+#pragma once
+// Dynamic bitset used throughout MUI for signal sets (the A and B components
+// of a transition label, see paper Def. 1) and proposition label sets.
+//
+// The set is conceptually unbounded: bits beyond the allocated words are 0.
+// All binary operations therefore work on sets of different allocated widths.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mui::util {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+
+  /// Singleton set {bit}.
+  static DynBitset single(std::size_t bit) {
+    DynBitset b;
+    b.set(bit);
+    return b;
+  }
+
+  /// Set containing every bit in `bits`.
+  static DynBitset of(std::initializer_list<std::size_t> bits) {
+    DynBitset b;
+    for (std::size_t i : bits) b.set(i);
+    return b;
+  }
+
+  void set(std::size_t bit) {
+    ensure(bit);
+    words_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+  }
+
+  void reset(std::size_t bit) {
+    if (bit / 64 < words_.size()) {
+      words_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+      shrink();
+    }
+  }
+
+  [[nodiscard]] bool test(std::size_t bit) const {
+    return bit / 64 < words_.size() &&
+           (words_[bit / 64] >> (bit % 64)) & std::uint64_t{1};
+  }
+
+  [[nodiscard]] bool empty() const { return words_.empty(); }
+  [[nodiscard]] std::size_t count() const;
+
+  /// Index of the lowest set bit; undefined on empty sets.
+  [[nodiscard]] std::size_t lowest() const;
+
+  [[nodiscard]] bool isSubsetOf(const DynBitset& other) const;
+  [[nodiscard]] bool intersects(const DynBitset& other) const;
+
+  [[nodiscard]] DynBitset operator|(const DynBitset& o) const;
+  [[nodiscard]] DynBitset operator&(const DynBitset& o) const;
+  /// Set difference (this \ o).
+  [[nodiscard]] DynBitset operator-(const DynBitset& o) const;
+
+  DynBitset& operator|=(const DynBitset& o) { return *this = *this | o; }
+  DynBitset& operator&=(const DynBitset& o) { return *this = *this & o; }
+  DynBitset& operator-=(const DynBitset& o) { return *this = *this - o; }
+
+  bool operator==(const DynBitset& o) const { return words_ == o.words_; }
+  /// Lexicographic on the canonical word representation; usable as map key.
+  bool operator<(const DynBitset& o) const;
+
+  /// Calls `f(bit)` for every set bit in ascending order.
+  template <typename F>
+  void forEach(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int tz = __builtin_ctzll(word);
+        f(w * 64 + static_cast<std::size_t>(tz));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// All set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> bits() const;
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Debug rendering such as "{0,3,17}".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  void ensure(std::size_t bit) {
+    if (bit / 64 >= words_.size()) words_.resize(bit / 64 + 1, 0);
+  }
+  // Keep the representation canonical (no trailing zero words) so that
+  // operator== / hash are structural set equality.
+  void shrink() {
+    while (!words_.empty() && words_.back() == 0) words_.pop_back();
+  }
+
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const { return b.hash(); }
+};
+
+}  // namespace mui::util
+
+template <>
+struct std::hash<mui::util::DynBitset> {
+  std::size_t operator()(const mui::util::DynBitset& b) const noexcept {
+    return b.hash();
+  }
+};

@@ -1,0 +1,40 @@
+#include "util/dot.hpp"
+
+namespace mui::util {
+
+DotWriter::DotWriter(std::string graphName) : name_(std::move(graphName)) {}
+
+std::string DotWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void DotWriter::node(const std::string& id, const std::string& label,
+                     bool doubleCircle) {
+  lines_.push_back("  \"" + escape(id) + "\" [label=\"" + escape(label) +
+                   "\", shape=" + (doubleCircle ? "doublecircle" : "circle") +
+                   "];");
+}
+
+void DotWriter::edge(const std::string& from, const std::string& to,
+                     const std::string& label) {
+  lines_.push_back("  \"" + escape(from) + "\" -> \"" + escape(to) +
+                   "\" [label=\"" + escape(label) + "\"];");
+}
+
+std::string DotWriter::str() const {
+  std::string out = "digraph \"" + escape(name_) + "\" {\n  rankdir=LR;\n";
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mui::util

@@ -1,0 +1,31 @@
+#pragma once
+// Tiny Graphviz DOT writer used to regenerate the paper's automaton figures
+// (Fig. 3 chaotic automaton, Fig. 4 initial closure, Fig. 5 context, Fig. 6/7
+// synthesized behavior).
+
+#include <string>
+#include <vector>
+
+namespace mui::util {
+
+class DotWriter {
+ public:
+  explicit DotWriter(std::string graphName);
+
+  /// Declares a node. `doubleCircle` marks initial states as in the paper's
+  /// figures.
+  void node(const std::string& id, const std::string& label,
+            bool doubleCircle = false);
+  void edge(const std::string& from, const std::string& to,
+            const std::string& label);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace mui::util

@@ -1,0 +1,75 @@
+#pragma once
+// Minimal recursive-descent parsing kit shared by the CCTL formula parser
+// (ctl/parser) and the .muml model-file parser (muml/loader).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mui::util {
+
+/// Raised on any syntax error; carries a human-readable location.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t line, std::size_t col)
+      : std::runtime_error(msg + " (line " + std::to_string(line) + ", col " +
+                           std::to_string(col) + ")"),
+        line_(line),
+        col_(col) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t col() const { return col_; }
+
+ private:
+  std::size_t line_;
+  std::size_t col_;
+};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return atEnd() ? '\0' : text_[pos_]; }
+  [[nodiscard]] char peekAt(std::size_t off) const {
+    return pos_ + off >= text_.size() ? '\0' : text_[pos_ + off];
+  }
+
+  char advance();
+
+  /// Skips spaces, tabs, newlines, and `#`/`//` line comments.
+  void skipWs();
+
+  /// Consumes `tok` (after skipping whitespace) or returns false.
+  bool tryConsume(std::string_view tok);
+
+  /// Consumes `tok` or throws ParseError.
+  void expect(std::string_view tok);
+
+  /// True iff the next token is the keyword `kw` (identifier-bounded).
+  bool tryKeyword(std::string_view kw);
+
+  /// Parses an identifier: [A-Za-z_][A-Za-z0-9_.:]* . The extended tail
+  /// characters allow dotted proposition names like `shuttle1.noConvoy` and
+  /// hierarchical state names like `noConvoy::default`.
+  std::string identifier();
+
+  /// Parses a non-negative integer literal.
+  std::size_t integer();
+
+  /// Parses a double-quoted string literal with \" and \\ escapes.
+  std::string quotedString();
+
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t col() const { return col_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+}  // namespace mui::util

@@ -1,0 +1,49 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mui::util {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (widths.size() < r.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += r[c];
+      if (c + 1 < r.size()) out.append(widths[c] - r[c].size() + 2, ' ');
+    }
+    out += '\n';
+    if (i == 0) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        out.append(widths[c], '-');
+        if (c + 1 < widths.size()) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace mui::util

@@ -1,0 +1,26 @@
+#pragma once
+// Aligned text table printer used by the bench harness to emit the rows of
+// each reproduced experiment in a stable, diffable format.
+
+#include <string>
+#include <vector>
+
+namespace mui::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+/// Formats a double with `digits` fractional digits.
+std::string fmt(double v, int digits = 2);
+
+}  // namespace mui::util

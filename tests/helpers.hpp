@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the MUI test suite.
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "automata/automaton.hpp"
+#include "automata/signals.hpp"
+
+namespace mui::test {
+
+struct Tables {
+  automata::SignalTableRef signals = std::make_shared<automata::SignalTable>();
+  automata::SignalTableRef props = std::make_shared<automata::SignalTable>();
+};
+
+/// Interns every name and returns the resulting set.
+inline automata::SignalSet sigs(automata::SignalTable& table,
+                                std::initializer_list<const char*> names) {
+  automata::SignalSet out;
+  for (const char* n : names) out.set(table.intern(n));
+  return out;
+}
+
+/// Builds an interaction from input/output signal names.
+inline automata::Interaction ia(automata::SignalTable& table,
+                                std::initializer_list<const char*> in,
+                                std::initializer_list<const char*> out) {
+  return {sigs(table, in), sigs(table, out)};
+}
+
+/// The idle step (∅, ∅).
+inline automata::Interaction idle() { return {}; }
+
+}  // namespace mui::test

@@ -1,0 +1,183 @@
+// Unit tests for the core automaton model (paper Def. 1/2): construction
+// validation, labeling conventions, reachability, determinism, run admission
+// including the deadlock-run condition, and interaction alphabets.
+
+#include <gtest/gtest.h>
+
+#include "automata/automaton.hpp"
+#include "automata/signals.hpp"
+#include "helpers.hpp"
+
+namespace mui::automata {
+namespace {
+
+using ARun = Run;
+using test::Tables;
+using test::ia;
+
+Automaton pingPong(const Tables& t) {
+  Automaton a(t.signals, t.props, "ping");
+  a.addInput("ack");
+  a.addOutput("req");
+  const StateId s0 = a.addState("idle");
+  const StateId s1 = a.addState("waiting");
+  a.markInitial(s0);
+  a.addTransition(s0, ia(*t.signals, {}, {"req"}), s1);
+  a.addTransition(s1, ia(*t.signals, {"ack"}, {}), s0);
+  return a;
+}
+
+TEST(Automaton, ConstructionValidation) {
+  Tables t;
+  Automaton a(t.signals, t.props, "m");
+  a.addInput("x");
+  const StateId s = a.addState("s");
+  EXPECT_THROW(a.addState("s"), std::invalid_argument);
+  // A ⊆ I and B ⊆ O are enforced.
+  EXPECT_THROW(a.addTransition(s, ia(*t.signals, {"unknown"}, {}), s),
+               std::invalid_argument);
+  EXPECT_THROW(a.addTransition(s, ia(*t.signals, {}, {"x"}), s),
+               std::invalid_argument);  // x is an input, not an output
+  EXPECT_THROW(a.markInitial(99), std::out_of_range);
+  a.addTransition(s, ia(*t.signals, {"x"}, {}), s);
+  a.checkInvariants();
+}
+
+TEST(Automaton, DuplicateTransitionsIgnored) {
+  Tables t;
+  Automaton a = pingPong(t);
+  const std::size_t before = a.transitionCount();
+  a.addTransition(0, ia(*t.signals, {}, {"req"}), 1);
+  EXPECT_EQ(a.transitionCount(), before);
+}
+
+TEST(Automaton, HierarchicalStateNameLabels) {
+  Tables t;
+  Automaton a(t.signals, t.props, "rearRole");
+  const StateId s = a.addState("noConvoy::wait");
+  a.labelWithStateName(s);
+  const auto outer = t.props->lookup("rearRole.noConvoy");
+  const auto inner = t.props->lookup("rearRole.noConvoy::wait");
+  ASSERT_TRUE(outer.has_value());
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_TRUE(a.labels(s).test(*outer));
+  EXPECT_TRUE(a.labels(s).test(*inner));
+}
+
+TEST(Automaton, ReachabilityAndPruning) {
+  Tables t;
+  Automaton a(t.signals, t.props, "m");
+  a.addOutput("o");
+  const StateId s0 = a.addState("a");
+  const StateId s1 = a.addState("b");
+  const StateId s2 = a.addState("orphan");
+  a.markInitial(s0);
+  a.addTransition(s0, ia(*t.signals, {}, {"o"}), s1);
+  a.addTransition(s2, ia(*t.signals, {}, {"o"}), s0);
+  const auto reach = a.reachableStates();
+  EXPECT_TRUE(reach[s0]);
+  EXPECT_TRUE(reach[s1]);
+  EXPECT_FALSE(reach[s2]);
+  std::vector<StateId> map;
+  const Automaton pruned = a.prunedToReachable(&map);
+  EXPECT_EQ(pruned.stateCount(), 2u);
+  EXPECT_EQ(map[s2], UINT32_MAX);
+  EXPECT_TRUE(pruned.stateByName("a").has_value());
+  EXPECT_FALSE(pruned.stateByName("orphan").has_value());
+}
+
+TEST(Automaton, Determinism) {
+  Tables t;
+  Automaton a = pingPong(t);
+  EXPECT_TRUE(a.deterministic());
+  a.addState("x");
+  a.addTransition(0, ia(*t.signals, {}, {"req"}), 2);  // second target
+  EXPECT_FALSE(a.deterministic());
+}
+
+TEST(Automaton, AdmitsRegularAndDeadlockRuns) {
+  Tables t;
+  Automaton a = pingPong(t);
+  const Interaction send = ia(*t.signals, {}, {"req"});
+  const Interaction recv = ia(*t.signals, {"ack"}, {});
+
+  ARun regular{{0, 1, 0}, {send, recv}, false};
+  EXPECT_TRUE(a.admitsRun(regular));
+
+  // Wrong start state.
+  ARun badStart{{1, 0}, {recv}, false};
+  EXPECT_FALSE(a.admitsRun(badStart));
+
+  // Deadlock run: "waiting" refuses another send (Def. 2: the final
+  // interaction must have no successor).
+  ARun deadlock{{0, 1}, {send, send}, true};
+  EXPECT_TRUE(a.admitsRun(deadlock));
+
+  // Not a deadlock run if the interaction is actually enabled.
+  ARun notBlocked{{0, 1}, {send, recv}, true};
+  EXPECT_FALSE(a.admitsRun(notBlocked));
+
+  ARun malformed{{0}, {send, recv}, false};
+  EXPECT_FALSE(a.admitsRun(malformed));
+}
+
+TEST(Automaton, EnabledInteractionsDeduplicates) {
+  Tables t;
+  Automaton a(t.signals, t.props, "m");
+  a.addOutput("o");
+  a.addState("s");
+  a.addState("u");
+  a.addState("v");
+  const Interaction x = ia(*t.signals, {}, {"o"});
+  a.addTransition(0, x, 1);
+  a.addTransition(0, x, 2);  // nondeterministic, same label
+  EXPECT_EQ(a.enabledInteractions(0).size(), 1u);
+  EXPECT_EQ(a.successors(0, x).size(), 2u);
+}
+
+TEST(Alphabet, FullPowersetEnumerates) {
+  Tables t;
+  const SignalSet ins = test::sigs(*t.signals, {"a", "b"});
+  const SignalSet outs = test::sigs(*t.signals, {"x"});
+  const auto alpha = makeAlphabet(ins, outs, InteractionMode::FullPowerset);
+  EXPECT_EQ(alpha.size(), 4u * 2u);  // ℘({a,b}) × ℘({x})
+}
+
+TEST(Alphabet, AtMostOneSignalIsLinear) {
+  Tables t;
+  const SignalSet ins = test::sigs(*t.signals, {"a", "b", "c"});
+  const SignalSet outs = test::sigs(*t.signals, {"x", "y"});
+  const auto alpha = makeAlphabet(ins, outs, InteractionMode::AtMostOneSignal);
+  EXPECT_EQ(alpha.size(), 1u + 3u + 2u);
+  // The idle interaction is always included.
+  EXPECT_TRUE(std::any_of(alpha.begin(), alpha.end(),
+                          [](const Interaction& x) { return x.idle(); }));
+}
+
+TEST(Alphabet, PowersetGuardsAgainstBlowup) {
+  Tables t;
+  SignalSet ins;
+  for (int i = 0; i < 20; ++i) ins.set(t.signals->intern("s" + std::to_string(i)));
+  EXPECT_THROW(makeAlphabet(ins, {}, InteractionMode::FullPowerset),
+               std::invalid_argument);
+}
+
+TEST(Automaton, InteractionRendering) {
+  Tables t;
+  Automaton a = pingPong(t);
+  EXPECT_EQ(a.interactionToString(ia(*t.signals, {"ack"}, {"req"})),
+            "{ack}/{req}");
+  EXPECT_EQ(a.interactionToString({}), "-/-");
+}
+
+TEST(Automaton, DotExportMentionsStatesAndLabels) {
+  Tables t;
+  const Automaton a = pingPong(t);
+  const std::string dot = a.toDot();
+  EXPECT_NE(dot.find("idle"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("{ack}/-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mui::automata

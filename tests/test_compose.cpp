@@ -1,0 +1,236 @@
+// Tests for parallel composition (paper Def. 3): synchronous matching,
+// label union, reachability restriction, n-ary folding, and run projection.
+
+#include <gtest/gtest.h>
+
+#include "automata/compose.hpp"
+#include "automata/random.hpp"
+#include "helpers.hpp"
+
+namespace mui::automata {
+namespace {
+
+using ARun = Run;
+using test::Tables;
+using test::ia;
+
+/// Sender: emits `msg` then waits for `ok`. Receiver: consumes `msg` then
+/// emits `ok`. Together they form a closed two-step handshake.
+struct Handshake {
+  Tables t;
+  Automaton sender;
+  Automaton receiver;
+
+  Handshake()
+      : sender(t.signals, t.props, "snd"), receiver(t.signals, t.props, "rcv") {
+    sender.addOutput("msg");
+    sender.addInput("ok");
+    sender.addState("s0");
+    sender.addState("s1");
+    sender.markInitial(0);
+    sender.labelWithStateName(0);
+    sender.labelWithStateName(1);
+    sender.addTransition(0, ia(*t.signals, {}, {"msg"}), 1);
+    sender.addTransition(1, ia(*t.signals, {"ok"}, {}), 0);
+
+    receiver.addInput("msg");
+    receiver.addOutput("ok");
+    receiver.addState("r0");
+    receiver.addState("r1");
+    receiver.markInitial(0);
+    receiver.labelWithStateName(0);
+    receiver.labelWithStateName(1);
+    receiver.addTransition(0, ia(*t.signals, {"msg"}, {}), 1);
+    receiver.addTransition(1, ia(*t.signals, {}, {"ok"}), 0);
+  }
+};
+
+TEST(Compose, SynchronousHandshake) {
+  Handshake h;
+  const Product p = compose(h.sender, h.receiver);
+  // Lockstep: exactly the two joint states (s0,r0) and (s1,r1) are reachable.
+  EXPECT_EQ(p.automaton.stateCount(), 2u);
+  EXPECT_EQ(p.automaton.transitionCount(), 2u);
+  EXPECT_EQ(p.automaton.initialStates().size(), 1u);
+  // The joint labels are the unions of the component interactions.
+  const StateId init = p.automaton.initialStates()[0];
+  const auto& ts = p.automaton.transitionsFrom(init);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].label, ia(*h.t.signals, {"msg"}, {"msg"}));
+}
+
+TEST(Compose, UnconsumedMessageBlocksSynchronization) {
+  // A receiver that has msg in its input alphabet but never takes it:
+  // synchronous communication means the send cannot fire (Def. 3's matching
+  // (A' ∩ O) = B fails), so the composition deadlocks immediately.
+  Tables t2;
+  Automaton snd(t2.signals, t2.props, "snd");
+  snd.addOutput("msg");
+  snd.addState("s0");
+  snd.markInitial(0);
+  snd.addTransition(0, ia(*t2.signals, {}, {"msg"}), 0);
+  Automaton rcv(t2.signals, t2.props, "rcv");
+  rcv.addInput("msg");
+  rcv.addState("r0");
+  rcv.markInitial(0);
+  rcv.addTransition(0, test::idle(), 0);
+  const Product p = compose(snd, rcv);
+  ASSERT_EQ(p.automaton.stateCount(), 1u);
+  EXPECT_TRUE(
+      p.automaton.transitionsFrom(p.automaton.initialStates()[0]).empty());
+}
+
+TEST(Compose, EnvironmentFacingOutputsPassThrough) {
+  // An output outside the partner's input alphabet is not subject to the
+  // matching condition (open system; DESIGN.md §6).
+  Tables t;
+  Automaton a(t.signals, t.props, "a");
+  a.addOutput("ext");  // nobody reads this
+  a.addState("a0");
+  a.markInitial(0);
+  a.addTransition(0, ia(*t.signals, {}, {"ext"}), 0);
+  Automaton b(t.signals, t.props, "b");
+  b.addInput("other");
+  b.addState("b0");
+  b.markInitial(0);
+  b.addTransition(0, test::idle(), 0);
+  const Product p = compose(a, b);
+  const StateId init = p.automaton.initialStates()[0];
+  ASSERT_EQ(p.automaton.transitionsFrom(init).size(), 1u);
+  EXPECT_EQ(p.automaton.transitionsFrom(init)[0].label,
+            ia(*t.signals, {}, {"ext"}));
+}
+
+TEST(Compose, RequiresComposability) {
+  Handshake h;
+  Automaton clash(h.t.signals, h.t.props, "clash");
+  clash.addOutput("msg");  // output overlap with sender
+  clash.addState("c0");
+  clash.markInitial(0);
+  EXPECT_THROW(compose(h.sender, clash), std::invalid_argument);
+
+  // Different tables are rejected too.
+  Tables other;
+  Automaton foreign(other.signals, other.props, "foreign");
+  foreign.addState("f0");
+  foreign.markInitial(0);
+  EXPECT_THROW(compose(h.sender, foreign), std::invalid_argument);
+}
+
+TEST(Compose, LabelsAreUnioned) {
+  Handshake h;
+  const Product p = compose(h.sender, h.receiver);
+  const StateId init = p.automaton.initialStates()[0];
+  const auto s0 = h.t.props->lookup("snd.s0");
+  const auto r0 = h.t.props->lookup("rcv.r0");
+  ASSERT_TRUE(s0 && r0);
+  EXPECT_TRUE(p.automaton.labels(init).test(*s0));
+  EXPECT_TRUE(p.automaton.labels(init).test(*r0));
+}
+
+TEST(Compose, OrthogonalComponentsInterleaveInLockstep) {
+  // Two components with disjoint, non-communicating alphabets: every joint
+  // step combines one transition of each (synchronous execution).
+  Tables t;
+  Automaton a(t.signals, t.props, "a");
+  a.addOutput("x");
+  a.addState("a0");
+  a.addState("a1");
+  a.markInitial(0);
+  a.addTransition(0, ia(*t.signals, {}, {"x"}), 1);
+  a.addTransition(1, test::idle(), 1);
+
+  Automaton b(t.signals, t.props, "b");
+  b.addOutput("y");
+  b.addState("b0");
+  b.addState("b1");
+  b.markInitial(0);
+  b.addTransition(0, ia(*t.signals, {}, {"y"}), 1);
+  b.addTransition(1, test::idle(), 1);
+
+  ASSERT_TRUE(a.orthogonalTo(b));
+  const Product p = compose(a, b);
+  // Both must move each step: (a0,b0) -> (a1,b1) -> (a1,b1).
+  EXPECT_EQ(p.automaton.stateCount(), 2u);
+  const StateId init = p.automaton.initialStates()[0];
+  const auto& ts = p.automaton.transitionsFrom(init);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].label, ia(*t.signals, {}, {"x", "y"}));
+}
+
+TEST(Compose, NaryFoldIsOrderInsensitiveUpToSize) {
+  Tables t;
+  RandomSpec specA;
+  specA.states = 4;
+  specA.inputs = 1;
+  specA.outputs = 1;
+  specA.densityPct = 30;
+  specA.seed = 11;
+  specA.name = "ra";
+  RandomSpec specB = specA;
+  specB.states = 3;
+  specB.seed = 22;
+  specB.name = "rb";
+  RandomSpec specC = specB;
+  specC.seed = 33;
+  specC.name = "rc";
+  const Automaton a = randomAutomaton(specA, t.signals, t.props);
+  const Automaton b = randomAutomaton(specB, t.signals, t.props);
+  const Automaton c = randomAutomaton(specC, t.signals, t.props);
+  const Product abc = composeAll({&a, &b, &c});
+  const Product cab = composeAll({&c, &a, &b});
+  EXPECT_EQ(abc.automaton.stateCount(), cab.automaton.stateCount());
+  EXPECT_EQ(abc.automaton.transitionCount(), cab.automaton.transitionCount());
+  EXPECT_EQ(abc.componentNames.size(), 3u);
+  EXPECT_EQ(abc.origins.size(), abc.automaton.stateCount());
+}
+
+TEST(Compose, ProjectionRecoversComponentRuns) {
+  Handshake h;
+  const Product p = compose(h.sender, h.receiver);
+  const StateId init = p.automaton.initialStates()[0];
+  ARun run;
+  run.states.push_back(init);
+  StateId cur = init;
+  for (int i = 0; i < 3; ++i) {
+    const auto& ts = p.automaton.transitionsFrom(cur);
+    ASSERT_FALSE(ts.empty());
+    run.labels.push_back(ts[0].label);
+    run.states.push_back(ts[0].to);
+    cur = ts[0].to;
+  }
+  const ARun sndRun = p.projectRun(run, 0);
+  const ARun rcvRun = p.projectRun(run, 1);
+  EXPECT_TRUE(h.sender.admitsRun(sndRun));
+  EXPECT_TRUE(h.receiver.admitsRun(rcvRun));
+  // Projections keep only the component's own signals.
+  EXPECT_EQ(sndRun.labels[0], ia(*h.t.signals, {}, {"msg"}));
+  EXPECT_EQ(rcvRun.labels[0], ia(*h.t.signals, {"msg"}, {}));
+}
+
+TEST(Compose, RenderRunPaperStyle) {
+  Handshake h;
+  const Product p = compose(h.sender, h.receiver);
+  const StateId init = p.automaton.initialStates()[0];
+  ARun run;
+  run.states.push_back(init);
+  const auto& ts = p.automaton.transitionsFrom(init);
+  ASSERT_FALSE(ts.empty());
+  run.labels.push_back(ts[0].label);
+  run.states.push_back(ts[0].to);
+  const std::string text = p.renderRun(run);
+  EXPECT_NE(text.find("snd.s0, rcv.r0"), std::string::npos);
+  EXPECT_NE(text.find("snd.msg!, rcv.msg?"), std::string::npos);
+  EXPECT_NE(text.find("snd.s1, rcv.r1"), std::string::npos);
+
+  // Deadlock rendering.
+  ARun dead = run;
+  dead.deadlock = true;  // states == labels sizes match after this trim
+  dead.states.pop_back();
+  const std::string dtext = p.renderRun(dead);
+  EXPECT_NE(dtext.find("[blocked]"), std::string::npos);
+  EXPECT_NE(dtext.find("DEADLOCK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mui::automata

@@ -1,0 +1,224 @@
+// Tests for the CCTL model checker: fixpoint operators on hand-built Kripke
+// structures, bounded-window semantics over the discrete-time model, weak
+// semantics on finite (deadlocking) paths, and algebraic consistency
+// (dualities / equivalences) as property tests on random automata.
+
+#include <gtest/gtest.h>
+
+#include "automata/random.hpp"
+#include "ctl/checker.hpp"
+#include "ctl/parser.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace mui::ctl {
+namespace {
+
+using automata::Automaton;
+using automata::InteractionMode;
+using automata::RandomSpec;
+using test::Tables;
+
+/// s0 -> s1 -> s2 -> s3 (s3 is a deadlock); p holds at s2.
+Automaton chain(const Tables& t) {
+  Automaton a(t.signals, t.props, "chain");
+  a.addOutput("step");
+  for (int i = 0; i < 4; ++i) a.addState("s" + std::to_string(i));
+  a.markInitial(0);
+  const automata::Interaction x = test::ia(*t.signals, {}, {"step"});
+  a.addTransition(0, x, 1);
+  a.addTransition(1, x, 2);
+  a.addTransition(2, x, 3);
+  a.addLabel(2, "p");
+  return a;
+}
+
+/// s0 <-> s1 cycle; p holds at s1.
+Automaton cycle(const Tables& t) {
+  Automaton a(t.signals, t.props, "cycle");
+  a.addOutput("step");
+  a.addState("s0");
+  a.addState("s1");
+  a.markInitial(0);
+  const automata::Interaction x = test::ia(*t.signals, {}, {"step"});
+  a.addTransition(0, x, 1);
+  a.addTransition(1, x, 0);
+  a.addLabel(1, "p");
+  return a;
+}
+
+/// s0 branches to good (p, self-loop) and bad (deadlock, no p).
+Automaton branching(const Tables& t) {
+  Automaton a(t.signals, t.props, "branch");
+  a.addOutput("step");
+  a.addState("s0");
+  a.addState("good");
+  a.addState("bad");
+  a.markInitial(0);
+  const automata::Interaction x = test::ia(*t.signals, {}, {"step"});
+  a.addTransition(0, x, 1);
+  a.addTransition(0, x, 2);
+  a.addTransition(1, x, 1);
+  a.addLabel(1, "p");
+  return a;
+}
+
+bool holdsOn(const Automaton& a, const char* f) {
+  Checker c(a);
+  return c.holds(parseFormula(f));
+}
+
+TEST(Checker, UnboundedOperatorsOnChain) {
+  Tables t;
+  const Automaton a = chain(t);
+  EXPECT_TRUE(holdsOn(a, "EF p"));
+  EXPECT_TRUE(holdsOn(a, "AF p"));
+  EXPECT_FALSE(holdsOn(a, "AG p"));
+  EXPECT_FALSE(holdsOn(a, "p"));
+  EXPECT_TRUE(holdsOn(a, "AX AX p"));
+  EXPECT_FALSE(holdsOn(a, "AX p"));
+  EXPECT_TRUE(holdsOn(a, "EF deadlock"));
+  EXPECT_FALSE(holdsOn(a, "AG !deadlock"));
+  // q holds nowhere: AF q fails and (weak) EG !q holds via the dying path.
+  EXPECT_FALSE(holdsOn(a, "AF q"));
+  EXPECT_TRUE(holdsOn(a, "EG !q"));
+  EXPECT_TRUE(holdsOn(a, "A[!p U p]"));
+}
+
+TEST(Checker, BoundedWindowsOnChain) {
+  Tables t;
+  const Automaton a = chain(t);
+  EXPECT_TRUE(holdsOn(a, "AF[2,2] p"));
+  EXPECT_TRUE(holdsOn(a, "AF[0,2] p"));
+  EXPECT_TRUE(holdsOn(a, "AF[2,5] p"));
+  EXPECT_FALSE(holdsOn(a, "AF[0,1] p"));
+  EXPECT_FALSE(holdsOn(a, "AF[3,9] p"));  // the only p is at position 2
+  EXPECT_TRUE(holdsOn(a, "AG[0,1] !p"));
+  EXPECT_FALSE(holdsOn(a, "AG[0,2] !p"));
+  EXPECT_TRUE(holdsOn(a, "AG[3,3] !p"));
+  EXPECT_TRUE(holdsOn(a, "A[!p U[2,2] p]"));
+  EXPECT_FALSE(holdsOn(a, "A[!p U[1,1] p]"));
+  EXPECT_TRUE(holdsOn(a, "EF[2,2] p"));
+  EXPECT_FALSE(holdsOn(a, "EF[3,3] p"));
+  // Weak semantics past the deadlock: position 5 does not exist, so a
+  // G-window there is vacuous and an F-window unsatisfiable.
+  EXPECT_TRUE(holdsOn(a, "AG[5,9] p"));
+  EXPECT_FALSE(holdsOn(a, "AF[5,9] p"));
+  EXPECT_FALSE(holdsOn(a, "EF[5,9] p"));
+}
+
+TEST(Checker, CycleSemantics) {
+  Tables t;
+  const Automaton a = cycle(t);
+  EXPECT_TRUE(holdsOn(a, "AF p"));
+  EXPECT_TRUE(holdsOn(a, "AG EF p"));
+  EXPECT_FALSE(holdsOn(a, "EG !p"));  // the only path hits p forever
+  EXPECT_TRUE(holdsOn(a, "AF[1,1] p"));
+  EXPECT_FALSE(holdsOn(a, "AF[2,2] p"));  // position 2 is s0 again
+  EXPECT_TRUE(holdsOn(a, "AG (p -> AF[1,2] p)"));
+  EXPECT_TRUE(holdsOn(a, "AG !deadlock"));
+}
+
+TEST(Checker, BranchingAndDeadlockInteraction) {
+  Tables t;
+  const Automaton a = branching(t);
+  EXPECT_TRUE(holdsOn(a, "EF p"));
+  // The branch into `bad` dies without p, so AF p fails.
+  EXPECT_FALSE(holdsOn(a, "AF p"));
+  EXPECT_TRUE(holdsOn(a, "EG (p || !p)"));
+  EXPECT_TRUE(holdsOn(a, "EX p"));
+  EXPECT_FALSE(holdsOn(a, "AX p"));
+  EXPECT_TRUE(holdsOn(a, "EF deadlock"));
+  // AX is vacuous at the deadlock state itself.
+  Checker c(a);
+  const auto sat = c.evaluate(parseFormula("AX false"));
+  EXPECT_TRUE(sat[2]);   // bad (deadlock): vacuously true
+  EXPECT_FALSE(sat[0]);  // s0 has successors
+}
+
+TEST(Checker, UnknownAtomsReported) {
+  Tables t;
+  const Automaton a = chain(t);
+  Checker c(a);
+  EXPECT_FALSE(c.holds(parseFormula("AF typo_prop")));
+  ASSERT_EQ(c.unknownAtoms().size(), 1u);
+  EXPECT_EQ(c.unknownAtoms()[0], "typo_prop");
+}
+
+// ---- Algebraic consistency on random models --------------------------------
+
+class CheckerAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Random automaton with p/q sprinkled over its states.
+  Automaton makeModel(const Tables& t, std::uint64_t seed) {
+    RandomSpec spec;
+    spec.states = 7;
+    spec.densityPct = 45;
+    spec.deterministic = false;
+    spec.noLocalDeadlocks = false;
+    spec.seed = seed;
+    spec.name = "m";
+    Automaton a = automata::randomAutomaton(spec, t.signals, t.props);
+    util::Rng rng(seed + 99);
+    for (automata::StateId s = 0; s < a.stateCount(); ++s) {
+      if (rng.chance(40, 100)) a.addLabel(s, "p");
+      if (rng.chance(40, 100)) a.addLabel(s, "q");
+    }
+    return a;
+  }
+
+  static std::vector<char> eval(const Automaton& a, const char* f) {
+    Checker c(a);
+    return c.evaluate(parseFormula(f));
+  }
+};
+
+TEST_P(CheckerAlgebra, Dualities) {
+  Tables t;
+  const Automaton a = makeModel(t, GetParam());
+  const auto negate = [](std::vector<char> v) {
+    for (auto& x : v) x = !x;
+    return v;
+  };
+  EXPECT_EQ(eval(a, "AG p"), negate(eval(a, "EF !p")));
+  EXPECT_EQ(eval(a, "EG p"), negate(eval(a, "AF !p")));
+  EXPECT_EQ(eval(a, "AG[1,3] p"), negate(eval(a, "EF[1,3] !p")));
+  EXPECT_EQ(eval(a, "EG[2,4] p"), negate(eval(a, "AF[2,4] !p")));
+  EXPECT_EQ(eval(a, "AX p"), negate(eval(a, "EX !p")));
+}
+
+TEST_P(CheckerAlgebra, UntilEquivalences) {
+  Tables t;
+  const Automaton a = makeModel(t, GetParam());
+  EXPECT_EQ(eval(a, "AF p"), eval(a, "A[true U p]"));
+  EXPECT_EQ(eval(a, "EF p"), eval(a, "E[true U p]"));
+  EXPECT_EQ(eval(a, "AF[1,3] p"), eval(a, "A[true U[1,3] p]"));
+  EXPECT_EQ(eval(a, "EF[2,4] p"), eval(a, "E[true U[2,4] p]"));
+  // Unbounded == [0,inf].
+  EXPECT_EQ(eval(a, "AF p"), eval(a, "AF[0,inf] p"));
+  EXPECT_EQ(eval(a, "AG p"), eval(a, "AG[0,inf] p"));
+}
+
+TEST_P(CheckerAlgebra, WindowMonotonicity) {
+  Tables t;
+  const Automaton a = makeModel(t, GetParam());
+  const auto implies = [](const std::vector<char>& x,
+                          const std::vector<char>& y) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] && !y[i]) return false;
+    }
+    return true;
+  };
+  // A wider F-window is easier to satisfy; a wider G-window is harder.
+  EXPECT_TRUE(implies(eval(a, "AF[1,2] p"), eval(a, "AF[1,3] p")));
+  EXPECT_TRUE(implies(eval(a, "AF[1,3] p"), eval(a, "AF[1,inf] p")));
+  EXPECT_TRUE(implies(eval(a, "AG[1,3] p"), eval(a, "AG[1,2] p")));
+  EXPECT_TRUE(implies(eval(a, "AG[0,inf] p"), eval(a, "AG[0,4] p")));
+  EXPECT_TRUE(implies(eval(a, "EF[1,2] p"), eval(a, "EF[1,3] p")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mui::ctl

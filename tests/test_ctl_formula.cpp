@@ -1,0 +1,100 @@
+// Tests for the CCTL AST, parser, NNF, ACTL classification, and the
+// chaotic-closure formula weakening (paper Sec. 2.7).
+
+#include <gtest/gtest.h>
+
+#include "ctl/parser.hpp"
+#include "util/parse.hpp"
+
+namespace mui::ctl {
+namespace {
+
+std::string roundTrip(std::string_view text) {
+  return parseFormula(text)->toString();
+}
+
+TEST(Parser, BasicShapes) {
+  EXPECT_EQ(roundTrip("true"), "true");
+  EXPECT_EQ(roundTrip("rearRole.convoy"), "rearRole.convoy");
+  EXPECT_EQ(roundTrip("!(a && b)"), "!((a && b))");
+  EXPECT_EQ(roundTrip("AG ! (rearRole.convoy && frontRole.noConvoy)"),
+            "AG (!((rearRole.convoy && frontRole.noConvoy)))");
+  EXPECT_EQ(roundTrip("AG (p1 -> AF[1,5] p2)"),
+            "AG ((p1 -> AF[1,5] (p2)))");
+  EXPECT_EQ(roundTrip("A[a U[2,4] b]"), "A[a U[2,4] b]");
+  EXPECT_EQ(roundTrip("E[a U b]"), "E[a U b]");
+  EXPECT_EQ(roundTrip("AF[3,inf] p"), "AF[3,inf] (p)");
+  EXPECT_EQ(roundTrip("deadlock || x"), "(deadlock || x)");
+  EXPECT_EQ(roundTrip("a -> b -> c"), "(a -> (b -> c))");  // right assoc
+  EXPECT_EQ(roundTrip("a || b && c"), "(a || (b && c))");  // && binds tighter
+  EXPECT_EQ(roundTrip("shuttle.noConvoy::wait"), "shuttle.noConvoy::wait");
+}
+
+TEST(Parser, ParseIsStableUnderToString) {
+  for (const char* f :
+       {"AG (p1 -> AF[1,5] p2)", "A[a U[2,4] b]", "!(a || !b) && EF c",
+        "AG !(x && y) && AG !deadlock", "EG[0,7] (a -> b)"}) {
+    const std::string once = roundTrip(f);
+    EXPECT_EQ(roundTrip(once), once) << f;
+  }
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parseFormula("AG"), util::ParseError);
+  EXPECT_THROW(parseFormula("(a && b"), util::ParseError);
+  EXPECT_THROW(parseFormula("a b"), util::ParseError);
+  EXPECT_THROW(parseFormula("AF[5,2] p"), util::ParseError);  // hi < lo
+  EXPECT_THROW(parseFormula("A[a W b]"), util::ParseError);
+  EXPECT_THROW(parseFormula(""), util::ParseError);
+}
+
+TEST(NNF, PushesNegationsToAtoms) {
+  EXPECT_EQ(toNNF(parseFormula("!(a && b)"))->toString(),
+            "(!(a) || !(b))");
+  EXPECT_EQ(toNNF(parseFormula("!AG p"))->toString(), "EF (!(p))");
+  EXPECT_EQ(toNNF(parseFormula("!AF[1,5] p"))->toString(),
+            "EG[1,5] (!(p))");
+  EXPECT_EQ(toNNF(parseFormula("!(a -> b)"))->toString(), "(a && !(b))");
+  EXPECT_EQ(toNNF(parseFormula("!!a"))->toString(), "a");
+  EXPECT_EQ(toNNF(parseFormula("!EX p"))->toString(), "AX (!(p))");
+  EXPECT_THROW(toNNF(parseFormula("!A[a U b]")), std::invalid_argument);
+}
+
+TEST(ACTL, Classification) {
+  EXPECT_TRUE(parseFormula("AG !(a && b)")->isACTL());
+  EXPECT_TRUE(parseFormula("AG (p1 -> AF[1,5] p2)")->isACTL());
+  EXPECT_TRUE(parseFormula("A[a U b]")->isACTL());
+  EXPECT_TRUE(parseFormula("!EF bad")->isACTL());  // ≡ AG !bad
+  EXPECT_FALSE(parseFormula("EF good")->isACTL());
+  EXPECT_FALSE(parseFormula("AG EF reset")->isACTL());
+  EXPECT_FALSE(parseFormula("!AG p")->isACTL());
+}
+
+TEST(Weakening, ChaosStatesSatisfyAllLiterals) {
+  // AG ¬(a ∧ b) weakens to AG((¬a ∨ p_chaos) ∨ (¬b ∨ p_chaos)).
+  const auto w = weakenForChaos(parseFormula("AG !(a && b)"), "p_chaos");
+  const std::string s = w->toString();
+  EXPECT_NE(s.find("p_chaos"), std::string::npos);
+  EXPECT_NE(s.find("!(a)"), std::string::npos);
+  // Positive literals are weakened as well.
+  const auto w2 = weakenForChaos(parseFormula("AG (p -> AF[1,4] q)"));
+  const std::string s2 = w2->toString();
+  // NNF of p -> ... is !p ∨ ...; both !p and q pick up the disjunct.
+  EXPECT_NE(s2.find("(!(p) || p_chaos)"), std::string::npos);
+  EXPECT_NE(s2.find("(q || p_chaos)"), std::string::npos);
+  // The deadlock atom is structural and stays unweakened.
+  const auto w3 = weakenForChaos(parseFormula("AG !deadlock"));
+  EXPECT_EQ(w3->toString(), "AG (!(deadlock))");
+}
+
+TEST(Bound, Defaults) {
+  const auto f = parseFormula("AF p");
+  EXPECT_EQ(f->bound.lo, 0u);
+  EXPECT_FALSE(f->bound.bounded());
+  const auto g = parseFormula("AF[2,9] p");
+  EXPECT_EQ(g->bound.lo, 2u);
+  EXPECT_EQ(g->bound.hi, 9u);
+}
+
+}  // namespace
+}  // namespace mui::ctl

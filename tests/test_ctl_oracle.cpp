@@ -1,0 +1,142 @@
+// Oracle tests for the bounded CCTL operators: an independent brute-force
+// evaluator enumerates every maximal path prefix up to the window bound and
+// decides AF/EF/AG/EG[a,b] directly from the definition; the fixpoint-based
+// checker must agree on every state of random models.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "automata/random.hpp"
+#include "ctl/checker.hpp"
+#include "ctl/formula.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace mui::ctl {
+namespace {
+
+using automata::Automaton;
+using automata::StateId;
+using test::Tables;
+
+/// Enumerates every path from `s`: either exactly `depth` steps long, or
+/// shorter and ending in a deadlock state. Calls `f` with the state
+/// sequence; stops early when `f` returns false. Returns false iff some
+/// call returned false.
+bool forEachMaximalPrefix(const Automaton& m, StateId s, std::size_t depth,
+                          std::vector<StateId>& path,
+                          const std::function<bool(const std::vector<StateId>&)>& f) {
+  path.push_back(s);
+  bool ok = true;
+  if (path.size() == depth + 1 || m.transitionsFrom(s).empty()) {
+    ok = f(path);
+  } else {
+    for (const auto& t : m.transitionsFrom(s)) {
+      if (!forEachMaximalPrefix(m, t.to, depth, path, f)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  path.pop_back();
+  return ok;
+}
+
+struct Oracle {
+  const Automaton& m;
+  std::vector<char> phi;  // φ per state
+
+  /// Does the path prefix (positions 0..k) satisfy "φ somewhere in [a,b]"?
+  bool fOnPath(const std::vector<StateId>& p, std::size_t a,
+               std::size_t b) const {
+    for (std::size_t i = a; i <= b && i < p.size(); ++i) {
+      if (phi[p[i]]) return true;
+    }
+    return false;
+  }
+  /// Does the prefix satisfy "φ everywhere in [a,b] (that exists)"?
+  bool gOnPath(const std::vector<StateId>& p, std::size_t a,
+               std::size_t b) const {
+    for (std::size_t i = a; i <= b && i < p.size(); ++i) {
+      if (!phi[p[i]]) return false;
+    }
+    return true;
+  }
+
+  bool af(StateId s, std::size_t a, std::size_t b) const {
+    std::vector<StateId> path;
+    return forEachMaximalPrefix(
+        m, s, b, path, [&](const auto& p) { return fOnPath(p, a, b); });
+  }
+  bool ef(StateId s, std::size_t a, std::size_t b) const {
+    std::vector<StateId> path;
+    // "all prefixes fail" == !EF.
+    return !forEachMaximalPrefix(
+        m, s, b, path, [&](const auto& p) { return !fOnPath(p, a, b); });
+  }
+  bool ag(StateId s, std::size_t a, std::size_t b) const {
+    std::vector<StateId> path;
+    return forEachMaximalPrefix(
+        m, s, b, path, [&](const auto& p) { return gOnPath(p, a, b); });
+  }
+  bool eg(StateId s, std::size_t a, std::size_t b) const {
+    std::vector<StateId> path;
+    return !forEachMaximalPrefix(
+        m, s, b, path, [&](const auto& p) { return !gOnPath(p, a, b); });
+  }
+};
+
+class BoundedOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedOracle, FixpointsMatchPathEnumeration) {
+  const std::uint64_t seed = GetParam();
+  Tables t;
+  automata::RandomSpec spec;
+  spec.states = 5;
+  spec.inputs = 1;
+  spec.outputs = 1;
+  spec.densityPct = 35;
+  spec.deterministic = false;
+  spec.noLocalDeadlocks = false;  // deadlocks exercise the weak semantics
+  spec.labelStates = false;
+  spec.seed = seed;
+  spec.name = "m";
+  Automaton m = automata::randomAutomaton(spec, t.signals, t.props);
+  util::Rng rng(seed * 97 + 11);
+  Oracle oracle{m, std::vector<char>(m.stateCount(), 0)};
+  for (StateId s = 0; s < m.stateCount(); ++s) {
+    if (rng.chance(45, 100)) {
+      m.addLabel(s, "p");
+      oracle.phi[s] = 1;
+    }
+  }
+
+  Checker checker(m);
+  const auto phiF = Formula::mkAtom("p");
+  for (std::size_t a = 0; a <= 3; ++a) {
+    for (std::size_t b = a; b <= 4; ++b) {
+      const Bound bound{a, b};
+      const auto af = checker.evaluate(Formula::mkAF(phiF, bound));
+      const auto ef = checker.evaluate(Formula::mkEF(phiF, bound));
+      const auto ag = checker.evaluate(Formula::mkAG(phiF, bound));
+      const auto eg = checker.evaluate(Formula::mkEG(phiF, bound));
+      for (StateId s = 0; s < m.stateCount(); ++s) {
+        EXPECT_EQ(static_cast<bool>(af[s]), oracle.af(s, a, b))
+            << "AF[" << a << "," << b << "] at " << m.stateName(s);
+        EXPECT_EQ(static_cast<bool>(ef[s]), oracle.ef(s, a, b))
+            << "EF[" << a << "," << b << "] at " << m.stateName(s);
+        EXPECT_EQ(static_cast<bool>(ag[s]), oracle.ag(s, a, b))
+            << "AG[" << a << "," << b << "] at " << m.stateName(s);
+        EXPECT_EQ(static_cast<bool>(eg[s]), oracle.eg(s, a, b))
+            << "EG[" << a << "," << b << "] at " << m.stateName(s);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedOracle,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mui::ctl

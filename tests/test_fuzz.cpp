@@ -1,0 +1,146 @@
+// Robustness tests: the parsers must either succeed or throw a ParseError /
+// invalid_argument on arbitrary token soup — never crash or hang — and the
+// bitset must agree with a reference implementation under random operation
+// sequences.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "ctl/parser.hpp"
+#include "muml/loader.hpp"
+#include "util/bitset.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+namespace mui {
+namespace {
+
+std::string randomSoup(util::Rng& rng, std::size_t tokens,
+                       const std::vector<std::string>& vocab) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens; ++i) {
+    out += vocab[rng.below(vocab.size())];
+    if (rng.chance(70, 100)) out += ' ';
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, CtlParserNeverCrashes) {
+  const std::vector<std::string> vocab = {
+      "AG",  "AF",   "EG",       "EF",    "AX",  "EX",  "A",   "E",  "U",
+      "[",   "]",    "(",        ")",     "!",   "&&",  "||",  "->", "true",
+      "false", "deadlock", "p",  "q.r",   "1",   "5",   ",",   "inf",
+      "x::y", "@",   "AG(",      "))",    ""};
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = randomSoup(rng, rng.range(1, 14), vocab);
+    try {
+      const auto f = ctl::parseFormula(text);
+      // If it parsed, printing and re-parsing must be stable.
+      const std::string once = f->toString();
+      EXPECT_EQ(ctl::parseFormula(once)->toString(), once) << text;
+    } catch (const util::ParseError&) {
+      // expected for most soups
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MumlLoaderNeverCrashes) {
+  const std::vector<std::string> vocab = {
+      "automaton", "rtsc",      "pattern",  "input",    "output", "clock",
+      "location",  "initial",   "state",    "role",     "uses",   "invariant",
+      "connector", "direct",    "channel",  "delay",    "routes", "constraint",
+      "trigger",   "emit",      "guard",    "reset",    "labels", "{",
+      "}",         ";",         ":",        "->",       "/",      "a",
+      "b",         "m1",        "<=",       ">=",       "2",      "\"AG p\"",
+      "#c\n",      ""};
+  util::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = randomSoup(rng, rng.range(1, 25), vocab);
+    try {
+      (void)muml::loadModel(text);
+    } catch (const util::ParseError&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+class BitsetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetFuzz, AgreesWithReferenceSets) {
+  util::Rng rng(GetParam() * 31 + 3);
+  util::DynBitset a, b;
+  std::set<std::size_t> ra, rb;
+  const auto check = [&](const util::DynBitset& x,
+                         const std::set<std::size_t>& r) {
+    ASSERT_EQ(x.count(), r.size());
+    for (std::size_t bit : r) ASSERT_TRUE(x.test(bit));
+    const auto bits = x.bits();
+    ASSERT_TRUE(std::equal(bits.begin(), bits.end(), r.begin(), r.end()));
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t bit = rng.below(200);
+    switch (rng.below(7)) {
+      case 0:
+        a.set(bit);
+        ra.insert(bit);
+        break;
+      case 1:
+        a.reset(bit);
+        ra.erase(bit);
+        break;
+      case 2:
+        b.set(bit);
+        rb.insert(bit);
+        break;
+      case 3: {  // a |= b
+        a |= b;
+        ra.insert(rb.begin(), rb.end());
+        break;
+      }
+      case 4: {  // a &= b
+        a &= b;
+        std::set<std::size_t> inter;
+        for (std::size_t v : ra) {
+          if (rb.count(v)) inter.insert(v);
+        }
+        ra = std::move(inter);
+        break;
+      }
+      case 5: {  // a -= b
+        for (std::size_t v : rb) ra.erase(v);
+        a -= b;
+        break;
+      }
+      case 6: {  // structural equality and subset agree with the reference
+        ASSERT_EQ(a == b, ra == rb);
+        ASSERT_EQ(a.isSubsetOf(b),
+                  std::includes(rb.begin(), rb.end(), ra.begin(), ra.end()));
+        bool refIntersects = false;
+        for (std::size_t v : ra) {
+          if (rb.count(v)) refIntersects = true;
+        }
+        ASSERT_EQ(a.intersects(b), refIntersects);
+        break;
+      }
+    }
+    check(a, ra);
+    check(b, rb);
+    if (a == b) ASSERT_EQ(a.hash(), b.hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetFuzz,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace mui

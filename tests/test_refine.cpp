@@ -1,0 +1,170 @@
+// Tests for refinement (paper Def. 4): reflexivity, the deadlock-trace
+// condition, the chaotic automaton as top element (Def. 8), and agreement
+// between the exact check and the simulation approximation.
+
+#include <gtest/gtest.h>
+
+#include "automata/chaos.hpp"
+#include "automata/random.hpp"
+#include "automata/refine.hpp"
+#include "helpers.hpp"
+
+namespace mui::automata {
+namespace {
+
+using test::Tables;
+using test::ia;
+
+TEST(Refinement, Reflexive) {
+  Tables t;
+  RandomSpec spec;
+  spec.states = 5;
+  spec.seed = 7;
+  spec.name = "m";
+  const Automaton m = randomAutomaton(spec, t.signals, t.props);
+  const auto alpha =
+      makeAlphabet(m.inputs(), m.outputs(), InteractionMode::AtMostOneSignal);
+  EXPECT_TRUE(checkRefinement(m, m, alpha).holds);
+  EXPECT_TRUE(simulates(m, m, alpha));
+}
+
+TEST(Refinement, RemovingATransitionBreaksRefinementDownward) {
+  // M' := M minus one transition. Then M' has a deadlock trace that M does
+  // not (condition 2), so M' does NOT refine M; and M has a trace M' lacks,
+  // so M does not refine M' either (condition 1).
+  Tables t;
+  Automaton m(t.signals, t.props, "m");
+  m.addOutput("a");
+  m.addOutput("b");
+  m.addState("s0");
+  m.addState("s1");
+  m.markInitial(0);
+  m.labelWithStateName(0);
+  m.labelWithStateName(1);
+  const Interaction doA = ia(*t.signals, {}, {"a"});
+  const Interaction doB = ia(*t.signals, {}, {"b"});
+  m.addTransition(0, doA, 1);
+  m.addTransition(0, doB, 1);
+  m.addTransition(1, doA, 1);
+
+  Automaton less(t.signals, t.props, "m");  // same instance name: same labels
+  less.declareSignals(m.inputs(), m.outputs());
+  less.addState("s0");
+  less.addState("s1");
+  less.markInitial(0);
+  less.labelWithStateName(0);
+  less.labelWithStateName(1);
+  less.addTransition(0, doA, 1);
+  less.addTransition(1, doA, 1);
+
+  const auto alpha =
+      makeAlphabet(m.inputs(), m.outputs(), InteractionMode::AtMostOneSignal);
+  const auto down = checkRefinement(less, m, alpha);
+  EXPECT_FALSE(down.holds);
+  EXPECT_NE(down.reason.find("condition 2"), std::string::npos);
+  const auto up = checkRefinement(m, less, alpha);
+  EXPECT_FALSE(up.holds);
+}
+
+TEST(Refinement, RequiresIdenticalInterfaces) {
+  Tables t;
+  Automaton a(t.signals, t.props, "a");
+  a.addOutput("x");
+  a.addState("s");
+  a.markInitial(0);
+  Automaton b(t.signals, t.props, "b");
+  b.addOutput("y");
+  b.addState("s");
+  b.markInitial(0);
+  EXPECT_THROW(checkRefinement(a, b, {}), std::invalid_argument);
+}
+
+class ChaosTop : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTop, EverythingRefinesTheChaoticAutomaton) {
+  // Def. 8 / Fig. 3: the chaotic automaton is a maximal behavior — any
+  // automaton over the same interface refines it (with the formula-weakening
+  // wildcard on the chaos states).
+  Tables t;
+  RandomSpec spec;
+  spec.states = 6;
+  spec.densityPct = 50;
+  spec.noLocalDeadlocks = false;
+  spec.seed = GetParam();
+  spec.name = "m";
+  const Automaton m = randomAutomaton(spec, t.signals, t.props);
+  const auto alpha =
+      makeAlphabet(m.inputs(), m.outputs(), InteractionMode::AtMostOneSignal);
+  const Automaton top = chaoticAutomaton(t.signals, t.props, m.inputs(),
+                                         m.outputs(), alpha, "chaos");
+  RefinementOptions opts;
+  opts.wildcardProp = kChaosProp;
+  const auto r = checkRefinement(m, top, alpha, opts);
+  EXPECT_TRUE(r.holds) << r.reason;
+  // Note: `simulates` is deliberately weaker and does not recognize the
+  // chaotic top element (condition 2 needs different matching runs for
+  // refusals than for continuations); only the exact check decides this.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTop,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class SimulationSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulationSoundness, SimulatesImpliesRefines) {
+  // `simulates` is a sound approximation: whenever it says yes, the exact
+  // check must agree. Exercised on random pairs sharing an interface.
+  Tables t;
+  const std::uint64_t seed = GetParam();
+  RandomSpec specA;
+  specA.states = 5;
+  specA.outputs = 1;
+  specA.densityPct = 45;
+  specA.deterministic = false;
+  specA.seed = seed;
+  specA.name = "p";
+  const Automaton a = randomAutomaton(specA, t.signals, t.props);
+  // Same-name variant over the same signals: reuse the generator with a
+  // different seed, then align interfaces by construction.
+  RandomSpec specB = specA;
+  specB.seed = seed + 1000;
+  specB.states = 7;
+  const Automaton bRaw = randomAutomaton(specB, t.signals, t.props);
+  // Rebuild b over a's exact I/O sets (the generator interned the same
+  // signal names, so the sets coincide already).
+  ASSERT_TRUE(a.inputs() == bRaw.inputs());
+  ASSERT_TRUE(a.outputs() == bRaw.outputs());
+  const auto alpha =
+      makeAlphabet(a.inputs(), a.outputs(), InteractionMode::AtMostOneSignal);
+  if (simulates(a, bRaw, alpha)) {
+    const auto exact = checkRefinement(a, bRaw, alpha);
+    EXPECT_TRUE(exact.holds) << exact.reason;
+  }
+  // And the trivial positive case.
+  EXPECT_TRUE(simulates(a, a, alpha));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationSoundness,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Refinement, PruningPreservesRefinementBothWays) {
+  Tables t;
+  Automaton m(t.signals, t.props, "m");
+  m.addOutput("a");
+  m.addState("s0");
+  m.addState("s1");
+  m.addState("dead");  // unreachable
+  m.markInitial(0);
+  const Interaction doA = ia(*t.signals, {}, {"a"});
+  m.addTransition(0, doA, 1);
+  m.addTransition(1, doA, 0);
+  m.addTransition(2, doA, 0);
+  const Automaton pruned = m.prunedToReachable();
+  const auto alpha =
+      makeAlphabet(m.inputs(), m.outputs(), InteractionMode::AtMostOneSignal);
+  EXPECT_TRUE(checkRefinement(pruned, m, alpha).holds);
+  EXPECT_TRUE(checkRefinement(m, pruned, alpha).holds);
+}
+
+}  // namespace
+}  // namespace mui::automata

@@ -1,0 +1,181 @@
+// Tests for the RTSC substrate: well-formedness, clock semantics, and the
+// discrete-time compilation (1 transition = 1 time unit, invariants as
+// deadlines, guards as firing windows, resets, saturation at max constant).
+
+#include <gtest/gtest.h>
+
+#include "ctl/checker.hpp"
+#include "ctl/parser.hpp"
+#include "helpers.hpp"
+#include "rtsc/rtsc.hpp"
+
+namespace mui::rtsc {
+namespace {
+
+using test::Tables;
+using Rel = ClockConstraint::Rel;
+
+TEST(ClockConstraintEval, AllRelations) {
+  EXPECT_TRUE((ClockConstraint{0, Rel::Le, 3}.eval(3)));
+  EXPECT_FALSE((ClockConstraint{0, Rel::Lt, 3}.eval(3)));
+  EXPECT_TRUE((ClockConstraint{0, Rel::Ge, 3}.eval(3)));
+  EXPECT_FALSE((ClockConstraint{0, Rel::Gt, 3}.eval(3)));
+  EXPECT_TRUE((ClockConstraint{0, Rel::Eq, 3}.eval(3)));
+  EXPECT_FALSE((ClockConstraint{0, Rel::Eq, 3}.eval(4)));
+}
+
+TEST(Rtsc, WellFormednessErrors) {
+  RealTimeStatechart sc("m");
+  EXPECT_THROW(sc.checkWellFormed(), std::invalid_argument);  // no initial
+  const auto l = sc.addLocation("idle");
+  sc.setInitial(l);
+  sc.checkWellFormed();
+
+  sc.addTransition({l, l, "ghost", {}, {}, {}});
+  EXPECT_THROW(sc.checkWellFormed(), std::invalid_argument);  // bad trigger
+
+  RealTimeStatechart sc2("m2");
+  const auto l2 = sc2.addLocation("idle");
+  sc2.setInitial(l2);
+  sc2.addTransition({l2, l2, std::nullopt, {}, {{5, Rel::Le, 1}}, {}});
+  EXPECT_THROW(sc2.checkWellFormed(), std::invalid_argument);  // bad clock
+
+  EXPECT_THROW(sc2.addLocation("idle"), std::invalid_argument);  // duplicate
+}
+
+TEST(Rtsc, UntimedCompilationAddsStayLoops) {
+  Tables t;
+  RealTimeStatechart sc("m");
+  sc.declareInput("go");
+  sc.declareOutput("done");
+  const auto a = sc.addLocation("a");
+  const auto b = sc.addLocation("b");
+  sc.setInitial(a);
+  sc.addTransition({a, b, "go", {"done"}, {}, {}});
+  const auto aut = sc.compile(t.signals, t.props);
+  EXPECT_EQ(aut.stateCount(), 2u);
+  const auto sa = *aut.stateByName("a");
+  const auto sb = *aut.stateByName("b");
+  EXPECT_TRUE(aut.isInitial(sa));
+  // Stay loop (time passes) plus the triggered transition.
+  EXPECT_TRUE(aut.hasTransitionTo(sa, {}, sa));
+  EXPECT_TRUE(aut.hasTransitionTo(
+      sa, test::ia(*t.signals, {"go"}, {"done"}), sb));
+  EXPECT_TRUE(aut.hasTransitionTo(sb, {}, sb));
+  // Location labels are hierarchical and clock-free.
+  EXPECT_TRUE(t.props->lookup("m.a").has_value());
+}
+
+TEST(Rtsc, InvariantActsAsDeadline) {
+  // Location `hot` has invariant c <= 2 and no outgoing transition: after
+  // entering, time can pass twice, then the configuration is stuck — a
+  // reachable deadlock (the δ of the paper, a missed deadline).
+  Tables t;
+  RealTimeStatechart sc("m");
+  sc.declareInput("go");
+  const auto idle = sc.addLocation("idle");
+  const auto hot = sc.addLocation("hot", {{0, Rel::Le, 2}});
+  sc.addClock("c");
+  sc.setInitial(idle);
+  sc.addTransition({idle, hot, "go", {}, {}, {0}});
+  const auto aut = sc.compile(t.signals, t.props);
+  ctl::Checker checker(aut);
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("EF deadlock")));
+  // The deadline: hot is left (here: stuck) after exactly 2 more ticks.
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("AG (m.hot -> AF[0,2] deadlock)")));
+}
+
+TEST(Rtsc, GuardWindowAndReset) {
+  // fire is only possible with c in [2, 3] (invariant caps staying at 3).
+  Tables t;
+  RealTimeStatechart sc("m");
+  sc.declareOutput("fire");
+  const auto wait = sc.addLocation("wait", {{0, Rel::Le, 3}});
+  const auto done = sc.addLocation("done");
+  sc.addClock("c");
+  sc.setInitial(wait);
+  sc.addTransition({wait, done, std::nullopt, {"fire"}, {{0, Rel::Ge, 2}}, {}});
+  const auto aut = sc.compile(t.signals, t.props);
+  ctl::Checker checker(aut);
+  // No deadlock: the transition window opens before the invariant expires.
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("AG !deadlock")));
+  // fire happens no earlier than tick 2 and no later than tick 4.
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("AF[2,4] m.done")));
+  EXPECT_FALSE(checker.holds(ctl::parseFormula("EF[0,1] m.done")));
+
+  // The compiled state space is bounded by saturation: clock values do not
+  // exceed maxConstant() + 1.
+  EXPECT_EQ(sc.maxConstant(), 3u);
+  EXPECT_LE(aut.stateCount(), 2u * (sc.maxConstant() + 2));
+}
+
+TEST(Rtsc, ResetRestartsTheWindow) {
+  // A self-loop resetting the clock keeps the invariant satisfiable forever.
+  Tables t;
+  RealTimeStatechart sc("m");
+  sc.declareInput("kick");
+  const auto l = sc.addLocation("l", {{0, Rel::Le, 1}});
+  sc.addClock("c");
+  sc.setInitial(l);
+  sc.addTransition({l, l, "kick", {}, {}, {0}});
+  const auto aut = sc.compile(t.signals, t.props);
+  ctl::Checker checker(aut);
+  // The kick is always available (the open input fires freely in the
+  // standalone automaton), so no configuration is ever stuck — and the reset
+  // keeps the clock inside the invariant window: only l@0 and l@1 exist.
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("AG !deadlock")));
+  EXPECT_EQ(aut.stateCount(), 2u);
+  EXPECT_TRUE(aut.stateByName("l@0").has_value());
+  EXPECT_TRUE(aut.stateByName("l@1").has_value());
+}
+
+TEST(Rtsc, TargetInvariantCheckedOnEntry) {
+  // Entering `strict` (invariant c == 0) is only possible with a reset.
+  Tables t;
+  RealTimeStatechart sc("m");
+  sc.declareInput("a");
+  sc.declareInput("b");
+  const auto idle = sc.addLocation("idle");
+  const auto strict = sc.addLocation("strict", {{0, Rel::Le, 0}});
+  sc.addClock("c");
+  sc.setInitial(idle);
+  sc.addTransition({idle, strict, "a", {}, {}, {}});   // no reset: blocked
+  sc.addTransition({idle, strict, "b", {}, {}, {0}});  // reset: allowed
+  const auto aut = sc.compile(t.signals, t.props);
+  const auto s0 = *aut.stateByName("idle@0");
+  EXPECT_FALSE(aut.hasTransition(s0, test::ia(*t.signals, {"a"}, {})));
+  EXPECT_TRUE(aut.hasTransition(s0, test::ia(*t.signals, {"b"}, {})));
+}
+
+TEST(Rtsc, TwoClocksResetIndependently) {
+  // c0 measures the time since the last `tick` input, c1 the total phase
+  // length; the phase must end (emit done) within 5 but a tick must have
+  // been seen within 2 before that.
+  Tables t;
+  RealTimeStatechart sc("m");
+  sc.declareInput("tick");
+  sc.declareOutput("done");
+  const auto c0 = sc.addClock("c0");
+  const auto c1 = sc.addClock("c1");
+  const auto run = sc.addLocation(
+      "run", {{c0, Rel::Le, 2}, {c1, Rel::Le, 5}});
+  const auto end = sc.addLocation("end");
+  sc.setInitial(run);
+  sc.addTransition({run, run, "tick", {}, {}, {c0}});
+  sc.addTransition({run, end, std::nullopt, {"done"}, {{c1, Rel::Ge, 3}}, {}});
+  const auto aut = sc.compile(t.signals, t.props);
+  ctl::Checker checker(aut);
+  // The open `tick` input is always available (and resets only c0), so the
+  // standalone automaton never gets stuck ...
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("AG !deadlock")));
+  // ... c0 never exceeds its window (tick is forced before c0 = 3 persists),
+  // and the phase can only end in the [3,5] window measured by c1.
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("EF[3,5] m.end")));
+  EXPECT_FALSE(checker.holds(ctl::parseFormula("EF[0,2] m.end")));
+  EXPECT_TRUE(checker.holds(ctl::parseFormula("AF[1,6] m.end")));
+  // The clock-valuation states are bounded by saturation on both clocks.
+  EXPECT_LE(aut.stateCount(), 2u * 7u * 7u);
+}
+
+}  // namespace
+}  // namespace mui::rtsc

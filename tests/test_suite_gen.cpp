@@ -1,0 +1,132 @@
+// Tests for systematic component-test generation (paper abstract): the
+// integration loop records every executed counterexample test; the suite
+// acts as a regression oracle for the component.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/parse.hpp"
+#include "muml/shuttle.hpp"
+#include "synthesis/test_suite.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/legacy.hpp"
+#include "testing/legacy_shuttle.hpp"
+
+namespace mui::synthesis {
+namespace {
+
+namespace sh = muml::shuttle;
+using test::Tables;
+
+ComponentTestSuite recordFromCorrectRun(const Tables& t,
+                                        const automata::Automaton& front) {
+  testing::FirmwareShuttleLegacy firmware(t.signals, false);
+  IntegrationConfig cfg;
+  cfg.property = sh::kPatternConstraint;
+  cfg.recordTests = true;
+  const auto res = IntegrationVerifier(front, firmware, cfg).run();
+  EXPECT_EQ(res.verdict, Verdict::ProvenCorrect);
+  EXPECT_EQ(res.recordedTests.size(), 1u);
+  return res.recordedTests[0];
+}
+
+TEST(TestSuiteGen, RecordsEveryExecutedTest) {
+  Tables t;
+  const auto front = sh::frontRoleAutomaton(t.signals, t.props);
+  const auto suite = recordFromCorrectRun(t, front);
+  ASSERT_GT(suite.size(), 0u);
+  // Names carry the iteration and the counterexample kind.
+  EXPECT_NE(suite.tests[0].name.find("iter"), std::string::npos);
+  // Rendering mentions the monitored states.
+  const std::string text = renderSuite(suite, *t.signals);
+  EXPECT_NE(text.find("noConvoy"), std::string::npos);
+}
+
+TEST(TestSuiteGen, SameRevisionPassesTheSuite) {
+  Tables t;
+  const auto front = sh::frontRoleAutomaton(t.signals, t.props);
+  const auto suite = recordFromCorrectRun(t, front);
+  testing::FirmwareShuttleLegacy again(t.signals, false);
+  const auto run = runSuite(suite, again, *t.signals);
+  EXPECT_TRUE(run.allPassed())
+      << (run.failures.empty() ? "" : run.failures[0]);
+  EXPECT_EQ(run.passed, suite.size());
+}
+
+TEST(TestSuiteGen, RegressionIsDetected) {
+  // The faulty revision must fail the suite recorded from the shipped one —
+  // without re-running verification.
+  Tables t;
+  const auto front = sh::frontRoleAutomaton(t.signals, t.props);
+  const auto suite = recordFromCorrectRun(t, front);
+  testing::FirmwareShuttleLegacy regressed(t.signals, true);
+  const auto run = runSuite(suite, regressed, *t.signals);
+  EXPECT_FALSE(run.allPassed());
+  EXPECT_LT(run.passed, suite.size());
+  // The failure message points at the first divergence.
+  ASSERT_FALSE(run.failures.empty());
+  EXPECT_NE(run.failures[0].find("iter"), std::string::npos);
+}
+
+TEST(TestSuiteGen, AutomatonBackedComponentsWorkToo) {
+  Tables t;
+  const auto front = sh::frontRoleAutomaton(t.signals, t.props);
+  testing::AutomatonLegacy legacy(sh::correctRearLegacy(t.signals, t.props));
+  IntegrationConfig cfg;
+  cfg.property = sh::kPatternConstraint;
+  cfg.recordTests = true;
+  const auto res = IntegrationVerifier(front, legacy, cfg).run();
+  ASSERT_EQ(res.verdict, Verdict::ProvenCorrect);
+  const auto& suite = res.recordedTests[0];
+  // The reference automaton implements the same behavior as the firmware:
+  // it passes the suite recorded from its own run...
+  testing::AutomatonLegacy again(sh::correctRearLegacy(t.signals, t.props));
+  EXPECT_TRUE(runSuite(suite, again, *t.signals).allPassed());
+  // ... and the firmware (behaviorally identical) passes it as well.
+  testing::FirmwareShuttleLegacy fw(t.signals, false);
+  EXPECT_TRUE(runSuite(suite, fw, *t.signals).allPassed());
+}
+
+TEST(TestSuiteGen, SerializationRoundTrip) {
+  Tables t;
+  const auto front = sh::frontRoleAutomaton(t.signals, t.props);
+  const auto suite = recordFromCorrectRun(t, front);
+  const std::string text = writeSuite(suite, *t.signals);
+  const auto parsed = parseSuite(text, *t.signals);
+  ASSERT_EQ(parsed.size(), suite.size());
+  // Structural identity...
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(parsed.tests[i].name, suite.tests[i].name);
+    EXPECT_EQ(parsed.tests[i].expectedKind, suite.tests[i].expectedKind);
+    EXPECT_EQ(parsed.tests[i].steps.size(), suite.tests[i].steps.size());
+    for (std::size_t j = 0; j < suite.tests[i].steps.size(); ++j) {
+      EXPECT_EQ(parsed.tests[i].steps[j], suite.tests[i].steps[j]);
+    }
+    EXPECT_EQ(parsed.tests[i].expected.stateNames,
+              suite.tests[i].expected.stateNames);
+    EXPECT_EQ(parsed.tests[i].expected.blocked,
+              suite.tests[i].expected.blocked);
+  }
+  // ... and idempotence of the writer.
+  EXPECT_EQ(writeSuite(parsed, *t.signals), text);
+  // The reloaded suite is as discriminating as the original.
+  testing::FirmwareShuttleLegacy good(t.signals, false);
+  EXPECT_TRUE(runSuite(parsed, good, *t.signals).allPassed());
+  testing::FirmwareShuttleLegacy bad(t.signals, true);
+  EXPECT_FALSE(runSuite(parsed, bad, *t.signals).allPassed());
+}
+
+TEST(TestSuiteGen, ParseErrors) {
+  Tables t;
+  EXPECT_THROW(parseSuite("garbage", *t.signals), util::ParseError);
+  EXPECT_THROW(parseSuite("suite-test \"x\" kind=confirmed\nweird\nend",
+                          *t.signals),
+               util::ParseError);
+  // A blocked test whose observed run is malformed.
+  EXPECT_THROW(
+      parseSuite("suite-test \"x\" kind=blocked\nend", *t.signals),
+      util::ParseError);
+}
+
+}  // namespace
+}  // namespace mui::synthesis

@@ -1,0 +1,293 @@
+// mui — command-line front end to the library.
+//
+//   mui check <model.muml> <automaton> <formula>
+//       Model check one automaton of the model against a CCTL formula;
+//       prints the verdict and a counterexample run if one exists.
+//
+//   mui compose <model.muml> <automaton>... [--check <formula>]
+//       Compose the named automata (Def. 3) and optionally check a formula
+//       (plus deadlock freedom) on the product.
+//
+//   mui verify-pattern <model.muml> <pattern>
+//       Compositional pattern verification: constraint, role invariants,
+//       deadlock freedom.
+//
+//   mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>
+//       Run the full legacy-integration loop: the named automaton of the
+//       model acts as the hidden legacy component playing <legacyRole>;
+//       the remaining roles (and connector) form the context. Prints the
+//       journal, the verdict, and the learned model.
+//
+//   mui suite-gen <model.muml> <pattern> <legacyRole> <hiddenAutomaton>
+//       Run the integration loop and write the generated component test
+//       suite (a regression oracle) to stdout.
+//
+//   mui suite-run <model.muml> <suite-file> <hiddenAutomaton> <roleName>
+//       Replay a saved suite against a component revision.
+//
+//   mui dot <model.muml> <automaton|rtsc>
+//       Emit Graphviz DOT for an automaton or a compiled statechart.
+//
+// Exit code: 0 on verified/proven, 1 on violation/real error, 2 on usage or
+// model errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "automata/compose.hpp"
+#include "automata/rename.hpp"
+#include "ctl/counterexample.hpp"
+#include "ctl/parser.hpp"
+#include "muml/integration.hpp"
+#include "muml/loader.hpp"
+#include "muml/verify.hpp"
+#include "synthesis/report.hpp"
+#include "synthesis/test_suite.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/legacy.hpp"
+
+namespace {
+
+using namespace mui;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mui check <model.muml> <automaton> <formula>\n"
+      "  mui compose <model.muml> <automaton>... [--check <formula>]\n"
+      "  mui verify-pattern <model.muml> <pattern>\n"
+      "  mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>\n"
+      "  mui suite-gen <model.muml> <pattern> <legacyRole> <hidden>\n"
+      "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
+      "  mui dot <model.muml> <automaton|rtsc>\n");
+  return 2;
+}
+
+muml::Model loadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return muml::loadModel(buf.str());
+}
+
+const automata::Automaton& findAutomaton(const muml::Model& model,
+                                         const std::string& name) {
+  const auto it = model.automata.find(name);
+  if (it == model.automata.end()) {
+    throw std::runtime_error("no automaton named '" + name + "' in the model");
+  }
+  return it->second;
+}
+
+int cmdCheck(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  const auto& a = findAutomaton(model, argv[1]);
+  const auto phi = ctl::parseFormula(argv[2]);
+  ctl::VerifyOptions opts;
+  opts.requireDeadlockFree = false;
+  const auto res = ctl::verify(a, phi, opts);
+  if (!res.unknownAtoms.empty()) {
+    std::fprintf(stderr, "warning: unknown atoms:");
+    for (const auto& p : res.unknownAtoms) std::fprintf(stderr, " %s", p.c_str());
+    std::fprintf(stderr, "\n");
+  }
+  if (res.holds) {
+    std::printf("HOLDS: %s\n", phi->toString().c_str());
+    return 0;
+  }
+  std::printf("VIOLATED: %s\n", phi->toString().c_str());
+  const auto& cex = res.cex();
+  std::printf("counterexample (%s):\n", cex.note.c_str());
+  for (std::size_t i = 0; i < cex.run.states.size(); ++i) {
+    std::printf("  %s\n", a.stateName(cex.run.states[i]).c_str());
+    if (i < cex.run.labels.size()) {
+      std::printf("  --%s-->\n",
+                  a.interactionToString(cex.run.labels[i]).c_str());
+    }
+  }
+  return 1;
+}
+
+int cmdCompose(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  std::vector<const automata::Automaton*> parts;
+  std::string formula;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      formula = argv[++i];
+    } else {
+      parts.push_back(&findAutomaton(model, argv[i]));
+    }
+  }
+  if (parts.empty()) return usage();
+  const auto product = automata::composeAll(parts);
+  std::printf("product: %zu states, %zu transitions\n",
+              product.automaton.stateCount(),
+              product.automaton.transitionCount());
+  if (formula.empty()) return 0;
+  const auto res =
+      ctl::verify(product.automaton, ctl::parseFormula(formula), {});
+  if (res.holds) {
+    std::printf("HOLDS (incl. deadlock freedom)\n");
+    return 0;
+  }
+  std::printf("VIOLATED (%s):\n%s", res.cex().note.c_str(),
+              product.renderRun(res.cex().run).c_str());
+  return 1;
+}
+
+int cmdVerifyPattern(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  const auto it = model.patterns.find(argv[1]);
+  if (it == model.patterns.end()) {
+    throw std::runtime_error(std::string("no pattern named '") + argv[1] +
+                             "'");
+  }
+  const auto res = muml::verifyPattern(it->second, model.signals, model.props);
+  std::printf("pattern %s: constraint %s, deadlock-free %s\n",
+              it->second.name.c_str(), res.constraintHolds ? "OK" : "VIOLATED",
+              res.deadlockFree ? "OK" : "VIOLATED");
+  for (const auto& [role, ok] : res.roleInvariants) {
+    std::printf("  role invariant %-12s %s\n", role.c_str(),
+                ok ? "OK" : "VIOLATED");
+  }
+  if (!res.ok() && !res.details.counterexamples.empty()) {
+    std::printf("counterexample:\n%s",
+                res.composed.renderRun(res.details.cex().run).c_str());
+  }
+  return res.ok() ? 0 : 1;
+}
+
+int cmdIntegrate(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  const auto pit = model.patterns.find(argv[1]);
+  if (pit == model.patterns.end()) {
+    throw std::runtime_error(std::string("no pattern named '") + argv[1] +
+                             "'");
+  }
+  const auto& pattern = pit->second;
+  std::size_t roleIdx = pattern.roles.size();
+  for (std::size_t i = 0; i < pattern.roles.size(); ++i) {
+    if (pattern.roles[i].name == argv[2]) roleIdx = i;
+  }
+  if (roleIdx == pattern.roles.size()) {
+    throw std::runtime_error(std::string("pattern has no role '") + argv[2] +
+                             "'");
+  }
+  const auto scenario = muml::makeIntegrationScenario(
+      pattern, roleIdx, model.signals, model.props);
+  // The hidden automaton plays the role: rebind its instance name so the
+  // role invariants and the pattern constraint see its states.
+  testing::AutomatonLegacy legacy(automata::withInstanceName(
+      findAutomaton(model, argv[3]), pattern.roles[roleIdx].name));
+
+  synthesis::IntegrationConfig cfg;
+  cfg.property = scenario.property;
+  cfg.keepTraces = true;
+  const auto res =
+      synthesis::IntegrationVerifier(scenario.context, legacy, cfg).run();
+
+  std::printf("%s", synthesis::renderJournal(res).c_str());
+  std::printf("%s", synthesis::renderSummary(res).c_str());
+  if (!res.counterexampleText.empty()) {
+    std::printf("\ncounterexample:\n%s", res.counterexampleText.c_str());
+  }
+  std::printf("\nlearned model:\n%s",
+              res.learnedModels[0].base().toText().c_str());
+  return res.verdict == synthesis::Verdict::ProvenCorrect ? 0 : 1;
+}
+
+int cmdSuiteGen(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  const auto pit = model.patterns.find(argv[1]);
+  if (pit == model.patterns.end()) {
+    throw std::runtime_error(std::string("no pattern named '") + argv[1] +
+                             "'");
+  }
+  std::size_t roleIdx = pit->second.roles.size();
+  for (std::size_t i = 0; i < pit->second.roles.size(); ++i) {
+    if (pit->second.roles[i].name == argv[2]) roleIdx = i;
+  }
+  if (roleIdx == pit->second.roles.size()) {
+    throw std::runtime_error(std::string("pattern has no role '") + argv[2] +
+                             "'");
+  }
+  const auto scenario = muml::makeIntegrationScenario(
+      pit->second, roleIdx, model.signals, model.props);
+  testing::AutomatonLegacy legacy(automata::withInstanceName(
+      findAutomaton(model, argv[3]), pit->second.roles[roleIdx].name));
+  synthesis::IntegrationConfig cfg;
+  cfg.property = scenario.property;
+  cfg.recordTests = true;
+  const auto res =
+      synthesis::IntegrationVerifier(scenario.context, legacy, cfg).run();
+  std::fprintf(stderr, "# %s", synthesis::renderSummary(res).c_str());
+  std::printf("%s", synthesis::writeSuite(res.recordedTests[0],
+                                          *model.signals)
+                        .c_str());
+  return 0;
+}
+
+int cmdSuiteRun(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  std::ifstream in(argv[1]);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + argv[1]);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto suite = synthesis::parseSuite(buf.str(), *model.signals);
+  testing::AutomatonLegacy legacy(
+      automata::withInstanceName(findAutomaton(model, argv[2]), argv[3]));
+  const auto res = synthesis::runSuite(suite, legacy, *model.signals);
+  std::printf("%zu/%zu tests passed\n", res.passed, suite.size());
+  for (const auto& f : res.failures) std::printf("FAIL %s\n", f.c_str());
+  return res.allPassed() ? 0 : 1;
+}
+
+int cmdDot(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const muml::Model model = loadFile(argv[0]);
+  if (const auto it = model.automata.find(argv[1]); it != model.automata.end()) {
+    std::printf("%s", it->second.toDot().c_str());
+    return 0;
+  }
+  if (const auto it = model.statecharts.find(argv[1]);
+      it != model.statecharts.end()) {
+    std::printf("%s",
+                it->second.compile(model.signals, model.props).toDot().c_str());
+    return 0;
+  }
+  throw std::runtime_error(std::string("no automaton or rtsc named '") +
+                           argv[1] + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
+    if (cmd == "compose") return cmdCompose(argc - 2, argv + 2);
+    if (cmd == "verify-pattern") return cmdVerifyPattern(argc - 2, argv + 2);
+    if (cmd == "integrate") return cmdIntegrate(argc - 2, argv + 2);
+    if (cmd == "suite-gen") return cmdSuiteGen(argc - 2, argv + 2);
+    if (cmd == "suite-run") return cmdSuiteRun(argc - 2, argv + 2);
+    if (cmd == "dot") return cmdDot(argc - 2, argv + 2);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
