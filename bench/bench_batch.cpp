@@ -1,0 +1,201 @@
+// E11 — batch-engine scaling (mui::engine): wall time of a fixed job
+// campaign as the worker count grows, the effect of the content-hash
+// result cache on campaigns with duplicate jobs, and deadline isolation
+// (timed-out jobs never take down the batch).
+//
+// The job set is the watchdog scenario (models/watchdog.muml, embedded
+// below so the bench binary stays self-contained) over several synthetic
+// "revisions" of the device component: revisions differ in model text, so
+// every (revision, device) pair is distinct cache-wise. On a single-core
+// machine the thread sweep shows ~1x; the trajectory matters on the
+// multi-core production target.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engine.hpp"
+#include "engine/manifest.hpp"
+
+namespace {
+
+// models/watchdog.muml, trimmed to the pattern and the device revisions the
+// campaign uses.
+constexpr const char* kWatchdogModel = R"mm(
+rtsc monitorRole {
+  output ping;
+  input pong;
+  clock c;
+  location idle invariant c <= 3;
+  location waiting invariant c <= 2;
+  location escalated;
+  initial idle;
+  idle -> waiting : emit ping reset c;
+  waiting -> idle : trigger pong reset c;
+  waiting -> escalated : guard c >= 2;
+  escalated -> escalated : ;
+}
+
+rtsc deviceRole {
+  input ping;
+  output pong;
+  clock d;
+  location ready;
+  location serving invariant d <= 0;
+  initial ready;
+  ready -> serving : trigger ping reset d;
+  serving -> ready : emit pong;
+}
+
+pattern Watchdog {
+  role monitor uses monitorRole;
+  role device uses deviceRole invariant "AG (device.serving -> AF[1,1] device.ready)";
+  connector direct;
+  constraint "AG !monitor.escalated";
+}
+
+automaton deviceCompliant {
+  input ping; output pong;
+  initial ready;
+  ready -> ready : ;
+  ready -> serving : ping / ;
+  serving -> ready : / pong;
+}
+
+automaton deviceSlow {
+  input ping; output pong;
+  initial ready;
+  ready -> ready : ;
+  ready -> busy1 : ping / ;
+  busy1 -> busy2 : ;
+  busy2 -> ready : / pong;
+}
+
+automaton deviceCrawl {
+  input ping; output pong;
+  initial ready;
+  ready -> ready : ;
+  ready -> busy1 : ping / ;
+  busy1 -> busy2 : ;
+  busy2 -> busy3 : ;
+  busy3 -> ready : / pong;
+}
+
+automaton deviceMute {
+  input ping; output pong;
+  initial ready;
+  ready -> ready : ;
+  ready -> dead : ping / ;
+  dead -> dead : ;
+}
+
+automaton deviceDeaf {
+  input ping; output pong;
+  initial ready;
+  ready -> ready : ;
+}
+)mm";
+
+const char* kDevices[] = {"deviceCompliant", "deviceSlow", "deviceCrawl",
+                          "deviceMute", "deviceDeaf"};
+
+/// `revisions` distinct model texts (a revision-tag comment changes the
+/// content hash) x all five devices.
+std::vector<mui::engine::Job> makeCampaign(mui::engine::TextCache& texts,
+                                           std::size_t revisions) {
+  std::vector<mui::engine::Job> jobs;
+  for (std::size_t rev = 0; rev < revisions; ++rev) {
+    const std::string path = "mem:watchdog-r" + std::to_string(rev);
+    texts.prime(path, std::string(kWatchdogModel) + "\n# revision " +
+                          std::to_string(rev) + "\n");
+    for (const char* device : kDevices) {
+      mui::engine::Job job;
+      job.name = "r" + std::to_string(rev) + "/" + device;
+      job.modelPath = path;
+      job.pattern = "Watchdog";
+      job.legacyRole = "device";
+      job.hidden = device;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::string verdictSummary(const mui::engine::BatchReport& report) {
+  using mui::engine::JobStatus;
+  return std::to_string(report.count(JobStatus::Proven)) + "/" +
+         std::to_string(report.count(JobStatus::RealError)) + "/" +
+         std::to_string(report.count(JobStatus::Timeout)) + "/" +
+         std::to_string(report.count(JobStatus::EngineError));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mui;
+
+  bench::printHeader(
+      "E11: batch engine scaling, result cache, deadline isolation",
+      "Campaign: 4 synthetic revisions x 5 device variants of the watchdog "
+      "scenario (20 distinct jobs). The thread sweep reruns the identical "
+      "campaign with fresh caches; speedup is against 1 thread on this "
+      "machine (expect ~1x on a single core).");
+
+  // -- thread scaling over distinct jobs -----------------------------------
+  util::TextTable scaling({"threads", "jobs", "wall ms", "speedup",
+                           "P/E/T/X verdicts", "cache hits"});
+  double baselineMs = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    engine::TextCache texts;
+    const auto jobs = makeCampaign(texts, /*revisions=*/4);
+    engine::BatchOptions options;
+    options.threads = threads;
+    const auto report = engine::runBatch(jobs, options, texts);
+    if (threads == 1) baselineMs = report.wallMs;
+    scaling.row({std::to_string(threads), std::to_string(jobs.size()),
+                 util::fmt(report.wallMs, 1),
+                 util::fmt(report.wallMs > 0 ? baselineMs / report.wallMs : 0,
+                           2),
+                 verdictSummary(report), std::to_string(report.cacheHits)});
+  }
+  std::printf("%s\n", scaling.str().c_str());
+
+  // -- result-cache effect: same campaign size, only 5 distinct jobs -------
+  util::TextTable cacheTable(
+      {"campaign", "threads", "wall ms", "cache hits", "hit rate"});
+  for (const bool duplicates : {false, true}) {
+    engine::TextCache texts;
+    auto jobs = makeCampaign(texts, 4);
+    if (duplicates) {
+      // Rewrite every job onto revision 0: 20 jobs, 5 distinct keys.
+      for (auto& job : jobs) job.modelPath = "mem:watchdog-r0";
+    }
+    engine::BatchOptions options;
+    options.threads = 1;  // sequential: every duplicate is a guaranteed hit
+    const auto report = engine::runBatch(jobs, options, texts);
+    cacheTable.row({duplicates ? "20 jobs, 5 distinct" : "20 distinct",
+                    std::to_string(report.threads),
+                    util::fmt(report.wallMs, 1),
+                    std::to_string(report.cacheHits),
+                    util::fmt(report.cacheHitRate() * 100, 0) + "%"});
+  }
+  std::printf("%s\n", cacheTable.str().c_str());
+
+  // -- deadline isolation: a 1 ms default deadline over the whole campaign -
+  {
+    engine::TextCache texts;
+    const auto jobs = makeCampaign(texts, 4);
+    engine::BatchOptions options;
+    options.threads = 4;
+    options.defaultTimeoutMs = 1;
+    const auto report = engine::runBatch(jobs, options, texts);
+    std::printf(
+        "deadline isolation: 1 ms default deadline -> %zu of %zu jobs timed "
+        "out, %zu engine errors, batch completed in %s ms\n",
+        report.count(engine::JobStatus::Timeout), report.results.size(),
+        report.count(engine::JobStatus::EngineError),
+        util::fmt(report.wallMs, 1).c_str());
+  }
+  return 0;
+}

@@ -29,6 +29,8 @@ inline const char* verdictName(synthesis::Verdict v) {
       return "iter-limit";
     case synthesis::Verdict::Unsupported:
       return "unsupported";
+    case synthesis::Verdict::Cancelled:
+      return "cancelled";
   }
   return "?";
 }

@@ -1,0 +1,62 @@
+#include "engine/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mui::engine {
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void TextCache::prime(std::string path, std::string text) {
+  std::unique_lock lock(mu_);
+  texts_[std::move(path)] = std::move(text);
+}
+
+std::string TextCache::get(const std::string& path) {
+  std::unique_lock lock(mu_);
+  if (const auto it = texts_.find(path); it != texts_.end()) {
+    return it->second;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open model file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return texts_.emplace(path, buf.str()).first->second;
+}
+
+std::optional<CachedOutcome> ResultCache::lookup(std::uint64_t key) {
+  std::unique_lock lock(mu_);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ResultCache::store(std::uint64_t key, CachedOutcome outcome) {
+  std::unique_lock lock(mu_);
+  map_[key] = std::move(outcome);
+}
+
+std::size_t ResultCache::hits() const {
+  std::unique_lock lock(mu_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const {
+  std::unique_lock lock(mu_);
+  return misses_;
+}
+
+}  // namespace mui::engine

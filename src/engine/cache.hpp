@@ -1,0 +1,78 @@
+#pragma once
+// Shared-work caches for the batch engine. Both are thread-safe behind a
+// coarse mutex — every cached unit of work is orders of magnitude more
+// expensive than the lock.
+//
+// TextCache — model-file contents keyed by path, so N jobs over the same
+// .muml file read it once. prime() registers in-memory models under virtual
+// paths (benches and tests run whole batches without touching the disk).
+//
+// ResultCache — completed integration outcomes keyed by a content hash of
+// everything that determines the loop's behavior: the model text (which
+// fixes the context automata and the hidden component, i.e. every
+// composition and chaotic closure the loop will build), the pattern / role
+// / hidden-automaton names, the property, and the iteration and deadline
+// budgets. Repeated jobs over the same model revision therefore share the
+// whole verification/testing/learning effort, not just the parse. Keying
+// by content (not path) means two manifests pointing different paths at
+// identical model revisions still share. Timeout and engine-error outcomes
+// are never stored: they are not functions of the key alone.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "engine/job.hpp"
+
+namespace mui::engine {
+
+/// 64-bit FNV-1a digest of `data`; chain fields by passing the previous
+/// digest as `seed` (a field separator is mixed in by the callers).
+std::uint64_t fnv1a(std::string_view data,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+class TextCache {
+ public:
+  /// Registers in-memory content under a (virtual) path, replacing any
+  /// previous entry.
+  void prime(std::string path, std::string text);
+
+  /// Returns the content for `path`, reading the file on first use.
+  /// Throws std::runtime_error if the file cannot be read.
+  std::string get(const std::string& path);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::string> texts_;
+};
+
+/// The terminal outcome of a job key — everything a duplicate job needs to
+/// report without re-running the loop.
+struct CachedOutcome {
+  JobStatus status = JobStatus::EngineError;
+  std::string explanation;
+  std::size_t iterations = 0;
+  std::uint64_t testPeriods = 0;
+  std::size_t learnedFacts = 0;
+};
+
+class ResultCache {
+ public:
+  /// Returns the cached outcome and counts a hit, or counts a miss.
+  std::optional<CachedOutcome> lookup(std::uint64_t key);
+  void store(std::uint64_t key, CachedOutcome outcome);
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, CachedOutcome> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace mui::engine

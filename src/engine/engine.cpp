@@ -1,0 +1,48 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+
+#include "engine/runner.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace mui::engine {
+
+BatchReport runBatch(const std::vector<Job>& jobs,
+                     const BatchOptions& options) {
+  TextCache texts;
+  return runBatch(jobs, options, texts);
+}
+
+BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
+                     TextCache& texts) {
+  const auto start = std::chrono::steady_clock::now();
+
+  BatchReport report;
+  report.results.resize(jobs.size());
+
+  ResultCache cache;
+  RunnerOptions runnerOptions;
+  runnerOptions.defaultTimeoutMs = options.defaultTimeoutMs;
+
+  {
+    ThreadPool pool(options.threads);
+    report.threads = pool.threadCount();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      // Each task writes only its own slot; the vector is pre-sized, so no
+      // synchronization beyond the pool's completion barrier is needed.
+      pool.submit([&, i] {
+        report.results[i] = runJob(jobs[i], texts, cache, runnerOptions);
+      });
+    }
+    pool.wait();
+  }
+
+  report.cacheHits = cache.hits();
+  report.cacheMisses = cache.misses();
+  report.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return report;
+}
+
+}  // namespace mui::engine

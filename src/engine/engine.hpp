@@ -1,0 +1,44 @@
+#pragma once
+// mui::engine — the concurrent batch integration engine.
+//
+// The paper's loop proves one integration at a time; production workloads
+// are campaigns: hundreds of (model revision, pattern, role, hidden
+// component, property) tuples re-verified on every component change. This
+// engine runs such a campaign from a job manifest on a thread pool, with
+//
+//   * per-job cancellation on deadline (the loop's cancelRequested hook),
+//   * crash isolation (a throwing job becomes an `engine-error` row,
+//     never a dead batch — see runner.hpp),
+//   * a content-hash result cache so duplicate jobs share the whole
+//     verification/testing/learning effort (see cache.hpp), and
+//   * an aggregated report (render/serialize via report.hpp).
+//
+// CLI front end: `mui batch <manifest> [--jobs N] [--timeout-ms T]
+// [--out file]`. Scaling characteristics: bench/bench_batch.cpp.
+
+#include "engine/cache.hpp"
+#include "engine/job.hpp"
+
+namespace mui::engine {
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 1;
+  /// Deadline for jobs without their own timeout-ms (0 = unlimited).
+  std::uint64_t defaultTimeoutMs = 0;
+};
+
+/// Runs every job, at most `threads` at a time; results keep manifest
+/// order. Caches live for the duration of the call, so duplicate jobs
+/// within one batch share work. Job failures never throw (see runner.hpp);
+/// only setup errors (e.g. zero jobs is fine, but a broken TextCache
+/// prime) could surface as per-job engine-errors.
+BatchReport runBatch(const std::vector<Job>& jobs,
+                     const BatchOptions& options = {});
+
+/// Same, over a caller-primed TextCache — tests and benches inject
+/// in-memory models under virtual paths and never touch the disk.
+BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
+                     TextCache& texts);
+
+}  // namespace mui::engine

@@ -1,0 +1,44 @@
+#include "engine/job.hpp"
+
+#include <algorithm>
+
+namespace mui::engine {
+
+const char* jobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::Proven:
+      return "proven";
+    case JobStatus::RealError:
+      return "real-error";
+    case JobStatus::IterationLimit:
+      return "iter-limit";
+    case JobStatus::Unsupported:
+      return "unsupported";
+    case JobStatus::Timeout:
+      return "timeout";
+    case JobStatus::EngineError:
+      return "engine-error";
+  }
+  return "?";
+}
+
+std::size_t BatchReport::count(JobStatus s) const {
+  return static_cast<std::size_t>(
+      std::count_if(results.begin(), results.end(),
+                    [s](const JobResult& r) { return r.status == s; }));
+}
+
+bool BatchReport::allProven() const {
+  return std::all_of(results.begin(), results.end(), [](const JobResult& r) {
+    return r.status == JobStatus::Proven;
+  });
+}
+
+double BatchReport::cacheHitRate() const {
+  const std::size_t total = cacheHits + cacheMisses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(cacheHits) /
+                          static_cast<double>(total);
+}
+
+}  // namespace mui::engine

@@ -1,0 +1,39 @@
+#pragma once
+// The job-manifest text format (reference: docs/BATCH_FORMAT.md).
+//
+// One directive per line, `#` or `//` comments, blank lines ignored:
+//
+//   # railcab revision sweep
+//   default model=../models/railcab.muml pattern=DistanceCoordination role=rearRole
+//   job hidden=rearShipped
+//   job name=faulty-rev hidden=rearFaulty timeout-ms=5000
+//   job model=../models/watchdog.muml pattern=Watchdog role=device hidden=deviceCrawl
+//
+// `default key=value...` sets fallback values for every *subsequent* job
+// that does not set the key itself; `job key=value...` appends one job.
+// Values are bare tokens or double-quoted strings (with backslash escapes
+// for quote and backslash) — formulas need the quotes. Keys: name, model,
+// pattern, role, hidden, formula, timeout-ms, max-iterations. A job must
+// end up with model, pattern, role, and hidden set.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace mui::engine {
+
+/// Parses manifest text into jobs. Relative model paths are resolved
+/// against `baseDir` (pass the manifest's directory; empty keeps paths as
+/// written). Errors throw util::ParseError carrying `sourceName` and the
+/// line/column of the offending token.
+std::vector<Job> parseManifest(std::string_view text,
+                               const std::string& sourceName = "",
+                               const std::string& baseDir = "");
+
+/// Renders jobs as manifest text; round-trips through parseManifest (with
+/// an empty baseDir).
+std::string writeManifest(const std::vector<Job>& jobs);
+
+}  // namespace mui::engine

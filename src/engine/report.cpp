@@ -1,0 +1,110 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+
+#include "util/text_table.hpp"
+
+namespace mui::engine {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+constexpr JobStatus kAllStatuses[] = {
+    JobStatus::Proven,       JobStatus::RealError, JobStatus::IterationLimit,
+    JobStatus::Unsupported,  JobStatus::Timeout,   JobStatus::EngineError,
+};
+
+}  // namespace
+
+std::string renderBatchReport(const BatchReport& report) {
+  util::TextTable table({"job", "model", "pattern", "role", "hidden", "status",
+                         "iters", "test periods", "learned", "wall ms",
+                         "cache"});
+  for (const auto& r : report.results) {
+    table.row({r.job.name, r.job.modelPath, r.job.pattern, r.job.legacyRole,
+               r.job.hidden, jobStatusName(r.status),
+               std::to_string(r.iterations), std::to_string(r.testPeriods),
+               std::to_string(r.learnedFacts), util::fmt(r.wallMs, 1),
+               r.cacheHit ? "hit" : "-"});
+  }
+
+  std::string out = table.str();
+  out += "batch: " + std::to_string(report.results.size()) + " jobs on " +
+         std::to_string(report.threads) + " thread(s) in " +
+         util::fmt(report.wallMs, 1) + " ms;";
+  for (const JobStatus s : kAllStatuses) {
+    if (const std::size_t n = report.count(s)) {
+      out += " " + std::string(jobStatusName(s)) + " " + std::to_string(n) +
+             ",";
+    }
+  }
+  if (out.back() == ',' || out.back() == ';') out.pop_back();
+  out += "; cache " + std::to_string(report.cacheHits) + "/" +
+         std::to_string(report.cacheHits + report.cacheMisses) + " hits (" +
+         util::fmt(report.cacheHitRate() * 100.0, 0) + "%)\n";
+  return out;
+}
+
+std::string writeBatchSummary(const BatchReport& report) {
+  std::string out;
+  for (const auto& r : report.results) {
+    out += "{\"type\":\"job\",\"name\":\"" + jsonEscape(r.job.name) +
+           "\",\"model\":\"" + jsonEscape(r.job.modelPath) +
+           "\",\"pattern\":\"" + jsonEscape(r.job.pattern) +
+           "\",\"role\":\"" + jsonEscape(r.job.legacyRole) +
+           "\",\"hidden\":\"" + jsonEscape(r.job.hidden) + "\",\"status\":\"" +
+           jobStatusName(r.status) + "\",\"explanation\":\"" +
+           jsonEscape(r.explanation) +
+           "\",\"iterations\":" + std::to_string(r.iterations) +
+           ",\"testPeriods\":" + std::to_string(r.testPeriods) +
+           ",\"learnedFacts\":" + std::to_string(r.learnedFacts) +
+           ",\"wallMs\":" + util::fmt(r.wallMs, 3) +
+           ",\"cacheHit\":" + (r.cacheHit ? "true" : "false") + "}\n";
+  }
+  out += "{\"type\":\"batch\",\"jobs\":" +
+         std::to_string(report.results.size()) +
+         ",\"threads\":" + std::to_string(report.threads) +
+         ",\"wallMs\":" + util::fmt(report.wallMs, 3) +
+         ",\"cacheHits\":" + std::to_string(report.cacheHits) +
+         ",\"cacheMisses\":" + std::to_string(report.cacheMisses);
+  for (const JobStatus s : kAllStatuses) {
+    out += ",\"" + std::string(jobStatusName(s)) +
+           "\":" + std::to_string(report.count(s));
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mui::engine

@@ -1,0 +1,21 @@
+#pragma once
+// Reporting for batch runs, in the style of synthesis/report.hpp: an
+// aligned per-job table plus a one-paragraph batch summary for humans, and
+// a JSON-lines serialization for machines (one object per job, then one
+// `batch` summary object).
+
+#include <string>
+
+#include "engine/job.hpp"
+
+namespace mui::engine {
+
+/// Per-job table (name, model, pattern, role, hidden, status, iterations,
+/// test periods, learned facts, wall ms, cache) followed by the summary
+/// paragraph.
+std::string renderBatchReport(const BatchReport& report);
+
+/// JSON lines: {"type":"job",...} per job, then {"type":"batch",...}.
+std::string writeBatchSummary(const BatchReport& report);
+
+}  // namespace mui::engine

@@ -1,0 +1,141 @@
+#include "engine/runner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "automata/rename.hpp"
+#include "muml/integration.hpp"
+#include "muml/loader.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/legacy.hpp"
+
+namespace mui::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+JobStatus statusOf(synthesis::Verdict v) {
+  switch (v) {
+    case synthesis::Verdict::ProvenCorrect:
+      return JobStatus::Proven;
+    case synthesis::Verdict::RealError:
+      return JobStatus::RealError;
+    case synthesis::Verdict::IterationLimit:
+      return JobStatus::IterationLimit;
+    case synthesis::Verdict::Unsupported:
+      return JobStatus::Unsupported;
+    case synthesis::Verdict::Cancelled:
+      return JobStatus::Timeout;
+  }
+  return JobStatus::EngineError;
+}
+
+/// Content hash of everything that determines the job's outcome; see the
+/// ResultCache contract in cache.hpp. The 0x1f bytes separate fields so
+/// ("ab","c") and ("a","bc") hash differently.
+std::uint64_t jobKey(const std::string& modelText, const Job& job,
+                     std::uint64_t timeoutMs) {
+  std::uint64_t h = fnv1a(modelText);
+  for (const std::string* field :
+       {&job.pattern, &job.legacyRole, &job.hidden, &job.formula}) {
+    h = fnv1a(*field, fnv1a("\x1f", h));
+  }
+  h = fnv1a(std::to_string(timeoutMs) + "\x1f" +
+                std::to_string(job.maxIterations),
+            fnv1a("\x1f", h));
+  return h;
+}
+
+}  // namespace
+
+JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
+                 const RunnerOptions& options) {
+  JobResult out;
+  out.job = job;
+  const auto start = Clock::now();
+  const auto elapsedMs = [&start] {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  try {
+    const std::string text = texts.get(job.modelPath);
+    const std::uint64_t timeoutMs =
+        job.timeoutMs != 0 ? job.timeoutMs : options.defaultTimeoutMs;
+
+    const std::uint64_t key = jobKey(text, job, timeoutMs);
+    if (auto hit = results.lookup(key)) {
+      out.status = hit->status;
+      out.explanation = hit->explanation;
+      out.iterations = hit->iterations;
+      out.testPeriods = hit->testPeriods;
+      out.learnedFacts = hit->learnedFacts;
+      out.cacheHit = true;
+      out.wallMs = elapsedMs();
+      return out;
+    }
+
+    const muml::Model model = muml::loadModel(text, job.modelPath);
+    const auto pit = model.patterns.find(job.pattern);
+    if (pit == model.patterns.end()) {
+      throw std::runtime_error("no pattern named '" + job.pattern + "' in " +
+                               job.modelPath);
+    }
+    const auto& pattern = pit->second;
+    std::size_t roleIdx = pattern.roles.size();
+    for (std::size_t i = 0; i < pattern.roles.size(); ++i) {
+      if (pattern.roles[i].name == job.legacyRole) roleIdx = i;
+    }
+    if (roleIdx == pattern.roles.size()) {
+      throw std::runtime_error("pattern '" + job.pattern + "' has no role '" +
+                               job.legacyRole + "'");
+    }
+    const auto hit = model.automata.find(job.hidden);
+    if (hit == model.automata.end()) {
+      throw std::runtime_error("no automaton named '" + job.hidden + "' in " +
+                               job.modelPath);
+    }
+
+    const auto scenario = muml::makeIntegrationScenario(
+        pattern, roleIdx, model.signals, model.props);
+    testing::AutomatonLegacy legacy(automata::withInstanceName(
+        hit->second, pattern.roles[roleIdx].name));
+
+    synthesis::IntegrationConfig cfg;
+    cfg.property = job.formula.empty() ? scenario.property : job.formula;
+    if (job.maxIterations != 0) cfg.maxIterations = job.maxIterations;
+    if (timeoutMs != 0) {
+      const auto deadline = start + std::chrono::milliseconds(timeoutMs);
+      cfg.cancelRequested = [deadline] { return Clock::now() >= deadline; };
+    }
+
+    const auto res =
+        synthesis::runIntegration(scenario.context, legacy, std::move(cfg));
+    out.status = statusOf(res.verdict);
+    out.explanation = res.verdict == synthesis::Verdict::Cancelled
+                          ? "deadline of " + std::to_string(timeoutMs) +
+                                " ms exceeded"
+                          : res.explanation;
+    out.iterations = res.iterations;
+    out.testPeriods = res.totalTestPeriods;
+    out.learnedFacts = res.totalLearnedFacts;
+
+    if (out.status != JobStatus::Timeout &&
+        out.status != JobStatus::EngineError) {
+      results.store(key, CachedOutcome{out.status, out.explanation,
+                                       out.iterations, out.testPeriods,
+                                       out.learnedFacts});
+    }
+  } catch (const std::exception& e) {
+    out.status = JobStatus::EngineError;
+    out.explanation = e.what();
+  } catch (...) {
+    out.status = JobStatus::EngineError;
+    out.explanation = "unknown exception";
+  }
+  out.wallMs = elapsedMs();
+  return out;
+}
+
+}  // namespace mui::engine

@@ -1,0 +1,28 @@
+#pragma once
+// Executes one Job end to end:
+//
+//   TextCache (model text) → muml::loadModel → muml::makeIntegrationScenario
+//   → cancellation-aware loop (synthesis::runIntegration) → JobResult
+//
+// with a ResultCache consultation keyed by the job's content hash before
+// the expensive part. All failure modes are folded into the result —
+// deadline hits become JobStatus::Timeout, any escaping exception becomes
+// JobStatus::EngineError — so runJob never throws. That is the batch's
+// crash isolation: a broken job is a row in the report, not a dead batch.
+
+#include <cstdint>
+
+#include "engine/cache.hpp"
+#include "engine/job.hpp"
+
+namespace mui::engine {
+
+struct RunnerOptions {
+  /// Deadline applied to jobs whose own timeoutMs is 0 (0 = no deadline).
+  std::uint64_t defaultTimeoutMs = 0;
+};
+
+JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
+                 const RunnerOptions& options = {});
+
+}  // namespace mui::engine

@@ -1,0 +1,48 @@
+#pragma once
+// A minimal fixed-size worker pool — the first concurrency layer in the
+// codebase. Deliberately small: a FIFO queue, submit(), and wait(); no
+// futures, no work stealing. Jobs are coarse (one whole integration loop
+// each, typically milliseconds to seconds), so queue contention is noise.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mui::engine {
+
+/// Fixed worker pool. submit() never blocks; wait() blocks until every
+/// submitted task has finished. Tasks must not throw — the batch runner
+/// catches everything per job (runner.cpp) and a worker additionally
+/// swallows stray exceptions as a last line of defense, because an
+/// exception escaping a std::thread terminates the process.
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();  // waits for pending work, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  void wait();
+
+  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable workCv_;  // work available or stopping
+  std::condition_variable idleCv_;  // a task finished
+  std::size_t active_ = 0;          // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace mui::engine

@@ -1,5 +1,7 @@
 #include "muml/loader.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/parse.hpp"
@@ -12,9 +14,24 @@ using util::Cursor;
 
 class Loader {
  public:
-  Loader(Model& model, std::string_view text) : model_(model), cur_(text) {}
+  Loader(Model& model, std::string_view text, std::string_view sourceName)
+      : model_(model), cur_(text, std::string(sourceName)) {}
 
   void run() {
+    // Semantic throws from the model classes (e.g. nondeterministic
+    // transitions rejected by Automaton::addTransition) get the current
+    // source location attached on the way out.
+    try {
+      runTopLevel();
+    } catch (const util::SemanticError&) {
+      throw;
+    } catch (const std::invalid_argument& e) {
+      cur_.failSemantic(e.what());
+    }
+  }
+
+ private:
+  void runTopLevel() {
     while (true) {
       cur_.skipWs();
       if (cur_.atEnd()) break;
@@ -30,13 +47,13 @@ class Loader {
     }
   }
 
- private:
   // ---- automaton -----------------------------------------------------------
 
   void parseAutomaton() {
     const std::string name = cur_.identifier();
     if (model_.automata.count(name)) {
-      throw std::invalid_argument("duplicate automaton '" + name + "'");
+      cur_.failSemantic("duplicate automaton '" + name +
+                        "' (an automaton with this name is already defined)");
     }
     automata::Automaton a(model_.signals, model_.props, name);
     cur_.expect("{");
@@ -96,7 +113,8 @@ class Loader {
   void parseRtsc() {
     const std::string name = cur_.identifier();
     if (model_.statecharts.count(name)) {
-      throw std::invalid_argument("duplicate rtsc '" + name + "'");
+      cur_.failSemantic("duplicate rtsc '" + name +
+                        "' (an rtsc with this name is already defined)");
     }
     rtsc::RealTimeStatechart sc(name);
     clockNames_.clear();
@@ -180,8 +198,8 @@ class Loader {
   rtsc::LocationId requireLocation(const rtsc::RealTimeStatechart& sc,
                                    const std::string& name) {
     if (auto l = sc.locationByName(name)) return *l;
-    throw std::invalid_argument("rtsc '" + sc.name() + "': unknown location '" +
-                                name + "' (declare locations before use)");
+    cur_.failSemantic("rtsc '" + sc.name() + "': unknown location '" + name +
+                      "' (declare locations before use)");
   }
 
   rtsc::ClockId requireClock(const rtsc::RealTimeStatechart& sc,
@@ -191,8 +209,8 @@ class Loader {
     for (rtsc::ClockId c = 0; c < clockNames_.size(); ++c) {
       if (clockNames_[c] == name) return c;
     }
-    throw std::invalid_argument("rtsc '" + sc.name() + "': unknown clock '" +
-                                name + "'");
+    cur_.failSemantic("rtsc '" + sc.name() + "': unknown clock '" + name +
+                      "'");
   }
 
   // ---- pattern -------------------------------------------------------------
@@ -200,7 +218,8 @@ class Loader {
   void parsePattern() {
     const std::string name = cur_.identifier();
     if (model_.patterns.count(name)) {
-      throw std::invalid_argument("duplicate pattern '" + name + "'");
+      cur_.failSemantic("duplicate pattern '" + name +
+                        "' (a pattern with this name is already defined)");
     }
     CoordinationPattern p;
     p.name = name;
@@ -213,8 +232,8 @@ class Loader {
         const std::string scName = cur_.identifier();
         const auto it = model_.statecharts.find(scName);
         if (it == model_.statecharts.end()) {
-          throw std::invalid_argument("pattern '" + name +
-                                      "': unknown rtsc '" + scName + "'");
+          cur_.failSemantic("pattern '" + name + "': unknown rtsc '" + scName +
+                            "'");
         }
         r.behavior = it->second;
         if (cur_.tryKeyword("invariant")) r.invariant = cur_.quotedString();
@@ -285,16 +304,27 @@ class Loader {
 
 }  // namespace
 
-Model loadModel(std::string_view text) {
+Model loadModel(std::string_view text, std::string_view sourceName) {
   Model m;
   m.signals = std::make_shared<automata::SignalTable>();
   m.props = std::make_shared<automata::SignalTable>();
-  loadModelInto(m, text);
+  loadModelInto(m, text, sourceName);
   return m;
 }
 
-void loadModelInto(Model& model, std::string_view text) {
-  Loader(model, text).run();
+Model loadModelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open model file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return loadModel(buf.str(), path);
+}
+
+void loadModelInto(Model& model, std::string_view text,
+                   std::string_view sourceName) {
+  Loader(model, text, sourceName).run();
 }
 
 }  // namespace mui::muml

@@ -31,6 +31,7 @@
 // name (e.g. automaton "rearRole", state "noConvoy::wait" yields
 // propositions rearRole.noConvoy and rearRole.noConvoy::wait).
 
+#include <string>
 #include <string_view>
 
 #include "muml/model.hpp"
@@ -38,11 +39,17 @@
 namespace mui::muml {
 
 /// Parses a model from text; throws mui::util::ParseError on syntax errors
-/// and std::invalid_argument on semantic ones (duplicate names, unknown
-/// references).
-Model loadModel(std::string_view text);
+/// and mui::util::SemanticError (an std::invalid_argument) on semantic ones
+/// (duplicate names, unknown references). A non-empty `sourceName` (usually
+/// the file name) prefixes every diagnostic as `name:line:col: message`.
+Model loadModel(std::string_view text, std::string_view sourceName = "");
+
+/// Reads and parses a model file; diagnostics carry the file name and line.
+/// Throws std::runtime_error if the file cannot be read.
+Model loadModelFile(const std::string& path);
 
 /// Parses into an existing model (shared tables), adding definitions.
-void loadModelInto(Model& model, std::string_view text);
+void loadModelInto(Model& model, std::string_view text,
+                   std::string_view sourceName = "");
 
 }  // namespace mui::muml

@@ -14,6 +14,8 @@ const char* verdictName(Verdict v) {
       return "iter-limit";
     case Verdict::Unsupported:
       return "unsupported";
+    case Verdict::Cancelled:
+      return "cancelled";
   }
   return "?";
 }

@@ -58,7 +58,18 @@ IntegrationResult IntegrationVerifier::run() {
     return n;
   };
 
-  for (std::size_t iter = 0; iter < config_.maxIterations; ++iter) {
+  // Cooperative cancellation: polled between the phases of each iteration so
+  // a deadline interrupts even a single long iteration at the next phase
+  // boundary (model checking itself is not interruptible).
+  bool wasCancelled = false;
+  const auto cancelled = [&] {
+    wasCancelled =
+        wasCancelled || (config_.cancelRequested && config_.cancelRequested());
+    return wasCancelled;
+  };
+
+  for (std::size_t iter = 0; iter < config_.maxIterations && !cancelled();
+       ++iter) {
     IterationRecord rec;
     rec.iteration = iter;
     for (const auto& m : models_) {
@@ -129,6 +140,7 @@ IntegrationResult IntegrationVerifier::run() {
           "Lemma 5 the real integration is correct";
       break;
     }
+    if (cancelled()) break;  // don't start testing past the deadline
 
     // 3./4. Testing and learning steps per counterexample — property
     // counterexamples first (fast conflict detection), then deadlocks.
@@ -144,6 +156,7 @@ IntegrationResult IntegrationVerifier::run() {
                              const automata::Product& product,
                              const std::vector<automata::Closure>& closures) {
       for (const auto& cex : vres.counterexamples) {
+        if (cancelled()) return;
         if (config_.keepTraces) {
           rec.cexText += product.renderRun(cex.run);
           rec.cexText += "--\n";
@@ -173,6 +186,7 @@ IntegrationResult IntegrationVerifier::run() {
     const bool progressed = rec.learnedFacts > 0;
     res.journal.push_back(std::move(rec));
     if (realError) break;
+    if (wasCancelled) break;
     if (!progressed) {
       res.verdict = Verdict::Unsupported;
       res.explanation =
@@ -187,10 +201,22 @@ IntegrationResult IntegrationVerifier::run() {
   res.iterations = res.journal.size();
   res.learnedModels = models_;
   if (config_.recordTests) res.recordedTests = suites_;
-  if (res.verdict == Verdict::IterationLimit) {
+  if (wasCancelled && res.verdict != Verdict::RealError &&
+      res.verdict != Verdict::ProvenCorrect) {
+    res.verdict = Verdict::Cancelled;
+    res.explanation =
+        "stopped by the cancellation hook before reaching a verdict";
+  } else if (res.verdict == Verdict::IterationLimit) {
     res.explanation = "iteration budget exhausted";
   }
   return res;
+}
+
+IntegrationResult runIntegration(automata::Automaton context,
+                                 testing::LegacyComponent& legacy,
+                                 IntegrationConfig config) {
+  return IntegrationVerifier(std::move(context), legacy, std::move(config))
+      .run();
 }
 
 IntegrationVerifier::CexHandling IntegrationVerifier::handleCounterexample(

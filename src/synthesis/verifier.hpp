@@ -25,6 +25,7 @@
 // projected per component, and deadlock offers are computed from the joint
 // moves of the respective other components.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +64,13 @@ struct IntegrationConfig {
   /// a regression suite (paper abstract: "systematic generation of
   /// component tests"); see test_suite.hpp.
   bool recordTests = false;
+  /// Cooperative cancellation hook, polled between the phases of every
+  /// iteration (before closures, after the verification step, and between
+  /// counterexample tests). Returning true stops the loop with
+  /// Verdict::Cancelled. Leave empty for an uninterruptible run. The
+  /// callable is invoked from the thread executing run(); the batch engine
+  /// uses it for per-job deadlines (src/engine/runner.cpp).
+  std::function<bool()> cancelRequested;
 };
 
 enum class Verdict {
@@ -72,6 +80,7 @@ enum class Verdict {
                    // with DeterministicTarget closures before completeness)
   Unsupported,     // property shape outside the counterexample fragment, or
                    // no learning progress (possible with PaperExact style)
+  Cancelled,       // config.cancelRequested fired (deadline or external stop)
 };
 
 struct IterationRecord {
@@ -157,5 +166,15 @@ class IntegrationVerifier {
   std::vector<std::vector<automata::Interaction>> alphabets_;
   std::vector<ComponentTestSuite> suites_;  // recordTests only
 };
+
+/// Re-entrant one-shot entry point: builds a fresh verifier and runs it.
+/// Safe to call from many threads concurrently as long as each call gets
+/// its own legacy instance and its own context/config (a verifier keeps no
+/// global state; the signal tables referenced by `context` must not be
+/// shared with a concurrently running call). The batch engine drives every
+/// job through this function.
+IntegrationResult runIntegration(automata::Automaton context,
+                                 testing::LegacyComponent& legacy,
+                                 IntegrationConfig config);
 
 }  // namespace mui::synthesis

@@ -96,7 +96,11 @@ std::string Cursor::quotedString() {
 }
 
 void Cursor::fail(const std::string& msg) const {
-  throw ParseError(msg, line_, col_);
+  throw ParseError(msg, source_, line_, col_);
+}
+
+void Cursor::failSemantic(const std::string& msg) const {
+  throw SemanticError(msg, source_, line_, col_);
 }
 
 }  // namespace mui::util

@@ -8,12 +8,47 @@
 
 namespace mui::util {
 
+/// Formats "file.muml:3:7: msg" when a source name is known and the
+/// legacy "msg (line 3, col 7)" otherwise.
+inline std::string locatedMessage(const std::string& msg,
+                                  const std::string& source, std::size_t line,
+                                  std::size_t col) {
+  if (source.empty()) {
+    return msg + " (line " + std::to_string(line) + ", col " +
+           std::to_string(col) + ")";
+  }
+  return source + ":" + std::to_string(line) + ":" + std::to_string(col) +
+         ": " + msg;
+}
+
 /// Raised on any syntax error; carries a human-readable location.
 class ParseError : public std::runtime_error {
  public:
   ParseError(const std::string& msg, std::size_t line, std::size_t col)
-      : std::runtime_error(msg + " (line " + std::to_string(line) + ", col " +
-                           std::to_string(col) + ")"),
+      : ParseError(msg, "", line, col) {}
+
+  ParseError(const std::string& msg, const std::string& source,
+             std::size_t line, std::size_t col)
+      : std::runtime_error(locatedMessage(msg, source, line, col)),
+        line_(line),
+        col_(col) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t col() const { return col_; }
+
+ private:
+  std::size_t line_;
+  std::size_t col_;
+};
+
+/// Raised on semantic errors found while parsing (duplicate names, unknown
+/// references). Derives from std::invalid_argument — the exception type the
+/// model classes themselves throw — but adds the source location.
+class SemanticError : public std::invalid_argument {
+ public:
+  SemanticError(const std::string& msg, const std::string& source,
+                std::size_t line, std::size_t col)
+      : std::invalid_argument(locatedMessage(msg, source, line, col)),
         line_(line),
         col_(col) {}
 
@@ -28,6 +63,10 @@ class ParseError : public std::runtime_error {
 class Cursor {
  public:
   explicit Cursor(std::string_view text) : text_(text) {}
+
+  /// `sourceName` (e.g. a file name) prefixes every error location.
+  Cursor(std::string_view text, std::string sourceName)
+      : text_(text), source_(std::move(sourceName)) {}
 
   [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
   [[nodiscard]] char peek() const { return atEnd() ? '\0' : text_[pos_]; }
@@ -62,11 +101,17 @@ class Cursor {
 
   [[noreturn]] void fail(const std::string& msg) const;
 
+  /// Like fail(), but for semantic errors: throws SemanticError (an
+  /// invalid_argument) carrying the current location.
+  [[noreturn]] void failSemantic(const std::string& msg) const;
+
   [[nodiscard]] std::size_t line() const { return line_; }
   [[nodiscard]] std::size_t col() const { return col_; }
+  [[nodiscard]] const std::string& sourceName() const { return source_; }
 
  private:
   std::string_view text_;
+  std::string source_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t col_ = 1;

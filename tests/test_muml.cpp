@@ -163,6 +163,47 @@ TEST(Loader, Errors) {
                std::invalid_argument);  // unknown clock
 }
 
+TEST(Loader, ErrorsCarrySourceFileAndLine) {
+  // Semantic errors (duplicate names, unknown references) point at the
+  // offending line of the named source.
+  try {
+    loadModel("automaton a { initial s; }\nautomaton a { initial s; }\n",
+              "dup.muml");
+    FAIL() << "expected SemanticError";
+  } catch (const util::SemanticError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dup.muml:2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate automaton 'a'"), std::string::npos) << msg;
+  }
+  // Syntax errors carry the same source:line:col prefix.
+  try {
+    loadModel("blargh x {}", "bad.muml");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.muml:1:1:"), std::string::npos)
+        << e.what();
+  }
+  // Without a source name the legacy "(line L, col C)" suffix remains.
+  try {
+    loadModel("blargh x {}");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("(line 1, col 1)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Loader, LoadModelFileReportsMissingPath) {
+  try {
+    loadModelFile("/no/such/model.muml");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/model.muml"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Loader, ChannelConnectorAttributes) {
   const Model m = loadModel(R"mm(
     rtsc A { output m_src; location l; initial l; l -> l : emit m_src; }

@@ -25,14 +25,24 @@
 //   mui suite-run <model.muml> <suite-file> <hiddenAutomaton> <roleName>
 //       Replay a saved suite against a component revision.
 //
+//   mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>]
+//       Run a whole campaign of integration jobs from a job manifest
+//       (docs/BATCH_FORMAT.md) on a thread pool; prints the per-job table
+//       and writes a JSON-lines summary with --out.
+//
 //   mui dot <model.muml> <automaton|rtsc>
 //       Emit Graphviz DOT for an automaton or a compiled statechart.
 //
-// Exit code: 0 on verified/proven, 1 on violation/real error, 2 on usage or
-// model errors.
+//   mui --help | --version
+//
+// Exit code: 0 on verified/proven (batch: every job proven), 1 on
+// violation/real error (batch: any non-proven job), 2 on usage or model
+// errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -40,6 +50,9 @@
 #include "automata/rename.hpp"
 #include "ctl/counterexample.hpp"
 #include "ctl/parser.hpp"
+#include "engine/engine.hpp"
+#include "engine/manifest.hpp"
+#include "engine/report.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
 #include "muml/verify.hpp"
@@ -48,13 +61,17 @@
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
 
+#ifndef MUI_VERSION
+#define MUI_VERSION "0.0.0-dev"
+#endif
+
 namespace {
 
 using namespace mui;
 
-int usage() {
+void printUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  mui check <model.muml> <automaton> <formula>\n"
       "  mui compose <model.muml> <automaton>... [--check <formula>]\n"
@@ -62,19 +79,26 @@ int usage() {
       "  mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>\n"
       "  mui suite-gen <model.muml> <pattern> <legacyRole> <hidden>\n"
       "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
-      "  mui dot <model.muml> <automaton|rtsc>\n");
+      "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>]\n"
+      "  mui dot <model.muml> <automaton|rtsc>\n"
+      "  mui --help | --version\n"
+      "exit codes: 0 verified/proven, 1 violation/real error, 2 usage or "
+      "model error\n");
+}
+
+int usage() {
+  printUsage(stderr);
   return 2;
 }
 
-muml::Model loadFile(const char* path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error(std::string("cannot open ") + path);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return muml::loadModel(buf.str());
+/// Usage error with a specific message, then the synopsis. Always exits 2.
+int usageError(const std::string& msg) {
+  std::fprintf(stderr, "mui: %s\n", msg.c_str());
+  printUsage(stderr);
+  return 2;
 }
+
+muml::Model loadFile(const char* path) { return muml::loadModelFile(path); }
 
 const automata::Automaton& findAutomaton(const muml::Model& model,
                                          const std::string& name) {
@@ -86,7 +110,9 @@ const automata::Automaton& findAutomaton(const muml::Model& model,
 }
 
 int cmdCheck(int argc, char** argv) {
-  if (argc != 3) return usage();
+  if (argc != 3) {
+    return usageError("check expects <model.muml> <automaton> <formula>");
+  }
   const muml::Model model = loadFile(argv[0]);
   const auto& a = findAutomaton(model, argv[1]);
   const auto phi = ctl::parseFormula(argv[2]);
@@ -116,7 +142,10 @@ int cmdCheck(int argc, char** argv) {
 }
 
 int cmdCompose(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) {
+    return usageError(
+        "compose expects <model.muml> <automaton>... [--check <formula>]");
+  }
   const muml::Model model = loadFile(argv[0]);
   std::vector<const automata::Automaton*> parts;
   std::string formula;
@@ -127,7 +156,9 @@ int cmdCompose(int argc, char** argv) {
       parts.push_back(&findAutomaton(model, argv[i]));
     }
   }
-  if (parts.empty()) return usage();
+  if (parts.empty()) {
+    return usageError("compose needs at least one automaton name");
+  }
   const auto product = automata::composeAll(parts);
   std::printf("product: %zu states, %zu transitions\n",
               product.automaton.stateCount(),
@@ -145,7 +176,9 @@ int cmdCompose(int argc, char** argv) {
 }
 
 int cmdVerifyPattern(int argc, char** argv) {
-  if (argc != 2) return usage();
+  if (argc != 2) {
+    return usageError("verify-pattern expects <model.muml> <pattern>");
+  }
   const muml::Model model = loadFile(argv[0]);
   const auto it = model.patterns.find(argv[1]);
   if (it == model.patterns.end()) {
@@ -168,7 +201,11 @@ int cmdVerifyPattern(int argc, char** argv) {
 }
 
 int cmdIntegrate(int argc, char** argv) {
-  if (argc != 4) return usage();
+  if (argc != 4) {
+    return usageError(
+        "integrate expects <model.muml> <pattern> <legacyRole> "
+        "<hiddenAutomaton>");
+  }
   const muml::Model model = loadFile(argv[0]);
   const auto pit = model.patterns.find(argv[1]);
   if (pit == model.patterns.end()) {
@@ -208,7 +245,10 @@ int cmdIntegrate(int argc, char** argv) {
 }
 
 int cmdSuiteGen(int argc, char** argv) {
-  if (argc != 4) return usage();
+  if (argc != 4) {
+    return usageError(
+        "suite-gen expects <model.muml> <pattern> <legacyRole> <hidden>");
+  }
   const muml::Model model = loadFile(argv[0]);
   const auto pit = model.patterns.find(argv[1]);
   if (pit == model.patterns.end()) {
@@ -240,7 +280,10 @@ int cmdSuiteGen(int argc, char** argv) {
 }
 
 int cmdSuiteRun(int argc, char** argv) {
-  if (argc != 4) return usage();
+  if (argc != 4) {
+    return usageError(
+        "suite-run expects <model.muml> <suite-file> <hidden> <roleName>");
+  }
   const muml::Model model = loadFile(argv[0]);
   std::ifstream in(argv[1]);
   if (!in) throw std::runtime_error(std::string("cannot open ") + argv[1]);
@@ -256,7 +299,9 @@ int cmdSuiteRun(int argc, char** argv) {
 }
 
 int cmdDot(int argc, char** argv) {
-  if (argc != 2) return usage();
+  if (argc != 2) {
+    return usageError("dot expects <model.muml> <automaton|rtsc>");
+  }
   const muml::Model model = loadFile(argv[0]);
   if (const auto it = model.automata.find(argv[1]); it != model.automata.end()) {
     std::printf("%s", it->second.toDot().c_str());
@@ -272,20 +317,96 @@ int cmdDot(int argc, char** argv) {
                            argv[1] + "'");
 }
 
+/// Parses a non-negative integer CLI argument; returns false on garbage.
+bool parseUint(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+int cmdBatch(int argc, char** argv) {
+  if (argc < 1) {
+    return usageError(
+        "batch expects <manifest> [--jobs N] [--timeout-ms T] [--out <file>]");
+  }
+  const char* manifestPath = argv[0];
+  engine::BatchOptions options;
+  std::string outPath;
+  for (int i = 1; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (!parseUint(flagValue("--jobs"), v)) {
+        return usageError("--jobs expects a non-negative integer");
+      }
+      options.threads = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      if (!parseUint(flagValue("--timeout-ms"), v)) {
+        return usageError("--timeout-ms expects a non-negative integer");
+      }
+      options.defaultTimeoutMs = v;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      outPath = flagValue("--out");
+    } else {
+      return usageError(std::string("unknown batch flag '") + argv[i] + "'");
+    }
+  }
+
+  std::ifstream in(manifestPath);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open manifest '") +
+                             manifestPath + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Model paths in a manifest are relative to the manifest's directory.
+  const std::string baseDir =
+      std::filesystem::path(manifestPath).parent_path().string();
+  const auto jobs = engine::parseManifest(buf.str(), manifestPath, baseDir);
+
+  const auto report = engine::runBatch(jobs, options);
+  std::printf("%s", engine::renderBatchReport(report).c_str());
+
+  if (!outPath.empty()) {
+    std::ofstream out(outPath);
+    if (!out) {
+      throw std::runtime_error("cannot write summary file '" + outPath + "'");
+    }
+    out << engine::writeBatchSummary(report);
+  }
+  return report.allProven() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      printUsage(stdout);
+      return 0;
+    }
+    if (cmd == "--version" || cmd == "version") {
+      std::printf("mui %s\n", MUI_VERSION);
+      return 0;
+    }
     if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
     if (cmd == "compose") return cmdCompose(argc - 2, argv + 2);
     if (cmd == "verify-pattern") return cmdVerifyPattern(argc - 2, argv + 2);
     if (cmd == "integrate") return cmdIntegrate(argc - 2, argv + 2);
     if (cmd == "suite-gen") return cmdSuiteGen(argc - 2, argv + 2);
     if (cmd == "suite-run") return cmdSuiteRun(argc - 2, argv + 2);
+    if (cmd == "batch") return cmdBatch(argc - 2, argv + 2);
     if (cmd == "dot") return cmdDot(argc - 2, argv + 2);
-    return usage();
+    return usageError("unknown command '" + cmd + "'");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
