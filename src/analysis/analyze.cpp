@@ -1,0 +1,359 @@
+#include "analysis/analyze.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/chaos.hpp"
+#include "ctl/parser.hpp"
+#include "muml/channel.hpp"
+#include "util/parse.hpp"
+
+namespace mui::analysis {
+
+namespace {
+
+using automata::Automaton;
+using automata::SignalSet;
+using automata::StateId;
+
+class Analyzer {
+ public:
+  Analyzer(const muml::Model& model, const RuleSet& rules)
+      : model_(model), rules_(rules) {}
+
+  Report run() {
+    for (const auto& [name, aut] : model_.automata) checkAutomaton(name, aut);
+    for (const auto& [name, sc] : model_.statecharts) checkRtsc(name, sc);
+    for (const auto& [name, p] : model_.patterns) checkPattern(p);
+    return std::move(report_);
+  }
+
+ private:
+  void emit(const char* ruleId, const std::string& subject,
+            const std::string& message, const util::SourceLoc& loc) {
+    if (!rules_.enabled(ruleId)) return;
+    if (model_.source.allows(subject, ruleId)) {
+      ++report_.suppressed;
+      return;
+    }
+    const RuleInfo* info = findRule(ruleId);
+    report_.diagnostics.push_back(
+        {ruleId, info ? info->defaultSeverity : Severity::Warning, subject,
+         message, loc});
+  }
+
+  [[nodiscard]] util::SourceLoc locOf(
+      const std::map<std::string, util::SourceLoc>& table,
+      const std::string& key) const {
+    const auto it = table.find(key);
+    return it == table.end() ? util::SourceLoc{} : it->second;
+  }
+
+  // ---- automaton rules -----------------------------------------------------
+
+  void checkAutomaton(const std::string& name, const Automaton& a) {
+    const util::SourceLoc loc = locOf(model_.source.automata, name);
+    const std::string where = "automaton '" + name + "'";
+
+    // MUI009: without an initial state everything below is vacuous; the
+    // reachability-based rules are skipped to avoid a diagnostic avalanche.
+    if (a.initialStates().empty()) {
+      emit(kNoInitialState, name,
+           where + " has no initial state; every property holds vacuously",
+           loc);
+      return;
+    }
+
+    // MUI001/MUI002: one reachability fixpoint serves both rules.
+    const std::vector<bool> reach = a.reachableStates();
+    const auto chaosId = model_.props->lookup(automata::kChaosProp);
+    for (StateId s = 0; s < a.stateCount(); ++s) {
+      if (!reach[s]) {
+        emit(kUnreachableState, name,
+             where + ": state '" + a.stateName(s) +
+                 "' is unreachable from the initial states",
+             loc);
+        continue;
+      }
+      const bool chaotic = chaosId && a.labels(s).test(*chaosId);
+      if (a.transitionsFrom(s).empty() && !chaotic) {
+        emit(kSinkState, name,
+             where + ": state '" + a.stateName(s) +
+                 "' has no outgoing transition (structural deadlock)",
+             loc);
+      }
+    }
+
+    // MUI003: signals declared but on no transition label.
+    SignalSet usedIn, usedOut;
+    for (StateId s = 0; s < a.stateCount(); ++s) {
+      for (const auto& t : a.transitionsFrom(s)) {
+        usedIn |= t.label.in;
+        usedOut |= t.label.out;
+      }
+    }
+    const auto reportUnused = [&](const SignalSet& declared,
+                                  const SignalSet& used, const char* dir,
+                                  const char* verb) {
+      (declared - used).forEach([&](std::size_t bit) {
+        emit(kUnusedSignal, name,
+             where + ": " + dir + " '" +
+                 model_.signals->name(static_cast<util::NameId>(bit)) +
+                 "' is declared but never " + verb,
+             loc);
+      });
+    };
+    reportUnused(a.inputs(), usedIn, "input", "consumed");
+    reportUnused(a.outputs(), usedOut, "output", "produced");
+
+    // MUI005: the loop's termination argument (paper Thm. 2, DESIGN.md §6)
+    // and the DeterministicTarget closure assume deterministic components.
+    if (!a.deterministic()) {
+      for (StateId s = 0; s < a.stateCount(); ++s) {
+        for (const auto& x : a.enabledInteractions(s)) {
+          if (a.successors(s, x).size() > 1) {
+            emit(kNondeterministicStub, name,
+                 where + ": state '" + a.stateName(s) +
+                     "' has multiple successors under " +
+                     a.interactionToString(x) +
+                     "; legacy stubs must be deterministic",
+                 loc);
+          }
+        }
+      }
+    }
+
+    // MUI006: textual duplicates the loader deduplicated.
+    for (const auto& dup : model_.source.duplicateTransitions) {
+      if (dup.automaton != name) continue;
+      emit(kDuplicateTransition, name,
+           where + ": transition '" + dup.text +
+               "' is written more than once (kept one copy)",
+           dup.loc);
+    }
+  }
+
+  // ---- rtsc rules ----------------------------------------------------------
+
+  void checkRtsc(const std::string& name,
+                 const rtsc::RealTimeStatechart& sc) {
+    const util::SourceLoc loc = locOf(model_.source.statecharts, name);
+    const std::string where = "rtsc '" + name + "'";
+    std::set<std::string> usedIn, usedOut;
+    for (const auto& t : sc.transitions()) {
+      if (t.trigger) usedIn.insert(*t.trigger);
+      usedOut.insert(t.effects.begin(), t.effects.end());
+    }
+    for (const auto& in : sc.inputs()) {
+      if (!usedIn.count(in)) {
+        emit(kUnusedSignal, name,
+             where + ": input '" + in + "' is declared but never consumed",
+             loc);
+      }
+    }
+    for (const auto& out : sc.outputs()) {
+      if (!usedOut.count(out)) {
+        emit(kUnusedSignal, name,
+             where + ": output '" + out + "' is declared but never produced",
+             loc);
+      }
+    }
+  }
+
+  // ---- pattern rules -------------------------------------------------------
+
+  void checkPattern(const muml::CoordinationPattern& p) {
+    const util::SourceLoc loc = locOf(model_.source.patterns, p.name);
+
+    // The parts verification would compose: roles compiled under their role
+    // names, plus the connector's channel automaton if there is one.
+    std::vector<Automaton> parts;
+    std::vector<std::string> partNames;
+    for (const auto& role : p.roles) {
+      parts.push_back(
+          role.behavior.compile(model_.signals, model_.props, role.name));
+      partNames.push_back("role '" + role.name + "'");
+    }
+    if (p.connector.kind == muml::ConnectorSpec::Kind::Channel) {
+      parts.push_back(
+          muml::makeChannel(model_.signals, model_.props,
+                            p.connector.channel));
+      partNames.push_back("channel connector");
+    }
+
+    checkAlphabets(p, parts, partNames, loc);
+
+    // Valid proposition universe for the pattern's formulas: everything the
+    // composed parts label their states with, plus the chaotic closure's
+    // fresh proposition (constraints are checked against context ‖ chaos(M)).
+    std::set<std::string> props;
+    props.insert(automata::kChaosProp);
+    for (const auto& part : parts) {
+      for (StateId s = 0; s < part.stateCount(); ++s) {
+        part.labels(s).forEach([&](std::size_t bit) {
+          props.insert(model_.props->name(static_cast<util::NameId>(bit)));
+        });
+      }
+    }
+
+    checkFormula(p.name, "constraint", p.constraint,
+                 locOf(model_.source.constraints, p.name), props);
+    for (const auto& role : p.roles) {
+      checkFormula(p.name, "invariant of role '" + role.name + "'",
+                   role.invariant,
+                   locOf(model_.source.invariants, p.name + "." + role.name),
+                   props);
+    }
+  }
+
+  /// MUI004 over the composition inputs: clashing I/O claims (composition
+  /// would be rejected outright), outputs no peer consumes (a send that can
+  /// only block under synchronous semantics), and inputs no peer produces
+  /// (note-level: often environment-driven, like an emergency signal).
+  void checkAlphabets(const muml::CoordinationPattern& p,
+                      const std::vector<Automaton>& parts,
+                      const std::vector<std::string>& partNames,
+                      const util::SourceLoc& loc) {
+    const std::string where = "pattern '" + p.name + "'";
+    const auto signalNames = [&](const SignalSet& set) {
+      std::string out;
+      set.forEach([&](std::size_t bit) {
+        if (!out.empty()) out += ", ";
+        out += model_.signals->name(static_cast<util::NameId>(bit));
+      });
+      return out;
+    };
+
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      for (std::size_t j = i + 1; j < parts.size(); ++j) {
+        if (parts[i].inputs().intersects(parts[j].inputs())) {
+          emit(kAlphabetMismatch, p.name,
+               where + ": " + partNames[i] + " and " + partNames[j] +
+                   " both claim input(s) " +
+                   signalNames(parts[i].inputs() & parts[j].inputs()) +
+                   "; composition requires disjoint inputs",
+               loc);
+        }
+        if (parts[i].outputs().intersects(parts[j].outputs())) {
+          emit(kAlphabetMismatch, p.name,
+               where + ": " + partNames[i] + " and " + partNames[j] +
+                   " both claim output(s) " +
+                   signalNames(parts[i].outputs() & parts[j].outputs()) +
+                   "; composition requires disjoint outputs",
+               loc);
+        }
+      }
+    }
+
+    SignalSet allIn, allOut;
+    for (const auto& part : parts) {
+      allIn |= part.inputs();
+      allOut |= part.outputs();
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      (parts[i].outputs() - allIn).forEach([&](std::size_t bit) {
+        emit(kAlphabetMismatch, p.name,
+             where + ": output '" +
+                 model_.signals->name(static_cast<util::NameId>(bit)) +
+                 "' of " + partNames[i] +
+                 " is consumed by no other part; the send can only block",
+             loc);
+      });
+      (parts[i].inputs() - allOut).forEach([&](std::size_t bit) {
+        if (!rules_.enabled(kAlphabetMismatch)) return;
+        if (model_.source.allows(p.name, kAlphabetMismatch)) {
+          ++report_.suppressed;
+          return;
+        }
+        // Note-level variant of MUI004: unfed inputs are legal for
+        // environment-driven signals, but worth surfacing.
+        report_.diagnostics.push_back(
+            {kAlphabetMismatch, Severity::Note, p.name,
+             where + ": input '" +
+                 model_.signals->name(static_cast<util::NameId>(bit)) +
+                 "' of " + partNames[i] +
+                 " is produced by no other part (environment signal?)",
+             loc});
+      });
+    }
+  }
+
+  /// MUI007/MUI008/MUI010 over one CCTL text (empty = no formula).
+  void checkFormula(const std::string& pattern, const std::string& what,
+                    const std::string& text, const util::SourceLoc& loc,
+                    const std::set<std::string>& props) {
+    if (text.empty()) return;
+    const std::string where = "pattern '" + pattern + "': " + what;
+    ctl::FormulaPtr phi;
+    try {
+      phi = ctl::parseFormula(text);
+    } catch (const std::exception& e) {
+      emit(kBadFormulaAtom, pattern,
+           where + " does not parse: " + e.what(), loc);
+      return;
+    }
+
+    std::set<std::string> unknown;
+    bool degenerate = false;
+    walk(phi, props, unknown, degenerate);
+    for (const auto& atom : unknown) {
+      emit(kBadFormulaAtom, pattern,
+           where + " references unknown atom '" + atom +
+               "' (no part of the composition labels a state with it)",
+           loc);
+    }
+    if (degenerate) {
+      emit(kDegenerateBound, pattern,
+           where + " carries the vacuous time bound [0,0], which collapses "
+               "the temporal operator to 'now'",
+           loc);
+    }
+    if (!phi->isACTL()) {
+      emit(kNonActlFormula, pattern,
+           where + " is not in the ACTL fragment; the verdict does not "
+               "transfer through refinement (paper Def. 5)",
+           loc);
+    }
+  }
+
+  static void walk(const ctl::FormulaPtr& f, const std::set<std::string>& props,
+                   std::set<std::string>& unknown, bool& degenerate) {
+    if (!f) return;
+    if (f->op == ctl::Op::Atom && !props.count(f->atom)) {
+      unknown.insert(f->atom);
+    }
+    switch (f->op) {
+      case ctl::Op::AF:
+      case ctl::Op::EF:
+      case ctl::Op::AG:
+      case ctl::Op::EG:
+      case ctl::Op::AU:
+      case ctl::Op::EU:
+        // Empty windows (hi < lo) are rejected by the parser, so the only
+        // degenerate bound that can reach us is the point window [0,0],
+        // which collapses the temporal operator to "now".
+        if (f->bound.bounded() && f->bound.lo == 0 && f->bound.hi == 0) {
+          degenerate = true;
+        }
+        break;
+      default:
+        break;
+    }
+    walk(f->lhs, props, unknown, degenerate);
+    walk(f->rhs, props, unknown, degenerate);
+  }
+
+  const muml::Model& model_;
+  const RuleSet& rules_;
+  Report report_;
+};
+
+}  // namespace
+
+Report run(const muml::Model& model, const RuleSet& rules) {
+  return Analyzer(model, rules).run();
+}
+
+}  // namespace mui::analysis

@@ -1,0 +1,39 @@
+#pragma once
+// The model lint analyzer: cheap fixpoint passes over a loaded muml::Model
+// that find well-formedness problems *before* any verification time is
+// spent. The batch engine (PR 1) runs hundreds of jobs from one model file;
+// a single malformed automaton or mistyped formula atom silently turns a
+// whole campaign into vacuous passes or wasted counterexample-test-learn
+// iterations, so this gate pays for itself on the first run.
+//
+// Checks (see rules.hpp for the registry and docs/LINT_RULES.md for the
+// catalogue):
+//   MUI001 unreachable states          MUI006 duplicate transitions
+//   MUI002 sink (deadlock) states      MUI007 bad formula atoms / parses
+//   MUI003 unused interface signals    MUI008 degenerate time bounds
+//   MUI004 composition alphabet        MUI009 missing initial states
+//          mismatches                  MUI010 non-ACTL formulas
+//   MUI005 nondeterministic stubs
+//
+// Entry point: run(model [, rules]). Diagnostics honor per-entity
+// `allow MUIxxx;` clauses recorded by the loader (Model::source).
+//
+// Surfaces: `mui lint <model> [--format text|json]` (render.hpp), the batch
+// runner's pre-flight (engine/runner.cpp), and this library API.
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/rules.hpp"
+#include "muml/model.hpp"
+
+namespace mui::analysis {
+
+/// Runs every enabled rule over the model. Pattern analysis compiles the
+/// role statecharts (under their role names, as verification would) to
+/// know the composition alphabets and the valid proposition universe; this
+/// interns names into the model's shared tables but never alters behavior.
+/// May propagate std::invalid_argument for statecharts that are themselves
+/// ill-formed (impossible for loader-produced models, which validate at
+/// parse time).
+Report run(const muml::Model& model, const RuleSet& rules = RuleSet::all());
+
+}  // namespace mui::analysis

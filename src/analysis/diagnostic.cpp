@@ -1,0 +1,50 @@
+#include "analysis/diagnostic.hpp"
+
+namespace mui::analysis {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::toString() const {
+  std::string out;
+  if (loc.known()) out += loc.toString() + ": ";
+  out += severityName(severity);
+  out += ": ";
+  out += message;
+  out += " [" + ruleId + "]";
+  return out;
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+bool Report::hasAtLeast(Severity s) const {
+  for (const auto& d : diagnostics) {
+    if (d.severity >= s) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Report::errorMessages() const {
+  std::vector<std::string> out;
+  for (const auto& d : diagnostics) {
+    if (d.severity == Severity::Error) out.push_back(d.toString());
+  }
+  return out;
+}
+
+}  // namespace mui::analysis

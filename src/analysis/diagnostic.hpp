@@ -1,0 +1,59 @@
+#pragma once
+// Diagnostic vocabulary of the model lint subsystem (mui::analysis).
+//
+// The paper's verification/testing/learning loop silently degrades when its
+// *inputs* are malformed: a mistyped formula atom never holds, an automaton
+// without initial states verifies everything vacuously, a sink state is a
+// structural deadlock the checker will dutifully report every iteration.
+// The lint layer finds such problems statically and reports them as
+// Diagnostics — one finding each, carrying a stable rule id (MUI001…), a
+// severity, the entity it is about, and (when the model came from a .muml
+// file) the source location recorded by the loader.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/parse.hpp"
+
+namespace mui::analysis {
+
+enum class Severity {
+  Note,     // informational; never affects exit codes or batch gating
+  Warning,  // suspicious; `mui lint` exits 1
+  Error,    // verification over this model is meaningless; batch jobs are
+            // short-circuited to engine-error rows
+};
+
+/// "note" / "warning" / "error".
+const char* severityName(Severity s);
+
+/// One lint finding.
+struct Diagnostic {
+  std::string ruleId;    // stable id, e.g. "MUI003"
+  Severity severity = Severity::Warning;
+  std::string subject;   // entity (automaton/rtsc/pattern) it is about
+  std::string message;   // human-readable, without location or severity
+  util::SourceLoc loc;   // unknown for programmatically built models
+
+  /// "file:3:7: warning: message [MUI003]" (location omitted if unknown).
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The outcome of one analysis::run call.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  /// Findings dropped because the model carries a matching `allow` clause.
+  std::size_t suppressed = 0;
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  /// Any finding at `s` or above?
+  [[nodiscard]] bool hasAtLeast(Severity s) const;
+  /// The `mui lint` gate: no warnings and no errors (notes are fine).
+  [[nodiscard]] bool clean() const { return !hasAtLeast(Severity::Warning); }
+  [[nodiscard]] bool hasErrors() const { return hasAtLeast(Severity::Error); }
+  /// Messages of all error-level findings (batch pre-flight explanations).
+  [[nodiscard]] std::vector<std::string> errorMessages() const;
+};
+
+}  // namespace mui::analysis

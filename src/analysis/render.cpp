@@ -1,0 +1,123 @@
+#include "analysis/render.hpp"
+
+#include <cstdio>
+
+#include "analysis/rules.hpp"
+
+namespace mui::analysis {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF "level" values happen to match our severity names.
+const char* sarifLevel(Severity s) { return severityName(s); }
+
+}  // namespace
+
+std::string renderText(const Report& report) {
+  std::string out;
+  for (const auto& d : report.diagnostics) {
+    out += d.toString();
+    out += '\n';
+  }
+  const std::size_t errors = report.count(Severity::Error);
+  const std::size_t warnings = report.count(Severity::Warning);
+  const std::size_t notes = report.count(Severity::Note);
+  if (errors == 0 && warnings == 0 && notes == 0) {
+    out += "clean";
+  } else {
+    out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+           " warning(s), " + std::to_string(notes) + " note(s)";
+  }
+  if (report.suppressed != 0) {
+    out += " (" + std::to_string(report.suppressed) + " suppressed)";
+  }
+  out += '\n';
+  return out;
+}
+
+std::string writeSarif(const Report& report) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"mui-lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/mui/docs/LINT_RULES.md\",\n"
+      "          \"rules\": [\n";
+  const auto& rules = allRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + std::string(rules[i].id) +
+           "\", \"name\": \"" + rules[i].name +
+           "\", \"shortDescription\": {\"text\": \"" +
+           jsonEscape(rules[i].description) +
+           "\"}, \"defaultConfiguration\": {\"level\": \"" +
+           sarifLevel(rules[i].defaultSeverity) + "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    out += "        {\"ruleId\": \"" + d.ruleId + "\", \"level\": \"" +
+           sarifLevel(d.severity) + "\", \"message\": {\"text\": \"" +
+           jsonEscape(d.message) + "\"}";
+    if (d.loc.known()) {
+      out += ", \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \"" +
+             jsonEscape(d.loc.file) + "\"}, \"region\": {\"startLine\": " +
+             std::to_string(d.loc.line) +
+             ", \"startColumn\": " + std::to_string(d.loc.col) + "}}}]";
+    }
+    out += "}";
+    out += i + 1 < report.diagnostics.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace mui::analysis

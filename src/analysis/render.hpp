@@ -1,0 +1,22 @@
+#pragma once
+// Rendering for lint reports: a compiler-style text listing for humans and
+// a SARIF 2.1.0 document for CI annotation (GitHub code scanning, IDE
+// importers). `mui lint --format json` emits the SARIF form.
+
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+
+namespace mui::analysis {
+
+/// One "file:line:col: severity: message [RULE]" line per diagnostic,
+/// then a one-line summary ("clean" or the per-severity counts, plus the
+/// suppressed count when non-zero).
+std::string renderText(const Report& report);
+
+/// SARIF 2.1.0: a single run of driver "mui-lint" with the full rule
+/// registry in tool.driver.rules and one result per diagnostic (ruleId,
+/// level, message, physical location when known).
+std::string writeSarif(const Report& report);
+
+}  // namespace mui::analysis

@@ -1,0 +1,52 @@
+#include "analysis/rules.hpp"
+
+namespace mui::analysis {
+
+const std::vector<RuleInfo>& allRules() {
+  static const std::vector<RuleInfo> rules = {
+      {kUnreachableState, "unreachable-state", Severity::Warning,
+       "state is not reachable from any initial state"},
+      {kSinkState, "sink-state", Severity::Warning,
+       "reachable state has no outgoing transition (structural deadlock) and "
+       "is not part of a chaotic closure"},
+      {kUnusedSignal, "unused-signal", Severity::Warning,
+       "signal is declared in the interface but used by no transition"},
+      {kAlphabetMismatch, "alphabet-mismatch", Severity::Warning,
+       "pattern parts slated for composition have mismatched interfaces "
+       "(clashing declarations, unconsumed outputs, unfed inputs)"},
+      {kNondeterministicStub, "nondeterministic-stub", Severity::Warning,
+       "automaton (a legacy component stand-in) is nondeterministic; the "
+       "integration loop's termination argument assumes determinism"},
+      {kDuplicateTransition, "duplicate-transition", Severity::Warning,
+       "transition is written more than once; the loader kept one copy"},
+      {kBadFormulaAtom, "bad-formula-atom", Severity::Error,
+       "constraint or invariant does not parse, or references an atom that "
+       "is no proposition of the composed pattern"},
+      {kDegenerateBound, "degenerate-bound", Severity::Warning,
+       "temporal bound is the vacuous point window [0,0], which collapses "
+       "the operator to 'now' (empty windows hi < lo are parse errors)"},
+      {kNoInitialState, "no-initial-state", Severity::Error,
+       "automaton has no initial state; every property holds vacuously"},
+      {kNonActlFormula, "non-actl-formula", Severity::Warning,
+       "formula leaves the ACTL fragment; verdicts do not transfer through "
+       "refinement (paper Def. 5)"},
+  };
+  return rules;
+}
+
+const RuleInfo* findRule(std::string_view id) {
+  for (const auto& r : allRules()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+RuleSet RuleSet::errorsOnly() {
+  RuleSet set;
+  for (const auto& r : allRules()) {
+    if (r.defaultSeverity != Severity::Error) set.disable(r.id);
+  }
+  return set;
+}
+
+}  // namespace mui::analysis

@@ -1,0 +1,69 @@
+#pragma once
+// The lint rule registry: every rule the analyzer can compute, with its
+// stable id, short kebab-case name (used by renderers and SARIF), default
+// severity, and a one-line description. docs/LINT_RULES.md is the
+// user-facing catalogue; tests/test_analysis.cpp holds one triggering and
+// one clean model per rule.
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace mui::analysis {
+
+struct RuleInfo {
+  const char* id;           // "MUI001"
+  const char* name;         // "unreachable-state"
+  Severity defaultSeverity;
+  const char* description;  // one line, shown in SARIF rule metadata
+};
+
+// Stable rule ids. New rules append; ids are never reused.
+inline constexpr const char* kUnreachableState = "MUI001";
+inline constexpr const char* kSinkState = "MUI002";
+inline constexpr const char* kUnusedSignal = "MUI003";
+inline constexpr const char* kAlphabetMismatch = "MUI004";
+inline constexpr const char* kNondeterministicStub = "MUI005";
+inline constexpr const char* kDuplicateTransition = "MUI006";
+inline constexpr const char* kBadFormulaAtom = "MUI007";
+inline constexpr const char* kDegenerateBound = "MUI008";
+inline constexpr const char* kNoInitialState = "MUI009";
+inline constexpr const char* kNonActlFormula = "MUI010";
+
+/// Every known rule, in id order.
+const std::vector<RuleInfo>& allRules();
+
+/// Registry lookup; nullptr for unknown ids.
+const RuleInfo* findRule(std::string_view id);
+
+/// The set of rules one analysis::run call computes. Default-constructed =
+/// everything enabled; rules can be disabled by id (CLI --disable, or a
+/// caller that only cares about a subset).
+class RuleSet {
+ public:
+  /// All registered rules enabled.
+  static RuleSet all() { return {}; }
+
+  /// Only error-severity rules — the batch engine's cheap pre-flight gate.
+  static RuleSet errorsOnly();
+
+  RuleSet& disable(std::string_view id) {
+    disabled_.insert(std::string(id));
+    return *this;
+  }
+  RuleSet& enable(std::string_view id) {
+    disabled_.erase(std::string(id));
+    return *this;
+  }
+  [[nodiscard]] bool enabled(std::string_view id) const {
+    return disabled_.count(std::string(id)) == 0;
+  }
+
+ private:
+  std::set<std::string> disabled_;
+};
+
+}  // namespace mui::analysis

@@ -23,6 +23,7 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
   ResultCache cache;
   RunnerOptions runnerOptions;
   runnerOptions.defaultTimeoutMs = options.defaultTimeoutMs;
+  runnerOptions.lintPreflight = options.lintPreflight;
 
   {
     ThreadPool pool(options.threads);

@@ -26,6 +26,9 @@ struct BatchOptions {
   std::size_t threads = 1;
   /// Deadline for jobs without their own timeout-ms (0 = unlimited).
   std::uint64_t defaultTimeoutMs = 0;
+  /// Per-job lint pre-flight (see RunnerOptions::lintPreflight); the CLI
+  /// exposes `mui batch --no-lint` to turn it off.
+  bool lintPreflight = true;
 };
 
 /// Runs every job, at most `threads` at a time; results keep manifest

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "analysis/analyze.hpp"
 #include "automata/rename.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
@@ -77,6 +78,28 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     }
 
     const muml::Model model = muml::loadModel(text, job.modelPath);
+
+    // Lint pre-flight: a model that fails the error-severity rules (unknown
+    // formula atoms, missing initial states, clashing composition alphabets)
+    // can only yield vacuous or spurious verdicts — fail the job fast with
+    // the diagnostics instead of spending verification time on it.
+    if (options.lintPreflight) {
+      const auto lint =
+          analysis::run(model, analysis::RuleSet::errorsOnly());
+      if (lint.hasErrors()) {
+        const auto messages = lint.errorMessages();
+        std::string what = "lint: " + messages.front();
+        if (messages.size() > 1) {
+          what += " (+" + std::to_string(messages.size() - 1) +
+                  " more error-level finding(s))";
+        }
+        out.status = JobStatus::EngineError;
+        out.explanation = std::move(what);
+        out.wallMs = elapsedMs();
+        return out;
+      }
+    }
+
     const auto pit = model.patterns.find(job.pattern);
     if (pit == model.patterns.end()) {
       throw std::runtime_error("no pattern named '" + job.pattern + "' in " +

@@ -20,6 +20,11 @@ namespace mui::engine {
 struct RunnerOptions {
   /// Deadline applied to jobs whose own timeoutMs is 0 (0 = no deadline).
   std::uint64_t defaultTimeoutMs = 0;
+  /// Lint the loaded model (error-severity rules only, see
+  /// analysis::RuleSet::errorsOnly) before running the integration loop; a
+  /// model with error-level findings becomes an engine-error row carrying
+  /// the diagnostics instead of burning verification time.
+  bool lintPreflight = true;
 };
 
 JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,

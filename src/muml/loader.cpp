@@ -31,6 +31,21 @@ class Loader {
   }
 
  private:
+  /// Location of the next token — recorded per definition so that lint
+  /// diagnostics (mui::analysis) can point back into the source file.
+  util::SourceLoc here() {
+    cur_.skipWs();
+    return {cur_.sourceName(), cur_.line(), cur_.col()};
+  }
+
+  /// `allow MUI003 MUI006;` — records lint-rule suppressions for `entity`.
+  void parseAllow(const std::string& entity) {
+    do {
+      model_.source.allowedRules[entity].insert(cur_.identifier());
+    } while (!peekStatementEnd());
+    cur_.expect(";");
+  }
+
   void runTopLevel() {
     while (true) {
       cur_.skipWs();
@@ -50,11 +65,13 @@ class Loader {
   // ---- automaton -----------------------------------------------------------
 
   void parseAutomaton() {
+    const util::SourceLoc loc = here();
     const std::string name = cur_.identifier();
     if (model_.automata.count(name)) {
       cur_.failSemantic("duplicate automaton '" + name +
                         "' (an automaton with this name is already defined)");
     }
+    model_.source.automata.emplace(name, loc);
     automata::Automaton a(model_.signals, model_.props, name);
     cur_.expect("{");
     while (!cur_.tryConsume("}")) {
@@ -75,6 +92,8 @@ class Loader {
           } while (!peekStatementEnd());
         }
         cur_.expect(";");
+      } else if (cur_.tryKeyword("allow")) {
+        parseAllow(name);
       } else {
         parseAutomatonTransition(a);
       }
@@ -83,6 +102,7 @@ class Loader {
   }
 
   void parseAutomatonTransition(automata::Automaton& a) {
+    const util::SourceLoc loc = here();
     const auto from = ensureState(a, cur_.identifier());
     cur_.expect("->");
     const auto to = ensureState(a, cur_.identifier());
@@ -97,6 +117,16 @@ class Loader {
       x.out.set(model_.signals->intern(cur_.identifier()));
     }
     cur_.expect(";");
+    // A textually repeated transition is kept once; the occurrence is
+    // recorded so `mui lint` can surface it (rule MUI006).
+    if (a.hasTransitionTo(from, x, to)) {
+      model_.source.duplicateTransitions.push_back(
+          {a.name(),
+           a.stateName(from) + " -> " + a.stateName(to) + " : " +
+               automata::toString(x, *model_.signals),
+           loc});
+      return;
+    }
     a.addTransition(from, std::move(x), to);
   }
 
@@ -111,11 +141,13 @@ class Loader {
   // ---- rtsc ---------------------------------------------------------------
 
   void parseRtsc() {
+    const util::SourceLoc loc = here();
     const std::string name = cur_.identifier();
     if (model_.statecharts.count(name)) {
       cur_.failSemantic("duplicate rtsc '" + name +
                         "' (an rtsc with this name is already defined)");
     }
+    model_.source.statecharts.emplace(name, loc);
     rtsc::RealTimeStatechart sc(name);
     clockNames_.clear();
     cur_.expect("{");
@@ -140,6 +172,8 @@ class Loader {
       } else if (cur_.tryKeyword("initial")) {
         sc.setInitial(requireLocation(sc, cur_.identifier()));
         cur_.expect(";");
+      } else if (cur_.tryKeyword("allow")) {
+        parseAllow(name);
       } else {
         parseRtscTransition(sc);
       }
@@ -216,11 +250,13 @@ class Loader {
   // ---- pattern -------------------------------------------------------------
 
   void parsePattern() {
+    const util::SourceLoc loc = here();
     const std::string name = cur_.identifier();
     if (model_.patterns.count(name)) {
       cur_.failSemantic("duplicate pattern '" + name +
                         "' (a pattern with this name is already defined)");
     }
+    model_.source.patterns.emplace(name, loc);
     CoordinationPattern p;
     p.name = name;
     cur_.expect("{");
@@ -236,7 +272,10 @@ class Loader {
                             "'");
         }
         r.behavior = it->second;
-        if (cur_.tryKeyword("invariant")) r.invariant = cur_.quotedString();
+        if (cur_.tryKeyword("invariant")) {
+          model_.source.invariants.emplace(name + "." + r.name, here());
+          r.invariant = cur_.quotedString();
+        }
         cur_.expect(";");
         p.roles.push_back(std::move(r));
       } else if (cur_.tryKeyword("connector")) {
@@ -271,10 +310,13 @@ class Loader {
         }
         cur_.expect(";");
       } else if (cur_.tryKeyword("constraint")) {
+        model_.source.constraints.emplace(name, here());
         p.constraint = cur_.quotedString();
         cur_.expect(";");
+      } else if (cur_.tryKeyword("allow")) {
+        parseAllow(name);
       } else {
-        cur_.fail("expected 'role', 'connector', or 'constraint'");
+        cur_.fail("expected 'role', 'connector', 'constraint', or 'allow'");
       }
     }
     model_.patterns.emplace(name, std::move(p));

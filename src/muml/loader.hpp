@@ -26,6 +26,10 @@
 //     constraint "AG !(p && q)";
 //   }
 //
+// Any block body may carry `allow MUI003 ...;` statements suppressing the
+// named lint rules (see mui::analysis and docs/LINT_RULES.md) for that
+// entity; the loader records them in Model::source.
+//
 // Comments start with '#' or '//'. States referenced in transitions are
 // created on first use and auto-labeled with their hierarchical qualified
 // name (e.g. automaton "rearRole", state "noConvoy::wait" yields

@@ -4,12 +4,14 @@
 // invariants; components with ports refining roles.
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "automata/automaton.hpp"
 #include "muml/channel.hpp"
 #include "rtsc/rtsc.hpp"
+#include "util/parse.hpp"
 
 namespace mui::muml {
 
@@ -53,6 +55,40 @@ struct Component {
   std::vector<Port> ports;
 };
 
+/// Side information the loader records about where each definition came
+/// from — consumed by the static analysis layer (mui::analysis) to attach
+/// file:line:col locations to its diagnostics, to surface transitions that
+/// were written twice (the loader keeps one copy), and to honor per-entity
+/// `allow MUIxxx;` lint suppressions. Models built programmatically leave
+/// this empty; every consumer treats absent entries as "location unknown".
+struct ModelSource {
+  /// A transition that textually duplicated an existing identical one; the
+  /// loader dropped the copy and recorded it here.
+  struct DuplicateTransition {
+    std::string automaton;  // owning automaton name
+    std::string text;       // rendering such as "s0 -> s1 : a / x"
+    util::SourceLoc loc;    // where the duplicate occurrence starts
+  };
+
+  std::map<std::string, util::SourceLoc> automata;     // by automaton name
+  std::map<std::string, util::SourceLoc> statecharts;  // by rtsc name
+  std::map<std::string, util::SourceLoc> patterns;     // by pattern name
+  /// Pattern constraint locations by pattern name; role invariant locations
+  /// by "pattern.role".
+  std::map<std::string, util::SourceLoc> constraints;
+  std::map<std::string, util::SourceLoc> invariants;
+  std::vector<DuplicateTransition> duplicateTransitions;
+  /// Lint rule ids suppressed per entity (`allow MUI003;` inside an
+  /// automaton/rtsc/pattern body), keyed by the entity name.
+  std::map<std::string, std::set<std::string>> allowedRules;
+
+  [[nodiscard]] bool allows(const std::string& entity,
+                            const std::string& ruleId) const {
+    const auto it = allowedRules.find(entity);
+    return it != allowedRules.end() && it->second.count(ruleId) != 0;
+  }
+};
+
 /// Container produced by the .muml loader: named automata, statecharts and
 /// patterns over one shared pair of tables.
 struct Model {
@@ -61,6 +97,7 @@ struct Model {
   std::map<std::string, automata::Automaton> automata;
   std::map<std::string, rtsc::RealTimeStatechart> statecharts;
   std::map<std::string, CoordinationPattern> patterns;
+  ModelSource source;
 };
 
 }  // namespace mui::muml

@@ -8,6 +8,25 @@
 
 namespace mui::util {
 
+/// A position in a source text, as carried by parser diagnostics and by the
+/// loader's per-definition bookkeeping (muml::ModelSource). Line/column are
+/// 1-based; a zero line means "unknown" (e.g. models built programmatically).
+struct SourceLoc {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+
+  [[nodiscard]] bool known() const { return line != 0; }
+
+  /// "file.muml:3:7" (or ":3:7" without a file name); empty when unknown.
+  [[nodiscard]] std::string toString() const {
+    if (!known()) return {};
+    return file + ":" + std::to_string(line) + ":" + std::to_string(col);
+  }
+
+  bool operator==(const SourceLoc&) const = default;
+};
+
 /// Formats "file.muml:3:7: msg" when a source name is known and the
 /// legacy "msg (line 3, col 7)" otherwise.
 inline std::string locatedMessage(const std::string& msg,

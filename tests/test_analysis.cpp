@@ -1,0 +1,532 @@
+// Tests for the model lint subsystem (mui::analysis): one triggering and
+// one clean model per rule, the `allow` suppression and RuleSet plumbing,
+// golden strings for the text renderer, a well-formedness check for the
+// SARIF output, and the batch engine's lint pre-flight short-circuit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "analysis/render.hpp"
+#include "analysis/rules.hpp"
+#include "engine/engine.hpp"
+#include "muml/loader.hpp"
+
+namespace mui::analysis {
+namespace {
+
+Report lint(std::string_view text, const RuleSet& rules = RuleSet::all()) {
+  const muml::Model m = muml::loadModel(text, "test.muml");
+  return run(m, rules);
+}
+
+std::vector<std::string> ruleIds(const Report& r) {
+  std::vector<std::string> out;
+  for (const auto& d : r.diagnostics) out.push_back(d.ruleId);
+  return out;
+}
+
+bool fires(const Report& r, const char* rule) {
+  const auto ids = ruleIds(r);
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+// A pattern whose two roles exchange x/y symmetrically — clean except for
+// what a test splices in.
+constexpr const char* kCleanPattern = R"mm(
+  rtsc A { input x; output y; location l0; initial l0;
+           l0 -> l0 : trigger x emit y; }
+  rtsc B { input y; output x; location m0; initial m0;
+           m0 -> m0 : trigger y emit x; }
+  pattern P {
+    role a uses A;
+    role b uses B;
+    connector direct;
+    constraint "AG a.l0";
+  }
+)mm";
+
+TEST(Registry, TenRulesWithStableIdsAndLookup) {
+  const auto& rules = allRules();
+  ASSERT_EQ(rules.size(), 10u);
+  EXPECT_STREQ(rules.front().id, "MUI001");
+  EXPECT_STREQ(rules.back().id, "MUI010");
+  for (const auto& r : rules) {
+    const RuleInfo* found = findRule(r.id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_STREQ(found->name, r.name);
+  }
+  EXPECT_EQ(findRule("MUI999"), nullptr);
+}
+
+// ---- MUI001 unreachable-state ----------------------------------------------
+
+TEST(Mui001, FiresOnUnreachableState) {
+  const auto r = lint(R"mm(
+    automaton a { initial s0; state orphan; s0 -> s0 : ; }
+  )mm");
+  EXPECT_TRUE(fires(r, kUnreachableState));
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Mui001, CleanWhenAllStatesReachable) {
+  const auto r = lint(R"mm(
+    automaton a { initial s0; s0 -> s1 : ; s1 -> s0 : ; }
+  )mm");
+  EXPECT_FALSE(fires(r, kUnreachableState));
+  EXPECT_TRUE(r.clean());
+}
+
+// ---- MUI002 sink-state -----------------------------------------------------
+
+TEST(Mui002, FiresOnReachableSinkState) {
+  const auto r = lint(R"mm(
+    automaton a { initial s0; s0 -> stuck : ; }
+  )mm");
+  EXPECT_TRUE(fires(r, kSinkState));
+}
+
+TEST(Mui002, ChaoticSinkIsExempt) {
+  // A sink labeled with the chaotic-closure proposition is the closure's
+  // s_delta by construction — not a modeling error.
+  const auto r = lint(R"mm(
+    automaton a { state s_delta labels p_chaos; initial s0; s0 -> s_delta : ; }
+  )mm");
+  EXPECT_FALSE(fires(r, kSinkState));
+}
+
+// ---- MUI003 unused-signal --------------------------------------------------
+
+TEST(Mui003, FiresOnDeclaredButUnusedAutomatonSignals) {
+  const auto r = lint(R"mm(
+    automaton a { input used ghost; output alsoGhost;
+                  initial s0; s0 -> s0 : used / ; }
+  )mm");
+  const auto ids = ruleIds(r);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), std::string(kUnusedSignal)), 2);
+}
+
+TEST(Mui003, FiresOnUnusedRtscSignalsAndCleanOtherwise) {
+  const auto positive = lint(R"mm(
+    rtsc R { input req ghost; output ack; location l; initial l;
+             l -> l : trigger req emit ack; }
+  )mm");
+  EXPECT_TRUE(fires(positive, kUnusedSignal));
+
+  const auto negative = lint(R"mm(
+    rtsc R { input req; output ack; location l; initial l;
+             l -> l : trigger req emit ack; }
+  )mm");
+  EXPECT_TRUE(negative.clean());
+  EXPECT_TRUE(negative.diagnostics.empty());
+}
+
+// ---- MUI004 alphabet-mismatch ----------------------------------------------
+
+TEST(Mui004, ClashingInputClaimsWarn) {
+  const auto r = lint(R"mm(
+    rtsc A { input x; location l; initial l; l -> l : trigger x; }
+    rtsc B { input x; location m; initial m; m -> m : trigger x; }
+    pattern P { role a uses A; role b uses B; connector direct; }
+  )mm");
+  ASSERT_TRUE(fires(r, kAlphabetMismatch));
+  EXPECT_FALSE(r.clean());
+  EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(Mui004, UnconsumedOutputWarnsAndUnfedInputIsANote) {
+  const auto r = lint(R"mm(
+    rtsc A { output lost; location l; initial l; l -> l : emit lost; }
+    rtsc B { input wanted; location m; initial m; m -> m : trigger wanted; }
+    pattern P { role a uses A; role b uses B; connector direct; }
+  )mm");
+  bool sawWarning = false, sawNote = false;
+  for (const auto& d : r.diagnostics) {
+    if (d.ruleId != kAlphabetMismatch) continue;
+    sawWarning |= d.severity == Severity::Warning;
+    sawNote |= d.severity == Severity::Note;
+  }
+  EXPECT_TRUE(sawWarning);
+  EXPECT_TRUE(sawNote);
+  EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(Mui004, ChannelRoutesSatisfyTheMatching) {
+  // a emits 'snd'; the channel routes snd->rcv; b consumes 'rcv'.
+  const auto r = lint(R"mm(
+    rtsc A { output snd; location l; initial l; l -> l : emit snd; }
+    rtsc B { input rcv; location m; initial m; m -> m : trigger rcv; }
+    pattern P { role a uses A; role b uses B;
+                connector channel delay 1 capacity 1 routes snd->rcv; }
+  )mm");
+  for (const auto& d : r.diagnostics) {
+    EXPECT_NE(d.severity, Severity::Warning) << d.toString();
+    EXPECT_NE(d.severity, Severity::Error) << d.toString();
+  }
+}
+
+// ---- MUI005 nondeterministic-stub ------------------------------------------
+
+TEST(Mui005, FiresOnNondeterministicAutomaton) {
+  const auto r = lint(R"mm(
+    automaton a { input go; initial s0;
+                  s0 -> s1 : go / ; s0 -> s2 : go / ;
+                  s1 -> s1 : ; s2 -> s2 : ; }
+  )mm");
+  EXPECT_TRUE(fires(r, kNondeterministicStub));
+}
+
+TEST(Mui005, DeterministicStubIsClean) {
+  const auto r = lint(R"mm(
+    automaton a { input go; initial s0;
+                  s0 -> s1 : go / ; s0 -> s0 : ; s1 -> s1 : ; }
+  )mm");
+  EXPECT_FALSE(fires(r, kNondeterministicStub));
+}
+
+// ---- MUI006 duplicate-transition -------------------------------------------
+
+TEST(Mui006, FiresOnTextuallyRepeatedTransition) {
+  const auto r = lint(R"mm(
+    automaton a { input go; initial s0;
+                  s0 -> s0 : go / ;
+                  s0 -> s0 : go / ; }
+  )mm");
+  ASSERT_TRUE(fires(r, kDuplicateTransition));
+  // The diagnostic points at the duplicate occurrence, not the automaton.
+  for (const auto& d : r.diagnostics) {
+    if (d.ruleId == kDuplicateTransition) {
+      EXPECT_EQ(d.loc.line, 4u);
+    }
+  }
+}
+
+TEST(Mui006, DistinctTransitionsDoNotFire) {
+  const auto r = lint(R"mm(
+    automaton a { input go; initial s0; s0 -> s0 : go / ; s0 -> s0 : ; }
+  )mm");
+  EXPECT_FALSE(fires(r, kDuplicateTransition));
+}
+
+// ---- MUI007 bad-formula-atom -----------------------------------------------
+
+TEST(Mui007, UnknownAtomIsAnError) {
+  const auto r = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A; role b uses B; connector direct;
+                constraint "AG !a.misTyped"; }
+  )mm");
+  EXPECT_TRUE(fires(r, kBadFormulaAtom));
+  EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(Mui007, UnparseableInvariantIsAnError) {
+  const auto r = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A invariant "AG (("; role b uses B;
+                connector direct; }
+  )mm");
+  EXPECT_TRUE(fires(r, kBadFormulaAtom));
+}
+
+TEST(Mui007, RolePropsAndChaosPropAreKnown) {
+  const auto r = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A invariant "AG (a.l0 || p_chaos)";
+                role b uses B; connector direct;
+                constraint "AG !(a.l0 && !b.m0)"; }
+  )mm");
+  EXPECT_FALSE(fires(r, kBadFormulaAtom));
+}
+
+// ---- MUI008 degenerate-bound -----------------------------------------------
+
+TEST(Mui008, PointWindowFiresAndProperWindowDoesNot) {
+  // An empty window like [3,1] never reaches the analyzer — the formula
+  // parser rejects it (covered below as MUI007). The degenerate bound that
+  // does parse is the point window [0,0].
+  const auto degenerate = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A; role b uses B; connector direct;
+                constraint "AG (AF[0,0] a.l0)"; }
+  )mm");
+  EXPECT_TRUE(fires(degenerate, kDegenerateBound));
+
+  const auto proper = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A; role b uses B; connector direct;
+                constraint "AG (AF[1,3] a.l0)"; }
+  )mm");
+  EXPECT_FALSE(fires(proper, kDegenerateBound));
+}
+
+TEST(Mui008, EmptyWindowIsAParseErrorSurfacedAsMui007) {
+  const auto r = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A; role b uses B; connector direct;
+                constraint "AG (AF[3,1] a.l0)"; }
+  )mm");
+  EXPECT_TRUE(fires(r, kBadFormulaAtom));
+  EXPECT_FALSE(fires(r, kDegenerateBound));
+}
+
+// ---- MUI009 no-initial-state -----------------------------------------------
+
+TEST(Mui009, MissingInitialStateIsAnErrorAndMasksDerivedRules) {
+  const auto r = lint(R"mm(
+    automaton a { state s0; s0 -> s0 : ; }
+  )mm");
+  EXPECT_TRUE(fires(r, kNoInitialState));
+  EXPECT_TRUE(r.hasErrors());
+  // No MUI001 avalanche for the same root cause.
+  EXPECT_FALSE(fires(r, kUnreachableState));
+}
+
+TEST(Mui009, InitialStatePresentIsClean) {
+  const auto r = lint("automaton a { initial s0; s0 -> s0 : ; }");
+  EXPECT_FALSE(fires(r, kNoInitialState));
+}
+
+// ---- MUI010 non-actl-formula -----------------------------------------------
+
+TEST(Mui010, ExistentialConstraintWarnsAndActlDoesNot) {
+  const auto existential = lint(R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A; role b uses B; connector direct;
+                constraint "AG EF a.l0"; }
+  )mm");
+  EXPECT_TRUE(fires(existential, kNonActlFormula));
+
+  const auto actl = lint(kCleanPattern);
+  EXPECT_FALSE(fires(actl, kNonActlFormula));
+}
+
+// ---- suppression and rule selection ----------------------------------------
+
+TEST(Suppression, AllowClauseSuppressesAndCounts) {
+  const auto r = lint(R"mm(
+    automaton a { input ghost; allow MUI003; initial s0; s0 -> s0 : ; }
+  )mm");
+  EXPECT_FALSE(fires(r, kUnusedSignal));
+  EXPECT_EQ(r.suppressed, 1u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Suppression, AllowIsScopedToItsEntity) {
+  const auto r = lint(R"mm(
+    automaton a { input ghost; allow MUI003; initial s0; s0 -> s0 : ; }
+    automaton b { input ghost2; initial s0; s0 -> s0 : ; }
+  )mm");
+  EXPECT_TRUE(fires(r, kUnusedSignal));  // only b's finding survives
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(RuleSet, DisableSkipsTheRule) {
+  const auto r = lint("automaton a { input ghost; initial s0; s0 -> s0 : ; }",
+                      RuleSet::all().disable(kUnusedSignal));
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(RuleSet, ErrorsOnlyKeepsErrorRules) {
+  // Unused signal (warning) + missing initial (error) in one model.
+  const auto r = lint("automaton a { input ghost; state s0; s0 -> s0 : ; }",
+                      RuleSet::errorsOnly());
+  EXPECT_TRUE(fires(r, kNoInitialState));
+  EXPECT_FALSE(fires(r, kUnusedSignal));
+}
+
+// ---- renderers -------------------------------------------------------------
+
+TEST(RenderText, GoldenListingAndSummary) {
+  const auto r = lint(R"mm(automaton a { input ghost; initial s0; s0 -> s0 : ; }
+)mm");
+  EXPECT_EQ(renderText(r),
+            "test.muml:1:11: warning: automaton 'a': input 'ghost' is "
+            "declared but never consumed [MUI003]\n"
+            "0 error(s), 1 warning(s), 0 note(s)\n");
+}
+
+TEST(RenderText, CleanSummary) {
+  const auto r = lint("automaton a { initial s0; s0 -> s0 : ; }");
+  EXPECT_EQ(renderText(r), "clean\n");
+}
+
+TEST(RenderText, SuppressedCountIsShown) {
+  const auto r = lint(
+      "automaton a { input ghost; allow MUI003; initial s0; s0 -> s0 : ; }");
+  EXPECT_EQ(renderText(r), "clean (1 suppressed)\n");
+}
+
+/// Minimal JSON well-formedness scan: strings (with escapes) are skipped,
+/// structural brackets must nest and match. Catches unescaped quotes,
+/// truncation, and bracket mismatches without a JSON library.
+void expectWellFormedJson(const std::string& text) {
+  std::vector<char> stack;
+  bool inString = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (inString) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        inString = false;
+      } else {
+        ASSERT_NE(c, '\n') << "raw newline inside a JSON string at " << i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        inString = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{') << "mismatched '}' at offset " << i;
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[') << "mismatched ']' at offset " << i;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_FALSE(inString) << "unterminated string";
+  EXPECT_TRUE(stack.empty()) << "unclosed brackets";
+}
+
+TEST(Sarif, DocumentShapeAndEscaping) {
+  const auto r = lint(
+      "automaton a { input ghost; state orphan; initial s0; s0 -> s0 : ; }");
+  const std::string sarif = writeSarif(r);
+  expectWellFormedJson(sarif);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"mui-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"results\""), std::string::npos);
+  // Every registered rule is described, every finding becomes a result.
+  for (const auto& rule : allRules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos);
+  }
+  for (const auto& d : r.diagnostics) {
+    EXPECT_NE(sarif.find("\"ruleId\": \"" + d.ruleId + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+}
+
+TEST(Sarif, EmptyReportIsStillWellFormed) {
+  const auto r = lint("automaton a { initial s0; s0 -> s0 : ; }");
+  ASSERT_TRUE(r.diagnostics.empty());
+  expectWellFormedJson(writeSarif(r));
+}
+
+// ---- batch engine pre-flight -----------------------------------------------
+
+constexpr const char* kBadBatchModel = R"mm(
+  rtsc A { input x; output y; location l0; initial l0;
+           l0 -> l0 : trigger x emit y; }
+  rtsc B { input y; output x; location m0; initial m0;
+           m0 -> m0 : trigger y emit x; }
+  pattern P { role a uses A; role b uses B; connector direct;
+              constraint "AG !a.misTyped"; }
+  automaton stub { input x; output y; initial s0; s0 -> s0 : x / y;
+                   s0 -> s0 : ; }
+)mm";
+
+TEST(Preflight, ErrorFindingsShortCircuitTheJob) {
+  engine::TextCache texts;
+  texts.prime("mem:bad", kBadBatchModel);
+  engine::Job job;
+  job.name = "bad";
+  job.modelPath = "mem:bad";
+  job.pattern = "P";
+  job.legacyRole = "a";
+  job.hidden = "stub";
+
+  const auto report = engine::runBatch({job}, {}, texts);
+  ASSERT_EQ(report.results.size(), 1u);
+  const auto& res = report.results.front();
+  EXPECT_EQ(res.status, engine::JobStatus::EngineError);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_EQ(res.explanation.rfind("lint: ", 0), 0u) << res.explanation;
+  EXPECT_NE(res.explanation.find("MUI007"), std::string::npos)
+      << res.explanation;
+}
+
+TEST(Preflight, NoLintOptionSkipsTheGate) {
+  engine::TextCache texts;
+  texts.prime("mem:bad", kBadBatchModel);
+  engine::Job job;
+  job.name = "bad";
+  job.modelPath = "mem:bad";
+  job.pattern = "P";
+  job.legacyRole = "a";
+  job.hidden = "stub";
+
+  engine::BatchOptions options;
+  options.lintPreflight = false;
+  const auto report = engine::runBatch({job}, options, texts);
+  ASSERT_EQ(report.results.size(), 1u);
+  // Whatever the loop decides, it is not a lint verdict.
+  EXPECT_EQ(report.results.front().explanation.rfind("lint: ", 0),
+            std::string::npos);
+}
+
+TEST(Preflight, CleanModelStillRuns) {
+  engine::TextCache texts;
+  texts.prime("mem:good", R"mm(
+    rtsc A { input x; output y; location l0; initial l0;
+             l0 -> l0 : trigger x emit y; }
+    rtsc B { input y; output x; location m0; initial m0;
+             m0 -> m0 : trigger y emit x; }
+    pattern P { role a uses A; role b uses B; connector direct;
+                constraint "AG a.l0"; }
+    automaton stub { input x; output y; initial s0; s0 -> s0 : x / y;
+                     s0 -> s0 : ; }
+  )mm");
+  engine::Job job;
+  job.name = "good";
+  job.modelPath = "mem:good";
+  job.pattern = "P";
+  job.legacyRole = "a";
+  job.hidden = "stub";
+
+  const auto report = engine::runBatch({job}, {}, texts);
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_NE(report.results.front().status, engine::JobStatus::EngineError)
+      << report.results.front().explanation;
+}
+
+}  // namespace
+}  // namespace mui::analysis

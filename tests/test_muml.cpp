@@ -224,6 +224,57 @@ TEST(Loader, ChannelConnectorAttributes) {
   EXPECT_EQ(c.channel.routes[0].destination, "m_dst");
 }
 
+TEST(Loader, DuplicateTransitionsAreDedupedAndRecorded) {
+  const Model m = loadModel(
+      "automaton a { input go; initial s0;\n"
+      "  s0 -> s0 : go / ;\n"
+      "  s0 -> s0 : go / ;\n"
+      "}\n",
+      "dup.muml");
+  const auto& a = m.automata.at("a");
+  EXPECT_EQ(a.transitionCount(), 1u);  // kept one copy, loaded without error
+  ASSERT_EQ(m.source.duplicateTransitions.size(), 1u);
+  const auto& dup = m.source.duplicateTransitions.front();
+  EXPECT_EQ(dup.automaton, "a");
+  EXPECT_NE(dup.text.find("s0 -> s0"), std::string::npos) << dup.text;
+  // The recorded location points at the *second* occurrence.
+  EXPECT_EQ(dup.loc.file, "dup.muml");
+  EXPECT_EQ(dup.loc.line, 3u);
+}
+
+TEST(Loader, DistinctTransitionsAreNotRecordedAsDuplicates) {
+  const Model m = loadModel(
+      "automaton a { input go; initial s0; s0 -> s0 : go / ; s0 -> s0 : ; }");
+  EXPECT_EQ(m.automata.at("a").transitionCount(), 2u);
+  EXPECT_TRUE(m.source.duplicateTransitions.empty());
+}
+
+TEST(Loader, AllowStatementsRecordScopedSuppressions) {
+  const Model m = loadModel(R"mm(
+    automaton a { allow MUI003 MUI006; initial s0; s0 -> s0 : ; }
+    rtsc R { allow MUI003; input x; location l; initial l; l -> l : trigger x; }
+    pattern P { role r uses R; allow MUI004; connector direct; }
+  )mm");
+  EXPECT_TRUE(m.source.allows("a", "MUI003"));
+  EXPECT_TRUE(m.source.allows("a", "MUI006"));
+  EXPECT_FALSE(m.source.allows("a", "MUI001"));
+  EXPECT_TRUE(m.source.allows("R", "MUI003"));
+  EXPECT_TRUE(m.source.allows("P", "MUI004"));
+  EXPECT_FALSE(m.source.allows("someoneElse", "MUI003"));
+}
+
+TEST(Loader, DefinitionLocationsAreRecorded) {
+  const Model m = loadModel(
+      "automaton a { initial s0; s0 -> s0 : ; }\n"
+      "rtsc R { location l; initial l; l -> l : ; }\n",
+      "loc.muml");
+  ASSERT_TRUE(m.source.automata.count("a"));
+  EXPECT_EQ(m.source.automata.at("a").file, "loc.muml");
+  EXPECT_EQ(m.source.automata.at("a").line, 1u);
+  ASSERT_TRUE(m.source.statecharts.count("R"));
+  EXPECT_EQ(m.source.statecharts.at("R").line, 2u);
+}
+
 // ---- The RailCab ground truth ----------------------------------------------
 
 TEST(Shuttle, PatternVerifies) {

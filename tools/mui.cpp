@@ -26,18 +26,27 @@
 //       Replay a saved suite against a component revision.
 //
 //   mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>]
+//             [--no-lint]
 //       Run a whole campaign of integration jobs from a job manifest
 //       (docs/BATCH_FORMAT.md) on a thread pool; prints the per-job table
-//       and writes a JSON-lines summary with --out.
+//       and writes a JSON-lines summary with --out. Every job's model is
+//       linted first (--no-lint skips that pre-flight).
+//
+//   mui lint <model.muml> [--format text|json] [--disable MUIxxx]...
+//       Statically analyze a model (docs/LINT_RULES.md): unreachable and
+//       sink states, unused signals, composition alphabet mismatches,
+//       nondeterministic legacy stubs, duplicate transitions, bad formula
+//       atoms, degenerate bounds, missing initial states, non-ACTL
+//       formulas. --format json emits a SARIF 2.1.0 document.
 //
 //   mui dot <model.muml> <automaton|rtsc>
 //       Emit Graphviz DOT for an automaton or a compiled statechart.
 //
 //   mui --help | --version
 //
-// Exit code: 0 on verified/proven (batch: every job proven), 1 on
-// violation/real error (batch: any non-proven job), 2 on usage or model
-// errors.
+// Exit code: 0 on verified/proven (batch: every job proven; lint: no
+// finding at warning or above), 1 on violation/real error (lint: warnings
+// or errors), 2 on usage or model errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +55,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analyze.hpp"
+#include "analysis/render.hpp"
 #include "automata/compose.hpp"
 #include "automata/rename.hpp"
 #include "ctl/counterexample.hpp"
@@ -79,11 +90,14 @@ void printUsage(std::FILE* out) {
       "  mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>\n"
       "  mui suite-gen <model.muml> <pattern> <legacyRole> <hidden>\n"
       "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
-      "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>]\n"
+      "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>] "
+      "[--no-lint]\n"
+      "  mui lint <model.muml> [--format text|json] [--disable MUIxxx]...\n"
       "  mui dot <model.muml> <automaton|rtsc>\n"
       "  mui --help | --version\n"
-      "exit codes: 0 verified/proven, 1 violation/real error, 2 usage or "
-      "model error\n");
+      "exit codes: 0 verified/proven (lint: clean), 1 violation/real error "
+      "(lint: findings\n"
+      "at warning or above), 2 usage or model error\n");
 }
 
 int usage() {
@@ -317,6 +331,54 @@ int cmdDot(int argc, char** argv) {
                            argv[1] + "'");
 }
 
+int cmdLint(int argc, char** argv) {
+  const char* modelPath = nullptr;
+  bool json = false;
+  analysis::RuleSet rules = analysis::RuleSet::all();
+  // Flags and the model path may come in any order.
+  for (int i = 0; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--format") == 0) {
+      const std::string format = flagValue("--format");
+      if (format == "json") {
+        json = true;
+      } else if (format == "text") {
+        json = false;
+      } else {
+        return usageError("--format expects 'text' or 'json'");
+      }
+    } else if (std::strcmp(argv[i], "--disable") == 0) {
+      const char* id = flagValue("--disable");
+      if (analysis::findRule(id) == nullptr) {
+        return usageError(std::string("unknown lint rule '") + id + "'");
+      }
+      rules.disable(id);
+    } else if (argv[i][0] == '-') {
+      return usageError(std::string("unknown lint flag '") + argv[i] + "'");
+    } else if (modelPath == nullptr) {
+      modelPath = argv[i];
+    } else {
+      return usageError(std::string("unexpected lint argument '") + argv[i] +
+                        "'");
+    }
+  }
+  if (modelPath == nullptr) {
+    return usageError(
+        "lint expects <model.muml> [--format text|json] [--disable MUIxxx]");
+  }
+
+  const muml::Model model = loadFile(modelPath);
+  const auto report = analysis::run(model, rules);
+  std::printf("%s", json ? analysis::writeSarif(report).c_str()
+                         : analysis::renderText(report).c_str());
+  return report.clean() ? 0 : 1;
+}
+
 /// Parses a non-negative integer CLI argument; returns false on garbage.
 bool parseUint(const char* text, std::uint64_t& out) {
   char* end = nullptr;
@@ -354,6 +416,8 @@ int cmdBatch(int argc, char** argv) {
       options.defaultTimeoutMs = v;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       outPath = flagValue("--out");
+    } else if (std::strcmp(argv[i], "--no-lint") == 0) {
+      options.lintPreflight = false;
     } else {
       return usageError(std::string("unknown batch flag '") + argv[i] + "'");
     }
@@ -405,6 +469,7 @@ int main(int argc, char** argv) {
     if (cmd == "suite-gen") return cmdSuiteGen(argc - 2, argv + 2);
     if (cmd == "suite-run") return cmdSuiteRun(argc - 2, argv + 2);
     if (cmd == "batch") return cmdBatch(argc - 2, argv + 2);
+    if (cmd == "lint") return cmdLint(argc - 2, argv + 2);
     if (cmd == "dot") return cmdDot(argc - 2, argv + 2);
     return usageError("unknown command '" + cmd + "'");
   } catch (const std::exception& e) {
