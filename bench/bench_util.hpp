@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -80,6 +81,60 @@ struct Scenario {
 
 inline void printHeader(const char* id, const char* claim) {
   std::printf("\n### %s\n%s\n\n", id, claim);
+}
+
+/// Smoke mode (MUI_BENCH_SMOKE=1): small sizes, machine-checkable output
+/// only — what the perf-smoke CI job runs. Timing is reported but never
+/// gated; only correctness mismatches fail the process.
+inline bool smokeMode() {
+  const char* env = std::getenv("MUI_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Directory for the BENCH_*.json artifacts: $MUI_BENCH_OUT_DIR if set, else
+/// the MUI_BENCH_OUT_DIR compile definition (the repo root), else ".".
+inline std::string benchOutDir() {
+  if (const char* env = std::getenv("MUI_BENCH_OUT_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+#ifdef MUI_BENCH_OUT_DIR
+  return MUI_BENCH_OUT_DIR;
+#else
+  return ".";
+#endif
+}
+
+/// Writes a machine-readable benchmark artifact (docs/PERFORMANCE.md has the
+/// schemas) and echoes the path. Returns false if the file cannot be opened.
+inline bool writeBenchJson(const std::string& filename,
+                           const std::string& payload) {
+  const std::string path = benchOutDir() + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  std::printf("bench: wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Escapes a string for embedding in the JSON artifacts (formula texts).
+inline std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace mui::bench

@@ -31,6 +31,7 @@ StateId Automaton::addState(const std::string& stateName) {
   stateNames_.push_back(stateName);
   labels_.emplace_back();
   trans_.emplace_back();
+  byLabel_.emplace_back();
   const StateId id = static_cast<StateId>(stateNames_.size() - 1);
   stateIds_.emplace(stateName, id);
   return id;
@@ -92,7 +93,9 @@ void Automaton::addTransition(StateId from, Interaction label, StateId to) {
   if (!label.out.isSubsetOf(outputs_)) {
     throw std::invalid_argument("addTransition: B not a subset of O");
   }
-  if (hasTransitionTo(from, label, to)) return;
+  auto& slot = byLabel_[from][label];
+  if (std::find(slot.begin(), slot.end(), to) != slot.end()) return;
+  slot.push_back(to);
   trans_[from].push_back({from, std::move(label), to});
 }
 
@@ -129,33 +132,44 @@ bool Automaton::isInitial(StateId s) const {
 }
 
 bool Automaton::hasTransition(StateId from, const Interaction& x) const {
-  for (const auto& t : transitionsFrom(from)) {
-    if (t.label == x) return true;
-  }
-  return false;
+  if (from >= stateCount()) throw std::out_of_range("hasTransition: bad state");
+  return byLabel_[from].contains(x);
 }
 
 bool Automaton::hasTransitionTo(StateId from, const Interaction& x,
                                 StateId to) const {
-  for (const auto& t : transitionsFrom(from)) {
-    if (t.to == to && t.label == x) return true;
+  if (from >= stateCount()) {
+    throw std::out_of_range("hasTransitionTo: bad state");
   }
-  return false;
+  const auto it = byLabel_[from].find(x);
+  if (it == byLabel_[from].end()) return false;
+  return std::find(it->second.begin(), it->second.end(), to) !=
+         it->second.end();
 }
 
 std::vector<StateId> Automaton::successors(StateId from,
                                            const Interaction& x) const {
-  std::vector<StateId> out;
-  for (const auto& t : transitionsFrom(from)) {
-    if (t.label == x) out.push_back(t.to);
-  }
-  return out;
+  if (from >= stateCount()) throw std::out_of_range("successors: bad state");
+  const auto it = byLabel_[from].find(x);
+  if (it == byLabel_[from].end()) return {};
+  return it->second;
 }
 
 std::vector<Interaction> Automaton::enabledInteractions(StateId s) const {
+  if (s >= stateCount()) {
+    throw std::out_of_range("enabledInteractions: bad state");
+  }
   std::vector<Interaction> out;
-  for (const auto& t : transitionsFrom(s)) {
-    if (std::find(out.begin(), out.end(), t.label) == out.end()) {
+  out.reserve(byLabel_[s].size());
+  if (byLabel_[s].size() == trans_[s].size()) {
+    // No duplicate labels: the transition list is already the answer.
+    for (const auto& t : trans_[s]) out.push_back(t.label);
+    return out;
+  }
+  for (const auto& t : trans_[s]) {
+    // First occurrence: the index lists successors in insertion order, so
+    // t is its label's first transition iff t.to leads that list.
+    if (byLabel_[s].find(t.label)->second.front() == t.to) {
       out.push_back(t.label);
     }
   }

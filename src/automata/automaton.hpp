@@ -96,13 +96,16 @@ class Automaton {
   [[nodiscard]] const SignalTableRef& signalTable() const { return signals_; }
   [[nodiscard]] const SignalTableRef& propTable() const { return props_; }
 
+  /// hasTransition / hasTransitionTo / successors are O(1) hash lookups in
+  /// the per-state interaction index (the replay/testing hot path queries
+  /// them once per period; they used to scan transitionsFrom linearly).
   [[nodiscard]] bool hasTransition(StateId from, const Interaction& x) const;
   [[nodiscard]] bool hasTransitionTo(StateId from, const Interaction& x,
                                      StateId to) const;
   [[nodiscard]] std::vector<StateId> successors(StateId from,
                                                 const Interaction& x) const;
 
-  /// Interactions enabled at `s` (duplicate-free).
+  /// Interactions enabled at `s` (duplicate-free, in first-occurrence order).
   [[nodiscard]] std::vector<Interaction> enabledInteractions(StateId s) const;
 
   // ---- Analysis ------------------------------------------------------------
@@ -154,6 +157,11 @@ class Automaton {
   std::unordered_map<std::string, StateId> stateIds_;
   std::vector<PropSet> labels_;
   std::vector<std::vector<Transition>> trans_;
+  /// Per-state interaction index: label → successor states in insertion
+  /// order. Maintained by addTransition; mirrors trans_ exactly.
+  std::vector<std::unordered_map<Interaction, std::vector<StateId>,
+                                 InteractionHash>>
+      byLabel_;
   std::vector<StateId> initial_;
 };
 

@@ -6,175 +6,175 @@
 namespace mui::ctl {
 
 Checker::Checker(const Automaton& m) : m_(m) {
-  succ_.resize(m.stateCount());
-  deadlock_.resize(m.stateCount(), 0);
-  for (StateId s = 0; s < m.stateCount(); ++s) {
-    for (const auto& t : m.transitionsFrom(s)) {
-      if (std::find(succ_[s].begin(), succ_[s].end(), t.to) ==
-          succ_[s].end()) {
-        succ_[s].push_back(t.to);
-      }
-    }
-    deadlock_[s] = succ_[s].empty() ? 1 : 0;
+  const std::size_t n = m.stateCount();
+  deadlock_ = SatSet(n);
+  succHead_.assign(n + 1, 0);
+  succList_.reserve(m.transitionCount());
+  std::vector<StateId> targets;
+  for (StateId s = 0; s < n; ++s) {
+    targets.clear();
+    for (const auto& t : m.transitionsFrom(s)) targets.push_back(t.to);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    succList_.insert(succList_.end(), targets.begin(), targets.end());
+    succHead_[s + 1] = static_cast<std::uint32_t>(succList_.size());
+    if (targets.empty()) deadlock_.set(s);
+  }
+  // Invert the duplicate-free edge set: counting sort into CSR.
+  predHead_.assign(n + 1, 0);
+  for (const StateId t : succList_) ++predHead_[t + 1];
+  for (std::size_t s = 0; s < n; ++s) predHead_[s + 1] += predHead_[s];
+  predList_.resize(succList_.size());
+  std::vector<std::uint32_t> cursor(predHead_.begin(), predHead_.end() - 1);
+  for (StateId s = 0; s < n; ++s) {
+    forSucc(s, [&](StateId t) { predList_[cursor[t]++] = s; });
   }
 }
 
-std::vector<char> Checker::atomSat(const std::string& name) {
-  std::vector<char> sat(m_.stateCount(), 0);
+SatSet Checker::atomSat(const std::string& name) {
+  SatSet sat(m_.stateCount());
   const auto id = m_.propTable()->lookup(name);
   if (!id) {
-    if (std::find(unknownAtoms_.begin(), unknownAtoms_.end(), name) ==
-        unknownAtoms_.end()) {
-      unknownAtoms_.push_back(name);
-    }
+    if (unknownAtomSet_.insert(name).second) unknownAtoms_.push_back(name);
     return sat;
   }
   for (StateId s = 0; s < m_.stateCount(); ++s) {
-    sat[s] = m_.labels(s).test(*id) ? 1 : 0;
+    if (m_.labels(s).test(*id)) sat.set(s);
   }
   return sat;
 }
 
 namespace {
-/// Repeats `step` until no satisfaction bit changes.
-template <typename F>
-void untilFixpoint(std::vector<char>& sat, F&& step) {
-  bool changed = true;
-  while (changed) changed = step(sat);
+/// Seeds the worklist with every state currently in `sat`.
+std::vector<StateId> statesOf(const SatSet& sat) {
+  std::vector<StateId> work;
+  work.reserve(sat.count());
+  for (StateId s = 0; s < sat.size(); ++s) {
+    if (sat[s]) work.push_back(s);
+  }
+  return work;
 }
 }  // namespace
 
 // AF φ (least fixpoint): φ, or all successors already satisfy AF φ and at
-// least one successor exists (a path ending without φ violates AF).
-std::vector<char> Checker::fixAF(const std::vector<char>& phi) {
-  std::vector<char> sat = phi;
-  untilFixpoint(sat, [&](std::vector<char>& x) {
-    bool changed = false;
-    for (StateId s = 0; s < m_.stateCount(); ++s) {
-      if (x[s] || deadlock_[s]) continue;
-      bool all = true;
-      for (StateId t : succ_[s]) {
-        if (!x[t]) {
-          all = false;
-          break;
-        }
+// least one successor exists (a path ending without φ violates AF). Each
+// state keeps a pending-successor counter; it joins the set when the last
+// successor does.
+SatSet Checker::fixAF(const SatSet& phi) {
+  SatSet sat = phi;
+  std::vector<std::uint32_t> pending(m_.stateCount());
+  for (StateId s = 0; s < m_.stateCount(); ++s) {
+    pending[s] = static_cast<std::uint32_t>(outDegree(s));
+  }
+  std::vector<StateId> work = statesOf(sat);
+  while (!work.empty()) {
+    const StateId t = work.back();
+    work.pop_back();
+    forPred(t, [&](StateId s) {
+      if (sat[s]) return;
+      if (--pending[s] == 0) {  // deadlock states have no incoming decrement
+        sat.set(s);
+        work.push_back(s);
       }
-      if (all) {
-        x[s] = 1;
-        changed = true;
-      }
-    }
-    return changed;
-  });
+    });
+  }
   return sat;
 }
 
-std::vector<char> Checker::fixEF(const std::vector<char>& phi) {
-  std::vector<char> sat = phi;
-  untilFixpoint(sat, [&](std::vector<char>& x) {
-    bool changed = false;
-    for (StateId s = 0; s < m_.stateCount(); ++s) {
-      if (x[s]) continue;
-      for (StateId t : succ_[s]) {
-        if (x[t]) {
-          x[s] = 1;
-          changed = true;
-          break;
-        }
+// EF φ: plain backward reachability of the φ states.
+SatSet Checker::fixEF(const SatSet& phi) {
+  SatSet sat = phi;
+  std::vector<StateId> work = statesOf(sat);
+  while (!work.empty()) {
+    const StateId t = work.back();
+    work.pop_back();
+    forPred(t, [&](StateId s) {
+      if (!sat[s]) {
+        sat.set(s);
+        work.push_back(s);
       }
-    }
-    return changed;
-  });
+    });
+  }
   return sat;
 }
 
-// AG φ (greatest fixpoint): φ here and at every successor transitively;
+// AG φ (greatest fixpoint): φ here and at every successor transitively —
+// equivalently ¬EF ¬φ, so one backward closure of the ¬φ states suffices;
 // deadlock states satisfy the continuation vacuously.
-std::vector<char> Checker::fixAG(const std::vector<char>& phi) {
-  std::vector<char> sat = phi;
-  untilFixpoint(sat, [&](std::vector<char>& x) {
-    bool changed = false;
-    for (StateId s = 0; s < m_.stateCount(); ++s) {
-      if (!x[s]) continue;
-      for (StateId t : succ_[s]) {
-        if (!x[t]) {
-          x[s] = 0;
-          changed = true;
-          break;
-        }
-      }
-    }
-    return changed;
-  });
-  return sat;
+SatSet Checker::fixAG(const SatSet& phi) {
+  SatSet bad = phi;
+  bad.flip();
+  bad = fixEF(bad);
+  bad.flip();
+  return bad;
 }
 
 // EG φ (greatest fixpoint, weak): φ along some maximal path — the path may
-// end in a deadlock.
-std::vector<char> Checker::fixEG(const std::vector<char>& phi) {
-  std::vector<char> sat = phi;
-  untilFixpoint(sat, [&](std::vector<char>& x) {
-    bool changed = false;
-    for (StateId s = 0; s < m_.stateCount(); ++s) {
-      if (!x[s] || deadlock_[s]) continue;
-      bool any = false;
-      for (StateId t : succ_[s]) {
-        if (x[t]) {
-          any = true;
-          break;
-        }
-      }
-      if (!any) {
-        x[s] = 0;
-        changed = true;
-      }
+// end in a deadlock. States are deleted when their last satisfying successor
+// is deleted (live-successor counter).
+SatSet Checker::fixEG(const SatSet& phi) {
+  SatSet sat = phi;
+  std::vector<std::uint32_t> live(m_.stateCount(), 0);
+  for (StateId s = 0; s < m_.stateCount(); ++s) {
+    forSucc(s, [&](StateId t) {
+      if (sat[t]) ++live[s];
+    });
+  }
+  std::vector<StateId> work;
+  for (StateId s = 0; s < m_.stateCount(); ++s) {
+    if (sat[s] && !deadlock_[s] && live[s] == 0) {
+      sat.reset(s);
+      work.push_back(s);
     }
-    return changed;
-  });
+  }
+  while (!work.empty()) {
+    const StateId t = work.back();
+    work.pop_back();
+    forPred(t, [&](StateId s) {
+      if (!sat[s] || deadlock_[s]) return;
+      if (--live[s] == 0) {
+        sat.reset(s);
+        work.push_back(s);
+      }
+    });
+  }
   return sat;
 }
 
-std::vector<char> Checker::fixAU(const std::vector<char>& phi,
-                                 const std::vector<char>& psi) {
-  std::vector<char> sat = psi;
-  untilFixpoint(sat, [&](std::vector<char>& x) {
-    bool changed = false;
-    for (StateId s = 0; s < m_.stateCount(); ++s) {
-      if (x[s] || !phi[s] || deadlock_[s]) continue;
-      bool all = true;
-      for (StateId t : succ_[s]) {
-        if (!x[t]) {
-          all = false;
-          break;
-        }
+SatSet Checker::fixAU(const SatSet& phi, const SatSet& psi) {
+  SatSet sat = psi;
+  std::vector<std::uint32_t> pending(m_.stateCount());
+  for (StateId s = 0; s < m_.stateCount(); ++s) {
+    pending[s] = static_cast<std::uint32_t>(outDegree(s));
+  }
+  std::vector<StateId> work = statesOf(sat);
+  while (!work.empty()) {
+    const StateId t = work.back();
+    work.pop_back();
+    forPred(t, [&](StateId s) {
+      if (sat[s] || !phi[s]) return;  // ¬φ states can never join
+      if (--pending[s] == 0) {
+        sat.set(s);
+        work.push_back(s);
       }
-      if (all) {
-        x[s] = 1;
-        changed = true;
-      }
-    }
-    return changed;
-  });
+    });
+  }
   return sat;
 }
 
-std::vector<char> Checker::fixEU(const std::vector<char>& phi,
-                                 const std::vector<char>& psi) {
-  std::vector<char> sat = psi;
-  untilFixpoint(sat, [&](std::vector<char>& x) {
-    bool changed = false;
-    for (StateId s = 0; s < m_.stateCount(); ++s) {
-      if (x[s] || !phi[s]) continue;
-      for (StateId t : succ_[s]) {
-        if (x[t]) {
-          x[s] = 1;
-          changed = true;
-          break;
-        }
+SatSet Checker::fixEU(const SatSet& phi, const SatSet& psi) {
+  SatSet sat = psi;
+  std::vector<StateId> work = statesOf(sat);
+  while (!work.empty()) {
+    const StateId t = work.back();
+    work.pop_back();
+    forPred(t, [&](StateId s) {
+      if (!sat[s] && phi[s]) {
+        sat.set(s);
+        work.push_back(s);
       }
-    }
-    return changed;
-  });
+    });
+  }
   return sat;
 }
 
@@ -183,9 +183,8 @@ std::vector<char> Checker::fixEU(const std::vector<char>& phi,
 // window"; computed backwards from the window end. For hi == inf the value
 // at position lo is the corresponding unbounded fixpoint. The result is
 // sat_0. (`psi` is used only for AU/EU.)
-std::vector<char> Checker::boundedTemporal(Op op, const Bound& b,
-                                           const std::vector<char>& phi,
-                                           const std::vector<char>& psi) {
+SatSet Checker::boundedTemporal(Op op, const Bound& b, const SatSet& phi,
+                                const SatSet& psi) {
   const std::size_t n = m_.stateCount();
   const bool universal = (op == Op::AF || op == Op::AG || op == Op::AU);
   const bool isG = (op == Op::AG || op == Op::EG);
@@ -193,11 +192,11 @@ std::vector<char> Checker::boundedTemporal(Op op, const Bound& b,
 
   // Empty window: G-type trivially true, F/U-type trivially false.
   if (b.bounded() && b.hi < b.lo) {
-    return std::vector<char>(n, isG ? 1 : 0);
+    return SatSet(n, isG);
   }
 
   // cur = sat at position i+1 while computing position i.
-  std::vector<char> cur(n);
+  SatSet cur(n);
   std::size_t start;  // first position computed going backwards is start-1
   if (!b.bounded()) {
     // Position lo == unbounded fixpoint; then walk lo-1 .. 0.
@@ -226,26 +225,24 @@ std::vector<char> Checker::boundedTemporal(Op op, const Bound& b,
     start = b.lo;
   } else {
     // Position hi: last chance for F/U; last constrained position for G.
-    for (StateId s = 0; s < n; ++s) {
-      const char target = isU ? psi[s] : phi[s];
-      cur[s] = isG ? target : (b.hi >= b.lo ? target : 0);
-    }
+    const SatSet& target = isU ? psi : phi;
+    if (isG || b.hi >= b.lo) cur = target;
     start = b.hi;
   }
 
-  std::vector<char> next(n);
+  SatSet next(n);
   for (std::size_t i = start; i-- > 0;) {
     const bool inWindow = i >= b.lo;
     for (StateId s = 0; s < n; ++s) {
       // Continuation through the successors.
       bool contAll = true, contAny = false;
-      for (StateId t : succ_[s]) {
+      forSucc(s, [&](StateId t) {
         if (cur[t]) {
           contAny = true;
         } else {
           contAll = false;
         }
-      }
+      });
       bool v;
       if (isG) {
         const bool here = !inWindow || phi[s];
@@ -255,81 +252,70 @@ std::vector<char> Checker::boundedTemporal(Op op, const Bound& b,
         v = here && cont;
       } else if (isU) {
         const bool fulfilled = inWindow && psi[s];
-        const bool cont = phi[s] && !deadlock_[s] &&
-                          (universal ? contAll : contAny);
+        const bool cont =
+            phi[s] && !deadlock_[s] && (universal ? contAll : contAny);
         v = fulfilled || cont;
       } else {  // F
         const bool fulfilled = inWindow && phi[s];
-        const bool cont =
-            !deadlock_[s] && (universal ? contAll : contAny);
+        const bool cont = !deadlock_[s] && (universal ? contAll : contAny);
         v = fulfilled || cont;
       }
-      next[s] = v ? 1 : 0;
+      next.assign(s, v);
     }
-    cur.swap(next);
+    std::swap(cur, next);
   }
   return cur;
 }
 
-std::vector<char> Checker::evaluate(const FormulaPtr& f) {
+SatSet Checker::evaluate(const FormulaPtr& f) {
   const std::size_t n = m_.stateCount();
   switch (f->op) {
     case Op::True:
-      return std::vector<char>(n, 1);
+      return SatSet(n, true);
     case Op::False:
-      return std::vector<char>(n, 0);
+      return SatSet(n);
     case Op::Atom:
       return atomSat(f->atom);
     case Op::Deadlock:
       return deadlock_;
     case Op::Not: {
       auto v = evaluate(f->lhs);
-      for (auto& x : v) x = !x;
+      v.flip();
       return v;
     }
     case Op::And: {
       auto a = evaluate(f->lhs);
-      const auto b = evaluate(f->rhs);
-      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] && b[i];
+      a &= evaluate(f->rhs);
       return a;
     }
     case Op::Or: {
       auto a = evaluate(f->lhs);
-      const auto b = evaluate(f->rhs);
-      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] || b[i];
+      a |= evaluate(f->rhs);
       return a;
     }
     case Op::Implies: {
       auto a = evaluate(f->lhs);
-      const auto b = evaluate(f->rhs);
-      for (std::size_t i = 0; i < n; ++i) a[i] = !a[i] || b[i];
+      a.flip();
+      a |= evaluate(f->rhs);
       return a;
     }
     case Op::AX: {
       const auto p = evaluate(f->lhs);
-      std::vector<char> v(n, 0);
+      SatSet v(n);
       for (StateId s = 0; s < n; ++s) {
         bool all = true;
-        for (StateId t : succ_[s]) {
-          if (!p[t]) {
-            all = false;
-            break;
-          }
-        }
-        v[s] = all ? 1 : 0;  // vacuously true on deadlock states
+        forSucc(s, [&](StateId t) { all = all && p[t]; });
+        if (all) v.set(s);  // vacuously true on deadlock states
       }
       return v;
     }
     case Op::EX: {
       const auto p = evaluate(f->lhs);
-      std::vector<char> v(n, 0);
+      SatSet v(n);
       for (StateId s = 0; s < n; ++s) {
-        for (StateId t : succ_[s]) {
-          if (p[t]) {
-            v[s] = 1;
-            break;
-          }
-        }
+        bool any = false;
+        forSucc(s, [&](StateId t) { any = any || p[t]; });
+        if (any) v.set(s);
       }
       return v;
     }
@@ -350,7 +336,7 @@ std::vector<char> Checker::evaluate(const FormulaPtr& f) {
             return fixEG(p);
         }
       }
-      return boundedTemporal(f->op, f->bound, p, {});
+      return boundedTemporal(f->op, f->bound, p, SatSet(n));
     }
     case Op::AU:
     case Op::EU: {

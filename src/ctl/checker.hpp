@@ -7,24 +7,39 @@
 // finite (ending in a deadlock state); see formula.hpp for the resulting
 // weak bounded semantics. One transition = one time unit, so bounds count
 // transitions.
+//
+// The unbounded fixpoints run as worklist algorithms over a precomputed
+// predecessor index (CSR over the duplicate-free edge set): least fixpoints
+// propagate satisfaction backwards from the seed set, universal operators
+// keep a pending-successor counter per state, greatest fixpoints delete
+// states whose continuation died. Every edge is visited a constant number of
+// times, so each operator costs O(S + E) instead of the O(S · diameter)
+// Gauss–Seidel sweeps of the retained reference implementation
+// (ctl/reference.hpp). Satisfaction sets are dense bitsets (one bit per
+// state, word-parallel boolean connectives).
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "automata/automaton.hpp"
 #include "ctl/formula.hpp"
+#include "util/bitset.hpp"
 
 namespace mui::ctl {
 
 using automata::Automaton;
 using automata::StateId;
 
+/// Per-state satisfaction set: bit s = "state s satisfies the formula".
+using SatSet = util::DenseBitset;
+
 class Checker {
  public:
   explicit Checker(const Automaton& m);
 
-  /// Satisfaction vector (per state) of `f`.
-  std::vector<char> evaluate(const FormulaPtr& f);
+  /// Satisfaction set (per state) of `f`.
+  SatSet evaluate(const FormulaPtr& f);
 
   /// True iff every initial state satisfies `f`.
   bool holds(const FormulaPtr& f);
@@ -33,6 +48,9 @@ class Checker {
   [[nodiscard]] bool isDeadlockState(StateId s) const {
     return deadlock_[s];
   }
+
+  /// All deadlock states at once (counterexample search targets this set).
+  [[nodiscard]] const SatSet& deadlockSet() const { return deadlock_; }
 
   /// Atoms that named no proposition of the model (treated as false);
   /// surfaced so property typos do not silently verify.
@@ -43,27 +61,46 @@ class Checker {
   [[nodiscard]] const Automaton& model() const { return m_; }
 
  private:
-  std::vector<char> atomSat(const std::string& name);
+  SatSet atomSat(const std::string& name);
 
-  // Unbounded fixpoints.
-  std::vector<char> fixAF(const std::vector<char>& phi);
-  std::vector<char> fixEF(const std::vector<char>& phi);
-  std::vector<char> fixAG(const std::vector<char>& phi);
-  std::vector<char> fixEG(const std::vector<char>& phi);
-  std::vector<char> fixAU(const std::vector<char>& phi,
-                          const std::vector<char>& psi);
-  std::vector<char> fixEU(const std::vector<char>& phi,
-                          const std::vector<char>& psi);
+  // Unbounded fixpoints (worklist, O(S + E) each).
+  SatSet fixAF(const SatSet& phi);
+  SatSet fixEF(const SatSet& phi);
+  SatSet fixAG(const SatSet& phi);
+  SatSet fixEG(const SatSet& phi);
+  SatSet fixAU(const SatSet& phi, const SatSet& psi);
+  SatSet fixEU(const SatSet& phi, const SatSet& psi);
 
   // Positional (bounded / lower-bounded) evaluation; see checker.cpp.
-  std::vector<char> boundedTemporal(Op op, const Bound& b,
-                                    const std::vector<char>& phi,
-                                    const std::vector<char>& psi);
+  SatSet boundedTemporal(Op op, const Bound& b, const SatSet& phi,
+                         const SatSet& psi);
+
+  // CSR slices over the duplicate-free successor/predecessor lists.
+  [[nodiscard]] std::size_t outDegree(StateId s) const {
+    return succHead_[s + 1] - succHead_[s];
+  }
+  template <typename F>
+  void forSucc(StateId s, F&& f) const {
+    for (std::uint32_t i = succHead_[s]; i < succHead_[s + 1]; ++i) {
+      f(succList_[i]);
+    }
+  }
+  template <typename F>
+  void forPred(StateId s, F&& f) const {
+    for (std::uint32_t i = predHead_[s]; i < predHead_[s + 1]; ++i) {
+      f(predList_[i]);
+    }
+  }
 
   const Automaton& m_;
-  std::vector<std::vector<StateId>> succ_;  // duplicate-free successor sets
-  std::vector<char> deadlock_;
+  // Duplicate-free edge set in CSR form, forwards and backwards.
+  std::vector<std::uint32_t> succHead_;  // size n+1
+  std::vector<StateId> succList_;
+  std::vector<std::uint32_t> predHead_;  // size n+1
+  std::vector<StateId> predList_;
+  SatSet deadlock_;
   std::vector<std::string> unknownAtoms_;
+  std::unordered_set<std::string> unknownAtomSet_;
 };
 
 }  // namespace mui::ctl

@@ -33,9 +33,8 @@ Run buildRun(const std::vector<PathNode>& nodes, std::size_t idx) {
 }
 
 /// Finds up to k runs from the initial states to distinct target states.
-std::vector<Run> searchPaths(const Automaton& m,
-                             const std::vector<char>& target, std::size_t k,
-                             CexSearch order) {
+std::vector<Run> searchPaths(const Automaton& m, const SatSet& target,
+                             std::size_t k, CexSearch order) {
   std::vector<PathNode> nodes;
   std::vector<char> visited(m.stateCount(), 0);
   std::deque<std::size_t> work;
@@ -76,8 +75,7 @@ std::vector<Run> searchPaths(const Automaton& m,
 
 /// Depth-window search for bounded AG violations: runs of length in
 /// [lo, hi] ending in a target state.
-std::vector<Run> searchPathsInWindow(const Automaton& m,
-                                     const std::vector<char>& target,
+std::vector<Run> searchPathsInWindow(const Automaton& m, const SatSet& target,
                                      std::size_t lo, std::size_t hi,
                                      std::size_t k, CexSearch order) {
   struct DepthNode {
@@ -203,7 +201,7 @@ void orArms(const FormulaPtr& f, std::vector<FormulaPtr>& arms) {
 /// Extends `run` (ending in a state violating ψ) with a suffix making the
 /// violation observable. Returns whether the resulting path is exact.
 bool extendWitness(Checker& checker, const Automaton& m, Run& run,
-                   const FormulaPtr& psi, const std::vector<char>& psiSat) {
+                   const FormulaPtr& psi, const SatSet& psiSat) {
   const StateId s = run.states.back();
   if (isPropositional(psi)) return true;
   switch (psi->op) {
@@ -272,8 +270,8 @@ void collectPropertyCexs(Checker& checker, const Automaton& m,
     }
     case Op::AG: {
       const auto inner = checker.evaluate(phi->lhs);
-      std::vector<char> bad(inner.size());
-      for (std::size_t i = 0; i < inner.size(); ++i) bad[i] = !inner[i];
+      SatSet bad = inner;
+      bad.flip();
       const bool windowed = phi->bound.lo > 0 || phi->bound.bounded();
       auto runs = windowed
                       ? searchPathsInWindow(m, bad, phi->bound.lo,
@@ -348,13 +346,8 @@ VerifyResult verify(const Automaton& m, const FormulaPtr& phi,
 
   if (opts.requireDeadlockFree &&
       result.counterexamples.size() < opts.maxCounterexamples) {
-    std::vector<char> dead(m.stateCount(), 0);
-    bool any = false;
-    for (StateId s = 0; s < m.stateCount(); ++s) {
-      dead[s] = checker.isDeadlockState(s) ? 1 : 0;
-      any = any || dead[s];
-    }
-    if (any) {
+    const SatSet& dead = checker.deadlockSet();
+    if (dead.any()) {
       auto runs = searchPaths(
           m, dead, opts.maxCounterexamples - result.counterexamples.size(),
           opts.search);

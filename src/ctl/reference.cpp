@@ -1,0 +1,362 @@
+#include "ctl/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mui::ctl {
+
+using automata::StateId;
+
+ReferenceChecker::ReferenceChecker(const automata::Automaton& m) : m_(m) {
+  succ_.resize(m.stateCount());
+  deadlock_.resize(m.stateCount(), 0);
+  for (StateId s = 0; s < m.stateCount(); ++s) {
+    for (const auto& t : m.transitionsFrom(s)) {
+      if (std::find(succ_[s].begin(), succ_[s].end(), t.to) ==
+          succ_[s].end()) {
+        succ_[s].push_back(t.to);
+      }
+    }
+    deadlock_[s] = succ_[s].empty() ? 1 : 0;
+  }
+}
+
+std::vector<char> ReferenceChecker::atomSat(const std::string& name) {
+  std::vector<char> sat(m_.stateCount(), 0);
+  const auto id = m_.propTable()->lookup(name);
+  if (!id) return sat;
+  for (StateId s = 0; s < m_.stateCount(); ++s) {
+    sat[s] = m_.labels(s).test(*id) ? 1 : 0;
+  }
+  return sat;
+}
+
+namespace {
+/// Repeats `step` until no satisfaction bit changes.
+template <typename F>
+void untilFixpoint(std::vector<char>& sat, F&& step) {
+  bool changed = true;
+  while (changed) changed = step(sat);
+}
+}  // namespace
+
+// AF φ (least fixpoint): φ, or all successors already satisfy AF φ and at
+// least one successor exists (a path ending without φ violates AF).
+std::vector<char> ReferenceChecker::fixAF(const std::vector<char>& phi) {
+  std::vector<char> sat = phi;
+  untilFixpoint(sat, [&](std::vector<char>& x) {
+    bool changed = false;
+    for (StateId s = 0; s < m_.stateCount(); ++s) {
+      if (x[s] || deadlock_[s]) continue;
+      bool all = true;
+      for (StateId t : succ_[s]) {
+        if (!x[t]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        x[s] = 1;
+        changed = true;
+      }
+    }
+    return changed;
+  });
+  return sat;
+}
+
+std::vector<char> ReferenceChecker::fixEF(const std::vector<char>& phi) {
+  std::vector<char> sat = phi;
+  untilFixpoint(sat, [&](std::vector<char>& x) {
+    bool changed = false;
+    for (StateId s = 0; s < m_.stateCount(); ++s) {
+      if (x[s]) continue;
+      for (StateId t : succ_[s]) {
+        if (x[t]) {
+          x[s] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  });
+  return sat;
+}
+
+// AG φ (greatest fixpoint): φ here and at every successor transitively;
+// deadlock states satisfy the continuation vacuously.
+std::vector<char> ReferenceChecker::fixAG(const std::vector<char>& phi) {
+  std::vector<char> sat = phi;
+  untilFixpoint(sat, [&](std::vector<char>& x) {
+    bool changed = false;
+    for (StateId s = 0; s < m_.stateCount(); ++s) {
+      if (!x[s]) continue;
+      for (StateId t : succ_[s]) {
+        if (!x[t]) {
+          x[s] = 0;
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  });
+  return sat;
+}
+
+// EG φ (greatest fixpoint, weak): φ along some maximal path — the path may
+// end in a deadlock.
+std::vector<char> ReferenceChecker::fixEG(const std::vector<char>& phi) {
+  std::vector<char> sat = phi;
+  untilFixpoint(sat, [&](std::vector<char>& x) {
+    bool changed = false;
+    for (StateId s = 0; s < m_.stateCount(); ++s) {
+      if (!x[s] || deadlock_[s]) continue;
+      bool any = false;
+      for (StateId t : succ_[s]) {
+        if (x[t]) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        x[s] = 0;
+        changed = true;
+      }
+    }
+    return changed;
+  });
+  return sat;
+}
+
+std::vector<char> ReferenceChecker::fixAU(const std::vector<char>& phi,
+                                          const std::vector<char>& psi) {
+  std::vector<char> sat = psi;
+  untilFixpoint(sat, [&](std::vector<char>& x) {
+    bool changed = false;
+    for (StateId s = 0; s < m_.stateCount(); ++s) {
+      if (x[s] || !phi[s] || deadlock_[s]) continue;
+      bool all = true;
+      for (StateId t : succ_[s]) {
+        if (!x[t]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        x[s] = 1;
+        changed = true;
+      }
+    }
+    return changed;
+  });
+  return sat;
+}
+
+std::vector<char> ReferenceChecker::fixEU(const std::vector<char>& phi,
+                                          const std::vector<char>& psi) {
+  std::vector<char> sat = psi;
+  untilFixpoint(sat, [&](std::vector<char>& x) {
+    bool changed = false;
+    for (StateId s = 0; s < m_.stateCount(); ++s) {
+      if (x[s] || !phi[s]) continue;
+      for (StateId t : succ_[s]) {
+        if (x[t]) {
+          x[s] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  });
+  return sat;
+}
+
+// Positional evaluation of bounded operators; see ctl/checker.cpp for the
+// semantics — this is the same recurrence over vector<char>.
+std::vector<char> ReferenceChecker::boundedTemporal(
+    Op op, const Bound& b, const std::vector<char>& phi,
+    const std::vector<char>& psi) {
+  const std::size_t n = m_.stateCount();
+  const bool universal = (op == Op::AF || op == Op::AG || op == Op::AU);
+  const bool isG = (op == Op::AG || op == Op::EG);
+  const bool isU = (op == Op::AU || op == Op::EU);
+
+  if (b.bounded() && b.hi < b.lo) {
+    return std::vector<char>(n, isG ? 1 : 0);
+  }
+
+  std::vector<char> cur(n);
+  std::size_t start;
+  if (!b.bounded()) {
+    switch (op) {
+      case Op::AF:
+        cur = fixAF(phi);
+        break;
+      case Op::EF:
+        cur = fixEF(phi);
+        break;
+      case Op::AG:
+        cur = fixAG(phi);
+        break;
+      case Op::EG:
+        cur = fixEG(phi);
+        break;
+      case Op::AU:
+        cur = fixAU(phi, psi);
+        break;
+      case Op::EU:
+        cur = fixEU(phi, psi);
+        break;
+      default:
+        throw std::logic_error("boundedTemporal: bad operator");
+    }
+    start = b.lo;
+  } else {
+    for (StateId s = 0; s < n; ++s) {
+      const char target = isU ? psi[s] : phi[s];
+      cur[s] = isG ? target : (b.hi >= b.lo ? target : 0);
+    }
+    start = b.hi;
+  }
+
+  std::vector<char> next(n);
+  for (std::size_t i = start; i-- > 0;) {
+    const bool inWindow = i >= b.lo;
+    for (StateId s = 0; s < n; ++s) {
+      bool contAll = true, contAny = false;
+      for (StateId t : succ_[s]) {
+        if (cur[t]) {
+          contAny = true;
+        } else {
+          contAll = false;
+        }
+      }
+      bool v;
+      if (isG) {
+        const bool here = !inWindow || phi[s];
+        const bool cont = universal ? contAll
+                                    : (deadlock_[s] ? true : contAny);
+        v = here && cont;
+      } else if (isU) {
+        const bool fulfilled = inWindow && psi[s];
+        const bool cont =
+            phi[s] && !deadlock_[s] && (universal ? contAll : contAny);
+        v = fulfilled || cont;
+      } else {  // F
+        const bool fulfilled = inWindow && phi[s];
+        const bool cont = !deadlock_[s] && (universal ? contAll : contAny);
+        v = fulfilled || cont;
+      }
+      next[s] = v ? 1 : 0;
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<char> ReferenceChecker::evaluate(const FormulaPtr& f) {
+  const std::size_t n = m_.stateCount();
+  switch (f->op) {
+    case Op::True:
+      return std::vector<char>(n, 1);
+    case Op::False:
+      return std::vector<char>(n, 0);
+    case Op::Atom:
+      return atomSat(f->atom);
+    case Op::Deadlock:
+      return deadlock_;
+    case Op::Not: {
+      auto v = evaluate(f->lhs);
+      for (auto& x : v) x = !x;
+      return v;
+    }
+    case Op::And: {
+      auto a = evaluate(f->lhs);
+      const auto b = evaluate(f->rhs);
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] && b[i];
+      return a;
+    }
+    case Op::Or: {
+      auto a = evaluate(f->lhs);
+      const auto b = evaluate(f->rhs);
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] || b[i];
+      return a;
+    }
+    case Op::Implies: {
+      auto a = evaluate(f->lhs);
+      const auto b = evaluate(f->rhs);
+      for (std::size_t i = 0; i < n; ++i) a[i] = !a[i] || b[i];
+      return a;
+    }
+    case Op::AX: {
+      const auto p = evaluate(f->lhs);
+      std::vector<char> v(n, 0);
+      for (StateId s = 0; s < n; ++s) {
+        bool all = true;
+        for (StateId t : succ_[s]) {
+          if (!p[t]) {
+            all = false;
+            break;
+          }
+        }
+        v[s] = all ? 1 : 0;  // vacuously true on deadlock states
+      }
+      return v;
+    }
+    case Op::EX: {
+      const auto p = evaluate(f->lhs);
+      std::vector<char> v(n, 0);
+      for (StateId s = 0; s < n; ++s) {
+        for (StateId t : succ_[s]) {
+          if (p[t]) {
+            v[s] = 1;
+            break;
+          }
+        }
+      }
+      return v;
+    }
+    case Op::AF:
+    case Op::EF:
+    case Op::AG:
+    case Op::EG: {
+      const auto p = evaluate(f->lhs);
+      if (f->bound.lo == 0 && !f->bound.bounded()) {
+        switch (f->op) {
+          case Op::AF:
+            return fixAF(p);
+          case Op::EF:
+            return fixEF(p);
+          case Op::AG:
+            return fixAG(p);
+          default:
+            return fixEG(p);
+        }
+      }
+      return boundedTemporal(f->op, f->bound, p, {});
+    }
+    case Op::AU:
+    case Op::EU: {
+      const auto p = evaluate(f->lhs);
+      const auto q = evaluate(f->rhs);
+      if (f->bound.lo == 0 && !f->bound.bounded()) {
+        return f->op == Op::AU ? fixAU(p, q) : fixEU(p, q);
+      }
+      return boundedTemporal(f->op, f->bound, p, q);
+    }
+  }
+  throw std::logic_error("ReferenceChecker::evaluate: unknown operator");
+}
+
+bool ReferenceChecker::holds(const FormulaPtr& f) {
+  const auto sat = evaluate(f);
+  for (StateId q : m_.initialStates()) {
+    if (!sat[q]) return false;
+  }
+  return true;
+}
+
+}  // namespace mui::ctl

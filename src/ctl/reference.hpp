@@ -1,0 +1,56 @@
+#pragma once
+// Retained naive CCTL checker: the original sweep-until-stable implementation
+// (repeated full-state Gauss–Seidel passes, O(S · diameter) per fixpoint).
+//
+// This is NOT used on any production path — ctl::Checker (worklist over a
+// predecessor index) replaced it. It stays as the executable semantic
+// reference: the differential fuzz suite (tests/test_ctl_diff.cpp) checks
+// the worklist checker against it state-by-state on random automata and
+// formulas, and bench_modelcheck reports the speedup of the rewrite against
+// it. Keep its operator semantics bit-identical to checker.cpp's
+// documentation; fix semantic bugs in both or in neither.
+
+#include <string>
+#include <vector>
+
+#include "automata/automaton.hpp"
+#include "ctl/formula.hpp"
+
+namespace mui::ctl {
+
+class ReferenceChecker {
+ public:
+  explicit ReferenceChecker(const automata::Automaton& m);
+
+  /// Satisfaction vector (per state) of `f`.
+  std::vector<char> evaluate(const FormulaPtr& f);
+
+  /// True iff every initial state satisfies `f`.
+  bool holds(const FormulaPtr& f);
+
+  [[nodiscard]] bool isDeadlockState(automata::StateId s) const {
+    return deadlock_[s];
+  }
+
+ private:
+  std::vector<char> atomSat(const std::string& name);
+
+  std::vector<char> fixAF(const std::vector<char>& phi);
+  std::vector<char> fixEF(const std::vector<char>& phi);
+  std::vector<char> fixAG(const std::vector<char>& phi);
+  std::vector<char> fixEG(const std::vector<char>& phi);
+  std::vector<char> fixAU(const std::vector<char>& phi,
+                          const std::vector<char>& psi);
+  std::vector<char> fixEU(const std::vector<char>& phi,
+                          const std::vector<char>& psi);
+
+  std::vector<char> boundedTemporal(Op op, const Bound& b,
+                                    const std::vector<char>& phi,
+                                    const std::vector<char>& psi);
+
+  const automata::Automaton& m_;
+  std::vector<std::vector<automata::StateId>> succ_;
+  std::vector<char> deadlock_;
+};
+
+}  // namespace mui::ctl

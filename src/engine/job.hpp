@@ -55,6 +55,17 @@ struct JobResult {
   std::uint64_t testPeriods = 0;
   std::size_t learnedFacts = 0;
   double wallMs = 0;
+  /// Per-phase wall-clock totals over all refinement iterations (closure
+  /// construction / composition / CCTL checking / replay testing). Zero for
+  /// cache hits — no phase ran.
+  double closureMs = 0;
+  double composeMs = 0;
+  double checkMs = 0;
+  double testMs = 0;
+  /// Composition reuse across iterations (see IterationRecord): product
+  /// states interned fresh vs. served from the incremental-compose arena.
+  std::size_t productStatesNew = 0;
+  std::size_t productStatesReused = 0;
   bool cacheHit = false;
 };
 

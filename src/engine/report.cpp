@@ -51,13 +51,26 @@ constexpr JobStatus kAllStatuses[] = {
 std::string renderBatchReport(const BatchReport& report) {
   util::TextTable table({"job", "model", "pattern", "role", "hidden", "status",
                          "iters", "test periods", "learned", "wall ms",
-                         "cache"});
+                         "cl/co/ck/te ms", "reuse", "cache"});
   for (const auto& r : report.results) {
+    // Phase breakdown: closure / compose / check / test wall-clock totals,
+    // and composition reuse as reused/(new+reused) product states.
+    const std::string phases = r.cacheHit
+                                   ? "-"
+                                   : util::fmt(r.closureMs, 1) + "/" +
+                                         util::fmt(r.composeMs, 1) + "/" +
+                                         util::fmt(r.checkMs, 1) + "/" +
+                                         util::fmt(r.testMs, 1);
+    const std::string reuse =
+        r.cacheHit ? "-"
+                   : std::to_string(r.productStatesReused) + "/" +
+                         std::to_string(r.productStatesNew +
+                                        r.productStatesReused);
     table.row({r.job.name, r.job.modelPath, r.job.pattern, r.job.legacyRole,
                r.job.hidden, jobStatusName(r.status),
                std::to_string(r.iterations), std::to_string(r.testPeriods),
-               std::to_string(r.learnedFacts), util::fmt(r.wallMs, 1),
-               r.cacheHit ? "hit" : "-"});
+               std::to_string(r.learnedFacts), util::fmt(r.wallMs, 1), phases,
+               reuse, r.cacheHit ? "hit" : "-"});
   }
 
   std::string out = table.str();
@@ -91,6 +104,13 @@ std::string writeBatchSummary(const BatchReport& report) {
            ",\"testPeriods\":" + std::to_string(r.testPeriods) +
            ",\"learnedFacts\":" + std::to_string(r.learnedFacts) +
            ",\"wallMs\":" + util::fmt(r.wallMs, 3) +
+           ",\"closureMs\":" + util::fmt(r.closureMs, 3) +
+           ",\"composeMs\":" + util::fmt(r.composeMs, 3) +
+           ",\"checkMs\":" + util::fmt(r.checkMs, 3) +
+           ",\"testMs\":" + util::fmt(r.testMs, 3) +
+           ",\"productStatesNew\":" + std::to_string(r.productStatesNew) +
+           ",\"productStatesReused\":" +
+           std::to_string(r.productStatesReused) +
            ",\"cacheHit\":" + (r.cacheHit ? "true" : "false") + "}\n";
   }
   out += "{\"type\":\"batch\",\"jobs\":" +

@@ -143,6 +143,12 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     out.iterations = res.iterations;
     out.testPeriods = res.totalTestPeriods;
     out.learnedFacts = res.totalLearnedFacts;
+    out.closureMs = res.totalClosureMs;
+    out.composeMs = res.totalComposeMs;
+    out.checkMs = res.totalCheckMs;
+    out.testMs = res.totalTestMs;
+    out.productStatesNew = res.totalProductStatesNew;
+    out.productStatesReused = res.totalProductStatesReused;
 
     if (out.status != JobStatus::Timeout &&
         out.status != JobStatus::EngineError) {

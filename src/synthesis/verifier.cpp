@@ -1,6 +1,7 @@
 #include "synthesis/verifier.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "automata/minimize.hpp"
@@ -68,6 +69,22 @@ IntegrationResult IntegrationVerifier::run() {
     return wasCancelled;
   };
 
+  // Which abstractions the configuration actually needs: no property means
+  // the optimistic product would be checked against nothing, and deadlock
+  // freedom off means the pessimistic product would be, too. Skipping them
+  // is the degenerate case of sharing exploration between the abstractions.
+  const bool needOpt = phi != nullptr;
+  const bool needPess = config_.requireDeadlockFree;
+
+  const auto accumulate = [&res](const IterationRecord& rec) {
+    res.totalProductStatesNew += rec.productStatesNew;
+    res.totalProductStatesReused += rec.productStatesReused;
+    res.totalClosureMs += rec.closureMs;
+    res.totalComposeMs += rec.composeMs;
+    res.totalCheckMs += rec.checkMs;
+    res.totalTestMs += rec.testMs;
+  };
+
   for (std::size_t iter = 0; iter < config_.maxIterations && !cancelled();
        ++iter) {
     IterationRecord rec;
@@ -77,6 +94,16 @@ IntegrationResult IntegrationVerifier::run() {
       rec.modelTransitions += m.base().transitionCount();
       rec.modelForbidden += m.forbiddenCount();
     }
+
+    using Clock = std::chrono::steady_clock;
+    auto mark = Clock::now();
+    const auto lapMs = [&mark] {
+      const auto now = Clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(now - mark).count();
+      mark = now;
+      return ms;
+    };
 
     // 1. Closures and compositions with the context. Two abstractions are
     // checked per round (see ClosureCopies):
@@ -91,25 +118,68 @@ IntegrationResult IntegrationVerifier::run() {
     //    ACTL properties transfer through the optimistic abstraction.
     std::vector<automata::Closure> closuresPess, closuresOpt;
     for (std::size_t k = 0; k < models_.size(); ++k) {
-      closuresPess.push_back(
-          automata::chaoticClosure(models_[k], alphabets_[k],
-                                   config_.closureStyle,
-                                   automata::ClosureCopies::Both));
-      closuresOpt.push_back(
-          automata::chaoticClosure(models_[k], alphabets_[k],
-                                   config_.closureStyle,
-                                   automata::ClosureCopies::Copy1Only));
-      rec.closureStates += closuresPess.back().automaton.stateCount();
+      if (needPess) {
+        closuresPess.push_back(
+            automata::chaoticClosure(models_[k], alphabets_[k],
+                                     config_.closureStyle,
+                                     automata::ClosureCopies::Both));
+      }
+      if (needOpt) {
+        closuresOpt.push_back(
+            automata::chaoticClosure(models_[k], alphabets_[k],
+                                     config_.closureStyle,
+                                     automata::ClosureCopies::Copy1Only));
+      }
+      if (needPess || needOpt) {
+        rec.closureStates +=
+            (needPess ? closuresPess : closuresOpt).back().automaton
+                .stateCount();
+      }
     }
-    const auto composeWith = [&](const std::vector<automata::Closure>& cs) {
-      std::vector<const automata::Automaton*> parts;
-      parts.push_back(&context_);
-      for (const auto& c : cs) parts.push_back(&c.automaton);
-      return automata::composeAll(parts);
+    rec.closureMs = lapMs();
+
+    // Closure states are rebuilt every round, but their *origins* (kind +
+    // known-model state) are stable: learned models only grow, and closure
+    // state names/labels are functions of the origin. That makes the origin
+    // the safe arena key for cross-iteration reuse.
+    const auto keyFor = [](const std::vector<automata::Closure>& cs) {
+      return [&cs](std::size_t k, automata::StateId s) -> std::uint64_t {
+        if (k == 0) return s;  // the context is fixed
+        const auto& o = cs[k - 1].origins[s];
+        const std::uint64_t known =
+            o.kind == automata::Closure::Kind::Copy0 ||
+                    o.kind == automata::Closure::Kind::Copy1
+                ? o.knownState
+                : 0;
+        return (std::uint64_t{static_cast<std::uint8_t>(o.kind)} << 32) |
+               known;
+      };
     };
-    const automata::Product productPess = composeWith(closuresPess);
-    const automata::Product productOpt = composeWith(closuresOpt);
-    rec.productStates = productPess.automaton.stateCount();
+    const auto composeWith =
+        [&](const std::vector<automata::Closure>& cs,
+            std::optional<automata::IncrementalComposer>& composer) {
+          std::vector<const automata::Automaton*> parts;
+          if (config_.incrementalCompose) {
+            for (const auto& c : cs) parts.push_back(&c.automaton);
+            if (!composer) composer.emplace(context_);
+            automata::Product p = composer->compose(parts, keyFor(cs));
+            rec.productStatesNew += composer->lastStats().statesNew;
+            rec.productStatesReused += composer->lastStats().statesReused;
+            return p;
+          }
+          parts.push_back(&context_);
+          for (const auto& c : cs) parts.push_back(&c.automaton);
+          automata::Product p = automata::composeAll(parts);
+          rec.productStatesNew += p.automaton.stateCount();
+          return p;
+        };
+    std::optional<automata::Product> productPess, productOpt;
+    if (needPess) productPess = composeWith(closuresPess, composerPess_);
+    if (needOpt) productOpt = composeWith(closuresOpt, composerOpt_);
+    rec.productStates = productPess ? productPess->automaton.stateCount()
+                        : productOpt ? productOpt->automaton.stateCount()
+                                     : 0;
+    rec.composeMs = lapMs();
 
     // 2. Verification step (Sec. 4.1).
     ctl::VerifyOptions vo;
@@ -117,14 +187,14 @@ IntegrationResult IntegrationVerifier::run() {
     vo.search = config_.search;
     vo.requireDeadlockFree = false;
     const auto propRes =
-        phi ? ctl::verify(productOpt.automaton, phi, vo)
-            : ctl::VerifyResult{true, {}, 0, {}};
+        needOpt ? ctl::verify(productOpt->automaton, phi, vo)
+                : ctl::VerifyResult{true, {}, 0, {}};
     vo.requireDeadlockFree = true;
     const auto dlRes =
-        config_.requireDeadlockFree
-            ? ctl::verify(productPess.automaton, nullptr, vo)
-            : ctl::VerifyResult{true, {}, 0, {}};
+        needPess ? ctl::verify(productPess->automaton, nullptr, vo)
+                 : ctl::VerifyResult{true, {}, 0, {}};
     rec.checkPassed = propRes.holds && dlRes.holds;
+    rec.checkMs = lapMs();
     // Atoms can become known as states are learned: report the final round's
     // view, not the union over all rounds.
     res.unknownAtoms.clear();
@@ -133,6 +203,7 @@ IntegrationResult IntegrationVerifier::run() {
     }
 
     if (rec.checkPassed) {
+      accumulate(rec);
       res.journal.push_back(std::move(rec));
       res.verdict = Verdict::ProvenCorrect;
       res.explanation =
@@ -176,14 +247,16 @@ IntegrationResult IntegrationVerifier::run() {
         }
       }
     };
-    if (!propRes.holds) process(propRes, productOpt, closuresOpt);
+    if (!propRes.holds) process(propRes, *productOpt, closuresOpt);
     if (!realError && !dlRes.holds) {
-      process(dlRes, productPess, closuresPess);
+      process(dlRes, *productPess, closuresPess);
     }
+    rec.testMs = lapMs();
     rec.learnedFacts = totalKnowledge() - knowledgeBefore;
     res.totalLearnedFacts += rec.learnedFacts;
     res.totalTestPeriods += rec.testPeriods;
     const bool progressed = rec.learnedFacts > 0;
+    accumulate(rec);
     res.journal.push_back(std::move(rec));
     if (realError) break;
     if (wasCancelled) break;

@@ -90,6 +90,36 @@ std::size_t DynBitset::hash() const {
   return h;
 }
 
+std::size_t DenseBitset::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+bool DenseBitset::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DenseBitset::flip() {
+  for (std::uint64_t& w : words_) w = ~w;
+  clearTail();
+}
+
+DenseBitset& DenseBitset::operator&=(const DenseBitset& o) {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  return *this;
+}
+
+DenseBitset& DenseBitset::operator|=(const DenseBitset& o) {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  return *this;
+}
+
 std::string DynBitset::toString() const {
   std::string s = "{";
   bool first = true;

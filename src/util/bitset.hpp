@@ -107,6 +107,60 @@ struct DynBitsetHash {
   std::size_t operator()(const DynBitset& b) const { return b.hash(); }
 };
 
+/// Fixed-width dense bitset over the index range [0, size). Unlike DynBitset
+/// (a conceptually unbounded *set*), this is a per-state boolean vector: the
+/// model checker stores satisfaction sets as one bit per automaton state
+/// (8× denser than std::vector<char>, and word-parallel for the boolean
+/// connectives). Bits past `size` are kept zero so operator== and count()
+/// are value semantics.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t size, bool value = false)
+      : size_(size), words_((size + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+    clearTail();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] bool test(std::size_t bit) const {
+    return (words_[bit / 64] >> (bit % 64)) & std::uint64_t{1};
+  }
+  [[nodiscard]] bool operator[](std::size_t bit) const { return test(bit); }
+
+  void set(std::size_t bit) {
+    words_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+  }
+  void reset(std::size_t bit) {
+    words_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+  }
+  void assign(std::size_t bit, bool value) {
+    value ? set(bit) : reset(bit);
+  }
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool none() const { return !any(); }
+
+  /// In-place complement within [0, size).
+  void flip();
+
+  DenseBitset& operator&=(const DenseBitset& o);
+  DenseBitset& operator|=(const DenseBitset& o);
+
+  bool operator==(const DenseBitset& o) const = default;
+
+ private:
+  void clearTail() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
 }  // namespace mui::util
 
 template <>

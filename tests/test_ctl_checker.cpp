@@ -167,7 +167,7 @@ class CheckerAlgebra : public ::testing::TestWithParam<std::uint64_t> {
     return a;
   }
 
-  static std::vector<char> eval(const Automaton& a, const char* f) {
+  static ctl::SatSet eval(const Automaton& a, const char* f) {
     Checker c(a);
     return c.evaluate(parseFormula(f));
   }
@@ -176,8 +176,8 @@ class CheckerAlgebra : public ::testing::TestWithParam<std::uint64_t> {
 TEST_P(CheckerAlgebra, Dualities) {
   Tables t;
   const Automaton a = makeModel(t, GetParam());
-  const auto negate = [](std::vector<char> v) {
-    for (auto& x : v) x = !x;
+  const auto negate = [](ctl::SatSet v) {
+    v.flip();
     return v;
   };
   EXPECT_EQ(eval(a, "AG p"), negate(eval(a, "EF !p")));
@@ -202,8 +202,7 @@ TEST_P(CheckerAlgebra, UntilEquivalences) {
 TEST_P(CheckerAlgebra, WindowMonotonicity) {
   Tables t;
   const Automaton a = makeModel(t, GetParam());
-  const auto implies = [](const std::vector<char>& x,
-                          const std::vector<char>& y) {
+  const auto implies = [](const ctl::SatSet& x, const ctl::SatSet& y) {
     for (std::size_t i = 0; i < x.size(); ++i) {
       if (x[i] && !y[i]) return false;
     }
