@@ -1,0 +1,202 @@
+// E10: observability overhead — the tracer's design goal is "free unless
+// someone is watching" (src/obs/trace.hpp). This harness times the same
+// deep-ring model-checking workload (bench_modelcheck.cpp's diameter-bound
+// tier) in three instrumentation tiers:
+//
+//   baseline   — the workload with no span guards at all (what a build
+//                with instrumentation compiled out would run),
+//   sink-less  — ObsSpan guards in place but no sink installed (the
+//                default for every mui run without --trace-out), and
+//   enabled    — Tracer::enable() with the default ring capacity.
+//
+// Tiers are interleaved per trial so ambient machine noise hits all three
+// alike, and the median trial is reported. The harness asserts that the
+// sink-less tier stays within MUI_BENCH_OBS_MAX_OVERHEAD_PCT (default 5%)
+// of baseline plus a small absolute slack for timer noise, and writes
+// BENCH_obs.json (schema in docs/PERFORMANCE.md). A per-span micro cost
+// (ns/op, disabled and enabled) is measured separately.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "automata/compose.hpp"
+#include "bench_util.hpp"
+#include "ctl/counterexample.hpp"
+#include "ctl/parser.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace mui;
+
+/// A deep product: an n-state emit cycle composed with its mirror (same
+/// builder as bench_modelcheck.cpp) — diameter ~n, so the unbounded
+/// fixpoints do real work per check.
+automata::Product makeDeepProduct(bench::Tables& t, std::size_t n) {
+  automata::Automaton ring(t.signals, t.props, "ring");
+  ring.addOutput("tick");
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = ring.addState("rq" + std::to_string(i));
+    ring.labelWithStateName(s);
+  }
+  ring.markInitial(0);
+  const automata::Interaction step{{}, ring.outputs()};
+  for (std::size_t i = 0; i < n; ++i) {
+    ring.addTransition(static_cast<automata::StateId>(i), step,
+                       static_cast<automata::StateId>((i + 1) % n));
+  }
+  const auto mir = automata::mirrored(ring, "mir");
+  return automata::compose(ring, mir);
+}
+
+const char* const kFormulas[] = {"EF ring.rq0", "AF mir.rq1",
+                                 "A[!ring.rq3 U ring.rq0]", "AG EF ring.rq0"};
+
+/// One workload pass: every formula checked once, optionally wrapped in
+/// the pipeline's span shapes (an outer "iteration" span, one "check" span
+/// per formula — the density runIntegration produces).
+double runTier(const automata::Product& prod,
+               const std::vector<ctl::FormulaPtr>& formulas, bool spans) {
+  const bench::Stopwatch sw;
+  if (spans) {
+    const obs::ObsSpan iter("iteration", 0);
+    for (const auto& f : formulas) {
+      const obs::ObsSpan span("check");
+      const auto res = ctl::verify(prod.automaton, f, {});
+      if (res.stateCount == 0) std::abort();  // defeat dead-code elimination
+    }
+  } else {
+    for (const auto& f : formulas) {
+      const auto res = ctl::verify(prod.automaton, f, {});
+      if (res.stateCount == 0) std::abort();
+    }
+  }
+  return sw.ms();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Per-span guard cost in nanoseconds: construct+destroy kOps spans.
+double spanCostNs(std::size_t ops) {
+  const bench::Stopwatch sw;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const obs::ObsSpan span("micro");
+  }
+  return sw.ms() * 1e6 / static_cast<double>(ops);
+}
+
+double maxOverheadPct(bool smoke) {
+  if (const char* env = std::getenv("MUI_BENCH_OBS_MAX_OVERHEAD_PCT")) {
+    if (env[0] != '\0') return std::atof(env);
+  }
+  // Smoke tiers finish in single-digit milliseconds where timer noise
+  // dominates; the gate is meant for the full-size run.
+  return smoke ? 50.0 : 5.0;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::smokeMode();
+  const double maxPct = maxOverheadPct(smoke);
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{256, 1024}
+            : std::vector<std::size_t>{1024, 4096};
+  const int kTrials = smoke ? 3 : 7;
+
+  bench::printHeader(
+      "E10: tracer overhead on deep-ring model checking",
+      "Baseline (no guards) vs sink-less (guards, tracing off) vs enabled "
+      "(default ring). Interleaved trials, median reported; the sink-less "
+      "tier must stay within the overhead budget of baseline.");
+
+  util::TextTable table({"size", "product states", "baseline ms",
+                         "sink-less ms", "enabled ms", "sink-less ovh",
+                         "enabled ovh", "events"});
+  std::string json = "{\"bench\":\"obs\",\"unit\":\"ms\",\"smoke\":";
+  json += smoke ? "true" : "false";
+  json += ",\"maxOverheadPct\":" + util::fmt(maxPct, 1) + ",\"tiers\":[";
+
+  bool pass = true;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    bench::Tables t;
+    const auto prod = makeDeepProduct(t, sizes[si]);
+    std::vector<ctl::FormulaPtr> formulas;
+    for (const char* text : kFormulas) {
+      formulas.push_back(ctl::parseFormula(text));
+    }
+
+    obs::Tracer::disable();
+    obs::Tracer::clear();
+    runTier(prod, formulas, false);  // warm-up: fault in code and caches
+
+    std::vector<double> base, sinkless, enabled;
+    std::size_t events = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      base.push_back(runTier(prod, formulas, false));
+      sinkless.push_back(runTier(prod, formulas, true));
+      obs::Tracer::enable();
+      enabled.push_back(runTier(prod, formulas, true));
+      events = obs::Tracer::eventCount();
+      obs::Tracer::disable();
+      obs::Tracer::clear();
+    }
+
+    const double b = median(base);
+    const double s = median(sinkless);
+    const double e = median(enabled);
+    const double sPct = b > 0 ? (s - b) / b * 100.0 : 0;
+    const double ePct = b > 0 ? (e - b) / b * 100.0 : 0;
+    // Absolute slack absorbs scheduler jitter on sub-millisecond tiers.
+    const bool ok = s <= b * (1.0 + maxPct / 100.0) + 0.5;
+    pass = pass && ok;
+
+    table.row({std::to_string(sizes[si]),
+               std::to_string(prod.automaton.stateCount()), util::fmt(b, 3),
+               util::fmt(s, 3), util::fmt(e, 3), util::fmt(sPct, 1) + "%",
+               util::fmt(ePct, 1) + "%", std::to_string(events)});
+    if (si) json += ',';
+    json += "{\"size\":" + std::to_string(sizes[si]) +
+            ",\"productStates\":" + std::to_string(prod.automaton.stateCount()) +
+            ",\"baselineMs\":" + util::fmt(b, 3) +
+            ",\"sinklessMs\":" + util::fmt(s, 3) +
+            ",\"enabledMs\":" + util::fmt(e, 3) +
+            ",\"sinklessOverheadPct\":" + util::fmt(sPct, 2) +
+            ",\"enabledOverheadPct\":" + util::fmt(ePct, 2) +
+            ",\"events\":" + std::to_string(events) +
+            ",\"withinBudget\":" + (ok ? "true" : "false") + "}";
+  }
+  std::printf("%s", table.str().c_str());
+
+  // Micro cost of one guard, disabled and enabled.
+  constexpr std::size_t kOps = 1 << 20;
+  obs::Tracer::disable();
+  obs::Tracer::clear();
+  const double disabledNs = spanCostNs(kOps);
+  obs::Tracer::enable();
+  const double enabledNs = spanCostNs(kOps);
+  obs::Tracer::disable();
+  obs::Tracer::clear();
+  std::printf("span guard: %.1f ns/op disabled, %.1f ns/op enabled\n",
+              disabledNs, enabledNs);
+
+  json += "],\"spanCost\":{\"disabledNsPerOp\":" + util::fmt(disabledNs, 2) +
+          ",\"enabledNsPerOp\":" + util::fmt(enabledNs, 2) +
+          "},\"pass\":" + (pass ? "true" : "false") + "}\n";
+  bench::writeBenchJson("BENCH_obs.json", json);
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "bench_obs: sink-less tracing exceeded the %.1f%% overhead "
+                 "budget\n",
+                 maxPct);
+    return 1;
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 
 #include "automata/random.hpp"
 #include "synthesis/verifier.hpp"
+#include "util/json.hpp"
 #include "util/text_table.hpp"
 
 namespace mui::bench {
@@ -121,20 +122,10 @@ inline bool writeBenchJson(const std::string& filename,
 }
 
 /// Escapes a string for embedding in the JSON artifacts (formula texts).
+/// Forwards to the tree's one escaper so bench artifacts get the same
+/// control-character and UTF-8 handling as every other writer.
 inline std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
+  return util::jsonEscape(s);
 }
 
 }  // namespace mui::bench

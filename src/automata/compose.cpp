@@ -5,7 +5,37 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace mui::automata {
+
+namespace {
+
+struct ComposeMetrics {
+  obs::Counter& products;
+  obs::Counter& statesNew;
+  obs::Counter& statesReused;
+  obs::Histogram& productStates;
+
+  static const ComposeMetrics& get() {
+    static ComposeMetrics m{
+        obs::Registry::global().counter("mui_compose_products_total",
+                                        "Product automata built"),
+        obs::Registry::global().counter(
+            "mui_compose_product_states_new_total",
+            "Product states interned for the first time"),
+        obs::Registry::global().counter(
+            "mui_compose_product_states_reused_total",
+            "Product states reused from a previous composition"),
+        obs::Registry::global().histogram("mui_compose_product_states",
+                                          "States per product automaton",
+                                          "states"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Interaction Product::projectInteraction(const Interaction& x,
                                         std::size_t k) const {
@@ -207,6 +237,10 @@ Product composeAll(const std::vector<const Automaton*>& components) {
   for (std::size_t i = 1; i < components.size(); ++i) {
     acc = composeStep(acc, *components[i]);
   }
+  const ComposeMetrics& m = ComposeMetrics::get();
+  m.products.inc();
+  m.statesNew.add(acc.automaton.stateCount());  // full rebuild: all new
+  m.productStates.observe(acc.automaton.stateCount());
   return acc;
 }
 
@@ -406,6 +440,11 @@ Product IncrementalComposer::compose(const std::vector<const Automaton*>& others
 
   stats_.states = locals.size();
   stats_.transitions = p.automaton.transitionCount();
+  const ComposeMetrics& m = ComposeMetrics::get();
+  m.products.inc();
+  m.statesNew.add(stats_.statesNew);
+  m.statesReused.add(stats_.statesReused);
+  m.productStates.observe(stats_.states);
   return p;
 }
 

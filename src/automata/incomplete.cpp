@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mui::automata {
 
 IncompleteAutomaton::IncompleteAutomaton(SignalTableRef signals,
@@ -170,6 +172,17 @@ IncompleteAutomaton::LearnDelta IncompleteAutomaton::learn(
       ++delta.newForbidden;
     }
   }
+  static obs::Counter& states = obs::Registry::global().counter(
+      "mui_learn_states_total", "States learned into incomplete models");
+  static obs::Counter& transitions = obs::Registry::global().counter(
+      "mui_learn_transitions_total",
+      "Transitions learned into incomplete models");
+  static obs::Counter& forbidden = obs::Registry::global().counter(
+      "mui_learn_forbidden_total",
+      "Forbidden interactions learned into incomplete models");
+  states.add(delta.newStates);
+  transitions.add(delta.newTransitions);
+  forbidden.add(delta.newForbidden);
   return delta;
 }
 

@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mui::ctl {
 
+namespace {
+
+/// Worklist pops across all fixpoint computations. Hot loops count into a
+/// local and flush once per fixpoint, so the hot path stays atomic-free.
+obs::Counter& popsCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mui_ctl_worklist_pops_total",
+      "States popped from CTL fixpoint worklists");
+  return c;
+}
+
+}  // namespace
+
 Checker::Checker(const Automaton& m) : m_(m) {
+  static obs::Counter& checkers = obs::Registry::global().counter(
+      "mui_ctl_checkers_total", "CTL checkers constructed");
+  static obs::Histogram& bits = obs::Registry::global().histogram(
+      "mui_ctl_satset_bits", "Bit width of sat-set bitsets (= model states)",
+      "states");
+  checkers.inc();
+  bits.observe(m.stateCount());
   const std::size_t n = m.stateCount();
   deadlock_ = SatSet(n);
   succHead_.assign(n + 1, 0);
@@ -67,9 +89,11 @@ SatSet Checker::fixAF(const SatSet& phi) {
     pending[s] = static_cast<std::uint32_t>(outDegree(s));
   }
   std::vector<StateId> work = statesOf(sat);
+  std::uint64_t pops = 0;
   while (!work.empty()) {
     const StateId t = work.back();
     work.pop_back();
+    ++pops;
     forPred(t, [&](StateId s) {
       if (sat[s]) return;
       if (--pending[s] == 0) {  // deadlock states have no incoming decrement
@@ -78,6 +102,7 @@ SatSet Checker::fixAF(const SatSet& phi) {
       }
     });
   }
+  popsCounter().add(pops);
   return sat;
 }
 
@@ -85,9 +110,11 @@ SatSet Checker::fixAF(const SatSet& phi) {
 SatSet Checker::fixEF(const SatSet& phi) {
   SatSet sat = phi;
   std::vector<StateId> work = statesOf(sat);
+  std::uint64_t pops = 0;
   while (!work.empty()) {
     const StateId t = work.back();
     work.pop_back();
+    ++pops;
     forPred(t, [&](StateId s) {
       if (!sat[s]) {
         sat.set(s);
@@ -95,6 +122,7 @@ SatSet Checker::fixEF(const SatSet& phi) {
       }
     });
   }
+  popsCounter().add(pops);
   return sat;
 }
 
@@ -127,9 +155,11 @@ SatSet Checker::fixEG(const SatSet& phi) {
       work.push_back(s);
     }
   }
+  std::uint64_t pops = 0;
   while (!work.empty()) {
     const StateId t = work.back();
     work.pop_back();
+    ++pops;
     forPred(t, [&](StateId s) {
       if (!sat[s] || deadlock_[s]) return;
       if (--live[s] == 0) {
@@ -138,6 +168,7 @@ SatSet Checker::fixEG(const SatSet& phi) {
       }
     });
   }
+  popsCounter().add(pops);
   return sat;
 }
 
@@ -148,9 +179,11 @@ SatSet Checker::fixAU(const SatSet& phi, const SatSet& psi) {
     pending[s] = static_cast<std::uint32_t>(outDegree(s));
   }
   std::vector<StateId> work = statesOf(sat);
+  std::uint64_t pops = 0;
   while (!work.empty()) {
     const StateId t = work.back();
     work.pop_back();
+    ++pops;
     forPred(t, [&](StateId s) {
       if (sat[s] || !phi[s]) return;  // ¬φ states can never join
       if (--pending[s] == 0) {
@@ -159,15 +192,18 @@ SatSet Checker::fixAU(const SatSet& phi, const SatSet& psi) {
       }
     });
   }
+  popsCounter().add(pops);
   return sat;
 }
 
 SatSet Checker::fixEU(const SatSet& phi, const SatSet& psi) {
   SatSet sat = psi;
   std::vector<StateId> work = statesOf(sat);
+  std::uint64_t pops = 0;
   while (!work.empty()) {
     const StateId t = work.back();
     work.pop_back();
+    ++pops;
     forPred(t, [&](StateId s) {
       if (!sat[s] && phi[s]) {
         sat.set(s);
@@ -175,6 +211,7 @@ SatSet Checker::fixEU(const SatSet& phi, const SatSet& psi) {
       }
     });
   }
+  popsCounter().add(pops);
   return sat;
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mui::engine {
 
 std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
@@ -35,12 +37,18 @@ std::string TextCache::get(const std::string& path) {
 }
 
 std::optional<CachedOutcome> ResultCache::lookup(std::uint64_t key) {
+  static obs::Counter& hits = obs::Registry::global().counter(
+      "mui_engine_cache_hits_total", "Result-cache hits");
+  static obs::Counter& misses = obs::Registry::global().counter(
+      "mui_engine_cache_misses_total", "Result-cache misses");
   std::unique_lock lock(mu_);
   if (const auto it = map_.find(key); it != map_.end()) {
     ++hits_;
+    hits.inc();
     return it->second;
   }
   ++misses_;
+  misses.inc();
   return std::nullopt;
 }
 

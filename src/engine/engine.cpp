@@ -4,6 +4,7 @@
 
 #include "engine/runner.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/journal.hpp"
 
 namespace mui::engine {
 
@@ -24,6 +25,7 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
   RunnerOptions runnerOptions;
   runnerOptions.defaultTimeoutMs = options.defaultTimeoutMs;
   runnerOptions.lintPreflight = options.lintPreflight;
+  runnerOptions.journal = options.journal;
 
   {
     ThreadPool pool(options.threads);
@@ -43,6 +45,23 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
   report.wallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+  if (options.journal != nullptr) {
+    obs::JsonObject fields;
+    fields.u("jobs", jobs.size())
+        .u("threads", report.threads)
+        .f("wallMs", report.wallMs)
+        .u("cacheHits", report.cacheHits)
+        .u("cacheMisses", report.cacheMisses);
+    for (const JobStatus s :
+         {JobStatus::Proven, JobStatus::RealError, JobStatus::IterationLimit,
+          JobStatus::Unsupported, JobStatus::Timeout,
+          JobStatus::EngineError}) {
+      if (const std::size_t n = report.count(s)) {
+        fields.u(jobStatusName(s), n);
+      }
+    }
+    options.journal->event("batch", fields);
+  }
   return report;
 }
 

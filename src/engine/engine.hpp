@@ -19,6 +19,10 @@
 #include "engine/cache.hpp"
 #include "engine/job.hpp"
 
+namespace mui::obs {
+class Journal;
+}  // namespace mui::obs
+
 namespace mui::engine {
 
 struct BatchOptions {
@@ -29,6 +33,10 @@ struct BatchOptions {
   /// Per-job lint pre-flight (see RunnerOptions::lintPreflight); the CLI
   /// exposes `mui batch --no-lint` to turn it off.
   bool lintPreflight = true;
+  /// Structured run journal (obs/journal.hpp): per-iteration and per-job
+  /// events from every worker plus one closing "batch" event. Must outlive
+  /// the call; the CLI exposes `mui batch --journal-out`.
+  obs::Journal* journal = nullptr;
 };
 
 /// Runs every job, at most `threads` at a time; results keep manifest

@@ -67,6 +67,9 @@ struct JobResult {
   std::size_t productStatesNew = 0;
   std::size_t productStatesReused = 0;
   bool cacheHit = false;
+  /// Thread-pool worker that ran the job ("worker-3"); empty when the job
+  /// ran off-pool (direct runJob call).
+  std::string worker;
 };
 
 /// Aggregated outcome of one runBatch call; results are in manifest order

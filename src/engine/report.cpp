@@ -1,45 +1,13 @@
 #include "engine/report.hpp"
 
-#include <cstdio>
-
+#include "util/json.hpp"
 #include "util/text_table.hpp"
 
 namespace mui::engine {
 
 namespace {
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using util::jsonEscape;
 
 constexpr JobStatus kAllStatuses[] = {
     JobStatus::Proven,       JobStatus::RealError, JobStatus::IterationLimit,
@@ -98,7 +66,8 @@ std::string writeBatchSummary(const BatchReport& report) {
            "\",\"pattern\":\"" + jsonEscape(r.job.pattern) +
            "\",\"role\":\"" + jsonEscape(r.job.legacyRole) +
            "\",\"hidden\":\"" + jsonEscape(r.job.hidden) + "\",\"status\":\"" +
-           jobStatusName(r.status) + "\",\"explanation\":\"" +
+           jobStatusName(r.status) + "\",\"worker\":\"" +
+           jsonEscape(r.worker) + "\",\"explanation\":\"" +
            jsonEscape(r.explanation) +
            "\",\"iterations\":" + std::to_string(r.iterations) +
            ",\"testPeriods\":" + std::to_string(r.testPeriods) +

@@ -5,8 +5,11 @@
 
 #include "analysis/analyze.hpp"
 #include "automata/rename.hpp"
+#include "engine/thread_pool.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
 
@@ -52,12 +55,30 @@ std::uint64_t jobKey(const std::string& modelText, const Job& job,
 
 JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
                  const RunnerOptions& options) {
+  const obs::ObsSpan span("job:" + job.name);
   JobResult out;
   out.job = job;
+  out.worker = ThreadPool::currentWorkerName();
   const auto start = Clock::now();
   const auto elapsedMs = [&start] {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
         .count();
+  };
+  const auto finish = [&]() -> JobResult& {
+    out.wallMs = elapsedMs();
+    if (options.journal != nullptr) {
+      options.journal->event("job", obs::JsonObject()
+                                        .s("run", job.name)
+                                        .s("model", job.modelPath)
+                                        .s("status", jobStatusName(out.status))
+                                        .s("worker", out.worker)
+                                        .b("cacheHit", out.cacheHit)
+                                        .f("wallMs", out.wallMs)
+                                        .u("iterations", out.iterations)
+                                        .u("learnedFacts", out.learnedFacts)
+                                        .u("testPeriods", out.testPeriods));
+    }
+    return out;
   };
 
   try {
@@ -73,8 +94,7 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
       out.testPeriods = hit->testPeriods;
       out.learnedFacts = hit->learnedFacts;
       out.cacheHit = true;
-      out.wallMs = elapsedMs();
-      return out;
+      return finish();
     }
 
     const muml::Model model = muml::loadModel(text, job.modelPath);
@@ -95,8 +115,7 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
         }
         out.status = JobStatus::EngineError;
         out.explanation = std::move(what);
-        out.wallMs = elapsedMs();
-        return out;
+        return finish();
       }
     }
 
@@ -127,6 +146,8 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
 
     synthesis::IntegrationConfig cfg;
     cfg.property = job.formula.empty() ? scenario.property : job.formula;
+    cfg.journal = options.journal;
+    cfg.runId = job.name;
     if (job.maxIterations != 0) cfg.maxIterations = job.maxIterations;
     if (timeoutMs != 0) {
       const auto deadline = start + std::chrono::milliseconds(timeoutMs);
@@ -163,8 +184,11 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     out.status = JobStatus::EngineError;
     out.explanation = "unknown exception";
   }
-  out.wallMs = elapsedMs();
-  return out;
+  if (out.status == JobStatus::EngineError && !out.worker.empty()) {
+    // Crash isolation: say which worker the job died on.
+    out.explanation = "[" + out.worker + "] " + out.explanation;
+  }
+  return finish();
 }
 
 }  // namespace mui::engine

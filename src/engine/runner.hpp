@@ -15,6 +15,10 @@
 #include "engine/cache.hpp"
 #include "engine/job.hpp"
 
+namespace mui::obs {
+class Journal;
+}  // namespace mui::obs
+
 namespace mui::engine {
 
 struct RunnerOptions {
@@ -25,6 +29,11 @@ struct RunnerOptions {
   /// model with error-level findings becomes an engine-error row carrying
   /// the diagnostics instead of burning verification time.
   bool lintPreflight = true;
+  /// Structured run journal: when set, the integration loop writes its
+  /// per-iteration events here and the runner appends one "job" event per
+  /// completed job. Shared across workers (the journal locks internally);
+  /// must outlive the batch.
+  obs::Journal* journal = nullptr;
 };
 
 JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,

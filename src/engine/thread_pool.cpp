@@ -1,15 +1,40 @@
 #include "engine/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mui::engine {
+
+namespace {
+
+thread_local const std::string* t_workerName = nullptr;
+
+obs::Gauge& queueDepthGauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "mui_engine_queue_depth", "Tasks waiting in the thread-pool queue");
+  return g;
+}
+
+obs::Counter& tasksCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mui_engine_tasks_total", "Tasks executed by thread-pool workers");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  workerNames_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workerNames_.push_back("worker-" + std::to_string(i));
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -26,6 +51,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock lock(mu_);
     queue_.push_back(std::move(task));
+    queueDepthGauge().set(static_cast<std::int64_t>(queue_.size()));
   }
   workCv_.notify_one();
 }
@@ -35,7 +61,14 @@ void ThreadPool::wait() {
   idleCv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::workerLoop() {
+const std::string& ThreadPool::currentWorkerName() {
+  static const std::string empty;
+  return t_workerName != nullptr ? *t_workerName : empty;
+}
+
+void ThreadPool::workerLoop(std::size_t index) {
+  t_workerName = &workerNames_[index];
+  obs::setThreadName(workerNames_[index]);
   for (;;) {
     std::function<void()> task;
     {
@@ -44,8 +77,10 @@ void ThreadPool::workerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      queueDepthGauge().set(static_cast<std::int64_t>(queue_.size()));
       ++active_;
     }
+    tasksCounter().inc();
     try {
       task();
     } catch (...) {

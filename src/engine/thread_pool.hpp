@@ -3,12 +3,18 @@
 // codebase. Deliberately small: a FIFO queue, submit(), and wait(); no
 // futures, no work stealing. Jobs are coarse (one whole integration loop
 // each, typically milliseconds to seconds), so queue contention is noise.
+//
+// Every worker has a stable name ("worker-0" .. "worker-N-1") registered
+// as its obs trace track and readable from inside a task via
+// currentWorkerName(), so batch reports and crash-isolation messages can
+// say which worker ran a job instead of a raw thread id.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,9 +39,19 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
 
- private:
-  void workerLoop();
+  /// Stable worker ids, "worker-0" .. "worker-N-1".
+  [[nodiscard]] const std::vector<std::string>& workerNames() const {
+    return workerNames_;
+  }
 
+  /// The name of the pool worker executing the calling thread's current
+  /// task, or "" when called off-pool (e.g. from main).
+  static const std::string& currentWorkerName();
+
+ private:
+  void workerLoop(std::size_t index);
+
+  std::vector<std::string> workerNames_;  // fixed before workers start
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;

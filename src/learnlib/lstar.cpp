@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mui::learnlib {
 
 LStar::LStar(MembershipOracle& oracle, std::size_t alphabetSize,
@@ -147,6 +150,10 @@ void LStar::addCounterexample(const Word& ce, const Dfa& hypothesis) {
 }
 
 Dfa LStar::learn(EquivalenceOracle& eq, std::size_t maxRounds) {
+  const obs::ObsSpan span("learn");
+  static obs::Counter& hypotheses = obs::Registry::global().counter(
+      "mui_lstar_hypotheses_total", "L* hypothesis automata built");
+  hypotheses.inc();
   Dfa hypothesis = buildHypothesis();
   for (std::size_t round = 0; round < maxRounds; ++round) {
     ++stats_.equivalenceQueries;
@@ -154,6 +161,7 @@ Dfa LStar::learn(EquivalenceOracle& eq, std::size_t maxRounds) {
     if (!ce) return hypothesis;
     addCounterexample(*ce, hypothesis);
     hypothesis = buildHypothesis();
+    hypotheses.inc();
   }
   return hypothesis;
 }

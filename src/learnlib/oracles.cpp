@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/metrics.hpp"
+
 namespace mui::learnlib {
 
 LegacyMembershipOracle::LegacyMembershipOracle(
@@ -13,17 +15,27 @@ bool LegacyMembershipOracle::member(const Word& w) {
   const auto it = cache_.find(w);
   if (it != cache_.end()) return it->second;
   ++queries_;
+  static obs::Counter& queries = obs::Registry::global().counter(
+      "mui_lstar_membership_queries_total",
+      "Uncached L* membership queries against the legacy component");
+  queries.inc();
   legacy_.reset();
   bool ok = true;
+  std::uint64_t steps = 0;
   for (Symbol s : w) {
     const auto& x = alphabet_.at(s);
     const auto out = legacy_.step(x.in);
     ++periods_;
+    ++steps;
     if (!out || !(*out == x.out)) {
       ok = false;
       break;
     }
   }
+  static obs::Counter& periods = obs::Registry::global().counter(
+      "mui_lstar_periods_total",
+      "Legacy-component periods driven by L* membership queries");
+  periods.add(steps);
   cache_.emplace(w, ok);
   return ok;
 }

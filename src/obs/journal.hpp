@@ -1,0 +1,83 @@
+#pragma once
+// Structured run journal: one JSONL event per iteration/phase/verdict of
+// the verify–test–learn loop, written by runIntegration and the batch
+// engine and aggregated by `mui stats` (see obs/stats.hpp).
+//
+// Schema policy: every event carries `"schema": kJournalSchemaVersion` and
+// a `"type"` discriminator; existing fields of an event type are never
+// renamed or retyped within a schema version — additions are allowed, and
+// any breaking change bumps the version. Consumers must skip events whose
+// schema they do not understand. The event catalog lives in
+// docs/OBSERVABILITY.md.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mui::obs {
+
+inline constexpr int kJournalSchemaVersion = 1;
+
+/// Builder for one flat JSON object: `.s()` string, `.u()`/`.i()` integer,
+/// `.f()` fixed-point double, `.b()` bool, `.raw()` pre-serialized value.
+/// Insertion order is preserved.
+class JsonObject {
+ public:
+  JsonObject& s(std::string_view key, std::string_view value);
+  JsonObject& u(std::string_view key, std::uint64_t value);
+  JsonObject& i(std::string_view key, std::int64_t value);
+  JsonObject& f(std::string_view key, double value, int digits = 3);
+  JsonObject& b(std::string_view key, bool value);
+  JsonObject& raw(std::string_view key, std::string_view json);
+
+  /// The object as `{...}`.
+  std::string str() const;
+  bool empty() const { return body_.empty(); }
+
+ private:
+  std::string body_;
+};
+
+/// Thread-safe JSONL sink. Writers call event(); the owner serializes the
+/// whole journal with text() once the run is quiesced.
+class Journal {
+ public:
+  /// Appends `{"schema":1,"type":"<type>",<fields>}` as one line.
+  void event(std::string_view type, const JsonObject& fields);
+
+  std::string text() const;
+  std::size_t eventCount() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::string text_;
+  std::size_t events_ = 0;
+};
+
+/// A scalar read back from a journal line.
+struct JsonValue {
+  enum class Kind { String, Number, Bool, Null, Raw };
+  Kind kind = Kind::Null;
+  std::string text;    // decoded string, or raw JSON for Kind::Raw
+  double number = 0;   // for Kind::Number
+  bool boolean = false;
+
+  std::uint64_t asUint() const {
+    return number < 0 ? 0 : static_cast<std::uint64_t>(number);
+  }
+};
+
+using FlatObject = std::map<std::string, JsonValue>;
+
+/// Parses one JSON object with scalar values (strings with full escape
+/// decoding including \uXXXX surrogate pairs, numbers, booleans, null);
+/// nested objects/arrays are kept verbatim as Kind::Raw. Returns nullopt
+/// on malformed input — callers count such lines as skipped rather than
+/// aborting an aggregation.
+std::optional<FlatObject> parseFlatJson(std::string_view line);
+
+}  // namespace mui::obs

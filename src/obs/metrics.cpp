@@ -1,0 +1,274 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/text_table.hpp"
+
+namespace mui::obs {
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucketIndex(std::uint64_t v) {
+  if (v <= 1) return 0;
+  const std::size_t i = std::bit_width(v - 1);  // smallest i with v <= 2^i
+  return std::min<std::size_t>(i, kBuckets - 1);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+enum class Kind { Counter, Gauge, Histogram };
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::Counter:
+      return "counter";
+    case Kind::Gauge:
+      return "gauge";
+    case Kind::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+struct Entry {
+  Kind kind;
+  std::string help;
+  std::string unit;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+/// Smallest bucket upper bound whose cumulative count reaches
+/// `count * q`; 0 when the histogram is empty. Coarse by construction
+/// (log2 buckets) but plenty for end-of-run tables.
+std::uint64_t quantileBound(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0;
+  const auto target =
+      static_cast<std::uint64_t>(static_cast<double>(total) * q);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cum += h.bucketCount(i);
+    if (cum > target || cum == total) return Histogram::bucketBound(i);
+  }
+  return Histogram::bucketBound(Histogram::kBuckets - 1);
+}
+
+std::size_t highestNonEmptyBucket(const Histogram& h) {
+  std::size_t hi = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucketCount(i) > 0) hi = i;
+  }
+  return hi;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Entry> entries;  // sorted → deterministic renders
+
+  Entry& findOrCreate(const std::string& name, const std::string& help,
+                      const std::string& unit, Kind kind) {
+    std::lock_guard lock(mu);
+    auto it = entries.find(name);
+    if (it != entries.end()) {
+      if (it->second.kind != kind) {
+        throw std::logic_error("metric '" + name + "' already registered as " +
+                               kindName(it->second.kind) + ", requested " +
+                               kindName(kind));
+      }
+      return it->second;
+    }
+    Entry e;
+    e.kind = kind;
+    e.help = help;
+    e.unit = unit;
+    switch (kind) {
+      case Kind::Counter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        e.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return entries.emplace(name, std::move(e)).first->second;
+  }
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& unit) {
+  return *impl_->findOrCreate(name, help, unit, Kind::Counter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& unit) {
+  return *impl_->findOrCreate(name, help, unit, Kind::Gauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const std::string& unit) {
+  return *impl_->findOrCreate(name, help, unit, Kind::Histogram).histogram;
+}
+
+std::string Registry::renderText() const {
+  std::lock_guard lock(impl_->mu);
+  util::TextTable table({"metric", "kind", "value", "help"});
+  for (const auto& [name, e] : impl_->entries) {
+    std::string value;
+    switch (e.kind) {
+      case Kind::Counter:
+        value = std::to_string(e.counter->value());
+        break;
+      case Kind::Gauge:
+        value = std::to_string(e.gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        value = "n=" + std::to_string(h.count()) +
+                " sum=" + std::to_string(h.sum()) +
+                " p50<=" + std::to_string(quantileBound(h, 0.50)) +
+                " p95<=" + std::to_string(quantileBound(h, 0.95));
+        break;
+      }
+    }
+    std::string help = e.help;
+    if (!e.unit.empty()) help += " [" + e.unit + "]";
+    table.row({name, kindName(e.kind), value, help});
+  }
+  return table.str();
+}
+
+std::string Registry::renderJson() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, e] : impl_->entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":" + util::jsonQuote(name) +
+           ",\"kind\":\"" + kindName(e.kind) +
+           "\",\"help\":" + util::jsonQuote(e.help) +
+           ",\"unit\":" + util::jsonQuote(e.unit);
+    switch (e.kind) {
+      case Kind::Counter:
+        out += ",\"value\":" + std::to_string(e.counter->value());
+        break;
+      case Kind::Gauge:
+        out += ",\"value\":" + std::to_string(e.gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        out += ",\"count\":" + std::to_string(h.count()) +
+               ",\"sum\":" + std::to_string(h.sum()) + ",\"buckets\":[";
+        const std::size_t hi = highestNonEmptyBucket(h);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i <= hi; ++i) {
+          cum += h.bucketCount(i);
+          if (i > 0) out += ",";
+          out += "{\"le\":\"" + std::to_string(Histogram::bucketBound(i)) +
+                 "\",\"count\":" + std::to_string(cum) + "}";
+        }
+        if (hi > 0 || h.count() > 0) out += ",";
+        out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(h.count()) +
+               "}]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Registry::renderPrometheus() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out;
+  for (const auto& [name, e] : impl_->entries) {
+    out += "# HELP " + name + " " + e.help;
+    if (!e.unit.empty()) out += " (" + e.unit + ")";
+    out += "\n# TYPE " + name + " " + kindName(e.kind) + "\n";
+    switch (e.kind) {
+      case Kind::Counter:
+        out += name + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case Kind::Gauge:
+        out += name + " " + std::to_string(e.gauge->value()) + "\n";
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        const std::size_t hi = highestNonEmptyBucket(h);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i <= hi; ++i) {
+          cum += h.bucketCount(i);
+          out += name + "_bucket{le=\"" +
+                 std::to_string(Histogram::bucketBound(i)) +
+                 "\"} " + std::to_string(cum) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+               "\n";
+        out += name + "_sum " + std::to_string(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::resetAll() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& [name, e] : impl_->entries) {
+    switch (e.kind) {
+      case Kind::Counter:
+        e.counter->reset();
+        break;
+      case Kind::Gauge:
+        e.gauge->reset();
+        break;
+      case Kind::Histogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->entries.size();
+}
+
+}  // namespace mui::obs

@@ -1,0 +1,235 @@
+#include "obs/stats.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "obs/journal.hpp"
+#include "util/json.hpp"
+#include "util/text_table.hpp"
+
+namespace mui::obs {
+
+namespace {
+
+std::string getS(const FlatObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.kind == JsonValue::Kind::String
+             ? it->second.text
+             : "";
+}
+
+std::uint64_t getU(const FlatObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.kind == JsonValue::Kind::Number
+             ? it->second.asUint()
+             : 0;
+}
+
+double getF(const FlatObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.kind == JsonValue::Kind::Number
+             ? it->second.number
+             : 0.0;
+}
+
+bool getB(const FlatObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.kind == JsonValue::Kind::Bool &&
+         it->second.boolean;
+}
+
+RunStat& findOrAddRun(StatsReport& report,
+                      std::map<std::string, std::size_t>& index,
+                      const std::string& run) {
+  const auto it = index.find(run);
+  if (it != index.end()) return report.runs[it->second];
+  index.emplace(run, report.runs.size());
+  RunStat r;
+  r.run = run;
+  report.runs.push_back(std::move(r));
+  return report.runs.back();
+}
+
+}  // namespace
+
+StatsReport aggregateJournals(const std::vector<std::string>& journals) {
+  StatsReport report;
+  std::map<std::string, std::size_t> runIndex;
+  for (const std::string& text : journals) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto obj = parseFlatJson(line);
+      if (!obj || getU(*obj, "schema") != kJournalSchemaVersion) {
+        ++report.skipped;
+        continue;
+      }
+      ++report.events;
+      const std::string type = getS(*obj, "type");
+      const std::string run = getS(*obj, "run");
+      if (type == "run_start") {
+        findOrAddRun(report, runIndex, run);
+      } else if (type == "iteration") {
+        IterationStat it;
+        it.run = run;
+        it.iteration = getU(*obj, "iter");
+        it.modelStates = getU(*obj, "modelStates");
+        it.modelTransitions = getU(*obj, "modelTransitions");
+        it.closureStates = getU(*obj, "closureStates");
+        it.productStates = getU(*obj, "productStates");
+        it.statesNew = getU(*obj, "statesNew");
+        it.statesReused = getU(*obj, "statesReused");
+        it.checkPassed = getB(*obj, "checkPassed");
+        it.cexKind = getS(*obj, "cexKind");
+        it.cexLength = getU(*obj, "cexLength");
+        it.learnedFacts = getU(*obj, "learnedFacts");
+        it.testPeriods = getU(*obj, "testPeriods");
+        it.closureMs = getF(*obj, "closureMs");
+        it.composeMs = getF(*obj, "composeMs");
+        it.checkMs = getF(*obj, "checkMs");
+        it.testMs = getF(*obj, "testMs");
+        findOrAddRun(report, runIndex, run);
+        report.iterations.push_back(std::move(it));
+      } else if (type == "verdict") {
+        RunStat& r = findOrAddRun(report, runIndex, run);
+        r.verdict = getS(*obj, "verdict");
+        r.iterations = getU(*obj, "iterations");
+        r.learnedFacts = getU(*obj, "learnedFacts");
+        r.testPeriods = getU(*obj, "testPeriods");
+        r.closureMs = getF(*obj, "closureMs");
+        r.composeMs = getF(*obj, "composeMs");
+        r.checkMs = getF(*obj, "checkMs");
+        r.testMs = getF(*obj, "testMs");
+      } else if (type == "job") {
+        RunStat& r = findOrAddRun(report, runIndex, run);
+        if (r.verdict.empty()) r.verdict = getS(*obj, "status");
+        r.worker = getS(*obj, "worker");
+        r.wallMs = getF(*obj, "wallMs");
+        r.cacheHit = getB(*obj, "cacheHit");
+        if (r.iterations == 0) r.iterations = getU(*obj, "iterations");
+      }
+      // Unknown event types of a known schema are ignored by design.
+    }
+  }
+  for (const IterationStat& it : report.iterations) {
+    ++report.totalIterations;
+    report.totalLearnedFacts += it.learnedFacts;
+    report.totalTestPeriods += it.testPeriods;
+    report.totalCheckMs += it.checkMs;
+    report.totalTestMs += it.testMs;
+  }
+  return report;
+}
+
+std::string renderStatsText(const StatsReport& report) {
+  std::string out;
+  if (!report.iterations.empty()) {
+    util::TextTable table({"run", "iter", "model S", "closure S", "product S",
+                           "new", "reused", "check", "cex", "learned",
+                           "periods", "cl ms", "co ms", "ck ms", "te ms"});
+    for (const IterationStat& it : report.iterations) {
+      std::string cex = "-";
+      if (!it.checkPassed) {
+        cex = (it.cexKind.empty() ? "cex" : it.cexKind) + "/" +
+              std::to_string(it.cexLength);
+      }
+      table.row({it.run, std::to_string(it.iteration),
+                 std::to_string(it.modelStates),
+                 std::to_string(it.closureStates),
+                 std::to_string(it.productStates),
+                 std::to_string(it.statesNew), std::to_string(it.statesReused),
+                 it.checkPassed ? "pass" : "fail", cex,
+                 std::to_string(it.learnedFacts),
+                 std::to_string(it.testPeriods), util::fmt(it.closureMs),
+                 util::fmt(it.composeMs), util::fmt(it.checkMs),
+                 util::fmt(it.testMs)});
+    }
+    out += table.str();
+    out += "\n";
+  }
+  if (!report.runs.empty()) {
+    util::TextTable table({"run", "verdict", "worker", "iters", "learned",
+                           "periods", "check ms", "test ms", "wall ms"});
+    for (const RunStat& r : report.runs) {
+      table.row({r.run, r.verdict.empty() ? "?" : r.verdict,
+                 r.worker.empty() ? "-" : r.worker,
+                 std::to_string(r.iterations), std::to_string(r.learnedFacts),
+                 std::to_string(r.testPeriods), util::fmt(r.checkMs),
+                 util::fmt(r.testMs),
+                 r.wallMs > 0 ? util::fmt(r.wallMs) : "-"});
+    }
+    out += table.str();
+    out += "\n";
+  }
+  out += "runs=" + std::to_string(report.runs.size()) +
+         " iterations=" + std::to_string(report.totalIterations) +
+         " learned=" + std::to_string(report.totalLearnedFacts) +
+         " periods=" + std::to_string(report.totalTestPeriods) +
+         " checkMs=" + util::fmt(report.totalCheckMs) +
+         " testMs=" + util::fmt(report.totalTestMs) +
+         " events=" + std::to_string(report.events) +
+         " skipped=" + std::to_string(report.skipped) + "\n";
+  return out;
+}
+
+std::string renderStatsJson(const StatsReport& report) {
+  std::string out = "{\"iterations\":[";
+  bool first = true;
+  for (const IterationStat& it : report.iterations) {
+    if (!first) out += ",";
+    first = false;
+    JsonObject o;
+    o.s("run", it.run)
+        .u("iter", it.iteration)
+        .u("modelStates", it.modelStates)
+        .u("modelTransitions", it.modelTransitions)
+        .u("closureStates", it.closureStates)
+        .u("productStates", it.productStates)
+        .u("statesNew", it.statesNew)
+        .u("statesReused", it.statesReused)
+        .b("checkPassed", it.checkPassed)
+        .s("cexKind", it.cexKind)
+        .u("cexLength", it.cexLength)
+        .u("learnedFacts", it.learnedFacts)
+        .u("testPeriods", it.testPeriods)
+        .f("closureMs", it.closureMs)
+        .f("composeMs", it.composeMs)
+        .f("checkMs", it.checkMs)
+        .f("testMs", it.testMs);
+    out += "\n" + o.str();
+  }
+  out += "\n],\"runs\":[";
+  first = true;
+  for (const RunStat& r : report.runs) {
+    if (!first) out += ",";
+    first = false;
+    JsonObject o;
+    o.s("run", r.run)
+        .s("verdict", r.verdict)
+        .s("worker", r.worker)
+        .u("iterations", r.iterations)
+        .u("learnedFacts", r.learnedFacts)
+        .u("testPeriods", r.testPeriods)
+        .f("closureMs", r.closureMs)
+        .f("composeMs", r.composeMs)
+        .f("checkMs", r.checkMs)
+        .f("testMs", r.testMs)
+        .f("wallMs", r.wallMs)
+        .b("cacheHit", r.cacheHit);
+    out += "\n" + o.str();
+  }
+  JsonObject totals;
+  totals.u("runs", report.runs.size())
+      .u("iterations", report.totalIterations)
+      .u("learnedFacts", report.totalLearnedFacts)
+      .u("testPeriods", report.totalTestPeriods)
+      .f("checkMs", report.totalCheckMs)
+      .f("testMs", report.totalTestMs)
+      .u("events", report.events)
+      .u("skipped", report.skipped);
+  out += "\n],\"totals\":" + totals.str() + "}\n";
+  return out;
+}
+
+}  // namespace mui::obs

@@ -1,0 +1,199 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mui::obs {
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::int64_t startNs = 0;
+  std::int64_t durNs = 0;
+  std::uint64_t arg = 0;
+  bool hasArg = false;
+};
+
+/// One thread's sink. Only the owning thread appends; readers honor the
+/// quiescence contract in trace.hpp.
+struct ThreadBuf {
+  std::vector<TraceEvent> ring;
+  std::size_t capacity = 0;
+  std::uint64_t total = 0;  // events ever recorded since last reset
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct BufRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::size_t capacity = Tracer::kDefaultRingCapacity;
+};
+
+BufRegistry& registry() {
+  static BufRegistry r;
+  return r;
+}
+
+thread_local ThreadBuf* t_buf = nullptr;
+thread_local std::string t_name;
+
+ThreadBuf& localBuf() {
+  if (t_buf != nullptr) return *t_buf;
+  BufRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<std::uint32_t>(r.bufs.size());
+  buf->capacity = r.capacity;
+  buf->name = t_name;
+  t_buf = buf.get();
+  r.bufs.push_back(std::move(buf));
+  return *t_buf;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+std::int64_t Tracer::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+void Tracer::enable(std::size_t ringCapacity) {
+  nowNs();  // pin the epoch before the first span
+  BufRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.capacity = ringCapacity == 0 ? 1 : ringCapacity;
+  for (auto& b : r.bufs) {
+    b->ring.clear();
+    b->capacity = r.capacity;
+    b->total = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  BufRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& b : r.bufs) {
+    b->ring.clear();
+    b->total = 0;
+  }
+}
+
+void Tracer::record(std::string name, std::int64_t startNs, std::int64_t durNs,
+                    std::uint64_t arg, bool hasArg) {
+  ThreadBuf& b = localBuf();
+  TraceEvent ev{std::move(name), startNs, durNs, arg, hasArg};
+  if (b.ring.size() < b.capacity) {
+    b.ring.push_back(std::move(ev));
+  } else {
+    b.ring[b.total % b.capacity] = std::move(ev);
+  }
+  ++b.total;
+}
+
+std::string Tracer::chromeTrace() {
+  BufRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto line = [&](const std::string& s) {
+    if (!first) out += ",\n";
+    first = false;
+    out += s;
+  };
+  char buf[96];
+  for (const auto& b : r.bufs) {
+    if (!b->name.empty()) {
+      line("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(b->tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           util::jsonQuote(b->name) + "}}");
+    }
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(b->total, b->ring.size());
+    for (std::uint64_t i = b->total - kept; i < b->total; ++i) {
+      const TraceEvent& ev = b->ring[i % b->capacity];
+      // Chrome trace timestamps are microseconds; keep ns precision in the
+      // fraction so sub-microsecond spans survive.
+      std::snprintf(buf, sizeof buf, "\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(ev.startNs) / 1000.0,
+                    static_cast<double>(ev.durNs) / 1000.0);
+      std::string e = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                      std::to_string(b->tid) + ",\"cat\":\"mui\",\"name\":" +
+                      util::jsonQuote(ev.name) + "," + buf;
+      if (ev.hasArg) e += ",\"args\":{\"i\":" + std::to_string(ev.arg) + "}";
+      e += "}";
+      line(e);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::size_t Tracer::eventCount() {
+  BufRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& b : r.bufs) {
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(b->total, b->ring.size()));
+  }
+  return n;
+}
+
+std::uint64_t Tracer::droppedEvents() {
+  BufRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  std::uint64_t n = 0;
+  for (const auto& b : r.bufs) {
+    n += b->total - std::min<std::uint64_t>(b->total, b->ring.size());
+  }
+  return n;
+}
+
+void setThreadName(std::string name) {
+  t_name = std::move(name);
+  if (t_buf != nullptr) {
+    std::lock_guard lock(registry().mu);
+    t_buf->name = t_name;
+  }
+}
+
+const std::string& currentThreadName() { return t_name; }
+
+ObsSpan::ObsSpan(const char* name, std::uint64_t arg, bool hasArg) noexcept {
+  if (!Tracer::enabled()) return;
+  name_ = name;
+  arg_ = arg;
+  hasArg_ = hasArg;
+  startNs_ = Tracer::nowNs();
+}
+
+ObsSpan::ObsSpan(std::string name, std::uint64_t arg, bool hasArg) {
+  if (!Tracer::enabled()) return;
+  name_ = std::move(name);
+  arg_ = arg;
+  hasArg_ = hasArg;
+  startNs_ = Tracer::nowNs();
+}
+
+ObsSpan::~ObsSpan() {
+  if (startNs_ < 0 || !Tracer::enabled()) return;
+  Tracer::record(std::move(name_), startNs_, Tracer::nowNs() - startNs_, arg_,
+                 hasArg_);
+}
+
+}  // namespace mui::obs

@@ -1,0 +1,108 @@
+#pragma once
+// Low-overhead span tracing for the verify–test–learn loop.
+//
+// The design goal is "free unless someone is watching": an ObsSpan guard
+// costs one relaxed atomic load when no sink is installed, and spans only
+// materialize their name and timestamps once Tracer::enable() has run.
+// Recording is wait-free per thread: every thread appends completed spans
+// to its own fixed-capacity ring buffer (oldest events are overwritten
+// once the ring is full, with a dropped-event count), so instrumented
+// worker pools never contend on a shared log.
+//
+// Tracer::chromeTrace() serializes everything into the Chrome trace-event
+// JSON format (load it at chrome://tracing or https://ui.perfetto.dev):
+// one track per thread — thread-pool workers name their tracks via
+// setThreadName("worker-N") — with nested "X" (complete) events for the
+// closure/compose/check/test/replay/learn phases of each iteration.
+//
+// Concurrency contract: span recording is safe from any number of threads
+// concurrently, but enable/disable/clear/chromeTrace must be called while
+// no instrumented work is running (e.g. after ThreadPool::wait()). The
+// CLI obeys this by writing traces only after the verb finishes.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mui::obs {
+
+/// Process-wide tracing switch and sink (see file comment for the
+/// concurrency contract).
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+  /// Installs the sink: resets all ring buffers to `ringCapacity` events
+  /// each and turns span recording on.
+  static void enable(std::size_t ringCapacity = kDefaultRingCapacity);
+
+  /// Turns recording off. Already-recorded events are kept; spans closing
+  /// after disable() are dropped.
+  static void disable();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded events (thread registrations and names survive).
+  static void clear();
+
+  /// All recorded events as a Chrome trace-event JSON document, one event
+  /// per line, with thread_name metadata for every named track.
+  static std::string chromeTrace();
+
+  /// Events currently held across all ring buffers.
+  static std::size_t eventCount();
+
+  /// Events lost to ring overwrites since the last enable()/clear().
+  static std::uint64_t droppedEvents();
+
+ private:
+  friend class ObsSpan;
+
+  static void record(std::string name, std::int64_t startNs,
+                     std::int64_t durNs, std::uint64_t arg, bool hasArg);
+  /// Monotonic nanoseconds since the process's tracing epoch.
+  static std::int64_t nowNs();
+
+  static std::atomic<bool> enabled_;
+};
+
+/// Names the calling thread's trace track (and its worker identity for
+/// crash messages; see engine::ThreadPool). Safe to call before or after
+/// the thread recorded its first span, and with tracing disabled.
+void setThreadName(std::string name);
+
+/// The name set by setThreadName on this thread, or "" if none.
+const std::string& currentThreadName();
+
+/// RAII span guard: records a complete trace event for the enclosed scope.
+/// The const char* overloads are for hot paths (no allocation when
+/// disabled, at most one small-string copy when enabled); the std::string
+/// overloads are for per-job/per-run spans with dynamic names. The
+/// optional `arg` lands in the event's args (e.g. the iteration index).
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name) noexcept : ObsSpan(name, 0, false) {}
+  ObsSpan(const char* name, std::uint64_t arg) noexcept
+      : ObsSpan(name, arg, true) {}
+  explicit ObsSpan(std::string name) : ObsSpan(std::move(name), 0, false) {}
+  ObsSpan(std::string name, std::uint64_t arg)
+      : ObsSpan(std::move(name), arg, true) {}
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  ObsSpan(const char* name, std::uint64_t arg, bool hasArg) noexcept;
+  ObsSpan(std::string name, std::uint64_t arg, bool hasArg);
+
+  std::string name_;
+  std::int64_t startNs_ = -1;  // -1: tracing was off at construction
+  std::uint64_t arg_ = 0;
+  bool hasArg_ = false;
+};
+
+}  // namespace mui::obs

@@ -7,7 +7,11 @@
 #include "automata/minimize.hpp"
 #include "ctl/formula.hpp"
 #include "ctl/parser.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synthesis/initial.hpp"
+#include "synthesis/report.hpp"
 
 namespace mui::synthesis {
 
@@ -45,6 +49,20 @@ IntegrationVerifier::IntegrationVerifier(automata::Automaton context,
 
 IntegrationResult IntegrationVerifier::run() {
   IntegrationResult res;
+
+  const std::string runId =
+      config_.runId.empty() ? context_.name() : config_.runId;
+  const obs::ObsSpan runSpan("integration:" + runId);
+  obs::Journal* const journal = config_.journal;
+  if (journal != nullptr) {
+    journal->event("run_start",
+                   obs::JsonObject()
+                       .s("run", runId)
+                       .u("legacies", legacies_.size())
+                       .s("property", config_.property)
+                       .u("maxIterations", config_.maxIterations)
+                       .b("incrementalCompose", config_.incrementalCompose));
+  }
 
   ctl::FormulaPtr phi;
   if (!config_.property.empty()) {
@@ -85,8 +103,37 @@ IntegrationResult IntegrationVerifier::run() {
     res.totalTestMs += rec.testMs;
   };
 
+  const auto emitIteration = [&](const IterationRecord& rec) {
+    if (journal == nullptr) return;
+    std::string cexKind;
+    if (!rec.checkPassed) {
+      cexKind = rec.cexWasDeadlock ? "deadlock" : "property";
+    }
+    journal->event("iteration",
+                   obs::JsonObject()
+                       .s("run", runId)
+                       .u("iter", rec.iteration)
+                       .u("modelStates", rec.modelStates)
+                       .u("modelTransitions", rec.modelTransitions)
+                       .u("modelForbidden", rec.modelForbidden)
+                       .u("closureStates", rec.closureStates)
+                       .u("productStates", rec.productStates)
+                       .u("statesNew", rec.productStatesNew)
+                       .u("statesReused", rec.productStatesReused)
+                       .b("checkPassed", rec.checkPassed)
+                       .s("cexKind", cexKind)
+                       .u("cexLength", rec.cexLength)
+                       .u("learnedFacts", rec.learnedFacts)
+                       .u("testPeriods", rec.testPeriods)
+                       .f("closureMs", rec.closureMs)
+                       .f("composeMs", rec.composeMs)
+                       .f("checkMs", rec.checkMs)
+                       .f("testMs", rec.testMs));
+  };
+
   for (std::size_t iter = 0; iter < config_.maxIterations && !cancelled();
        ++iter) {
+    const obs::ObsSpan iterSpan("iteration", iter);
     IterationRecord rec;
     rec.iteration = iter;
     for (const auto& m : models_) {
@@ -117,23 +164,26 @@ IntegrationResult IntegrationVerifier::run() {
     //    real system has no unlearned refusals on reachable paths, and
     //    ACTL properties transfer through the optimistic abstraction.
     std::vector<automata::Closure> closuresPess, closuresOpt;
-    for (std::size_t k = 0; k < models_.size(); ++k) {
-      if (needPess) {
-        closuresPess.push_back(
-            automata::chaoticClosure(models_[k], alphabets_[k],
-                                     config_.closureStyle,
-                                     automata::ClosureCopies::Both));
-      }
-      if (needOpt) {
-        closuresOpt.push_back(
-            automata::chaoticClosure(models_[k], alphabets_[k],
-                                     config_.closureStyle,
-                                     automata::ClosureCopies::Copy1Only));
-      }
-      if (needPess || needOpt) {
-        rec.closureStates +=
-            (needPess ? closuresPess : closuresOpt).back().automaton
-                .stateCount();
+    {
+      const obs::ObsSpan span("closure");
+      for (std::size_t k = 0; k < models_.size(); ++k) {
+        if (needPess) {
+          closuresPess.push_back(
+              automata::chaoticClosure(models_[k], alphabets_[k],
+                                       config_.closureStyle,
+                                       automata::ClosureCopies::Both));
+        }
+        if (needOpt) {
+          closuresOpt.push_back(
+              automata::chaoticClosure(models_[k], alphabets_[k],
+                                       config_.closureStyle,
+                                       automata::ClosureCopies::Copy1Only));
+        }
+        if (needPess || needOpt) {
+          rec.closureStates +=
+              (needPess ? closuresPess : closuresOpt).back().automaton
+                  .stateCount();
+        }
       }
     }
     rec.closureMs = lapMs();
@@ -174,25 +224,29 @@ IntegrationResult IntegrationVerifier::run() {
           return p;
         };
     std::optional<automata::Product> productPess, productOpt;
-    if (needPess) productPess = composeWith(closuresPess, composerPess_);
-    if (needOpt) productOpt = composeWith(closuresOpt, composerOpt_);
+    {
+      const obs::ObsSpan span("compose");
+      if (needPess) productPess = composeWith(closuresPess, composerPess_);
+      if (needOpt) productOpt = composeWith(closuresOpt, composerOpt_);
+    }
     rec.productStates = productPess ? productPess->automaton.stateCount()
                         : productOpt ? productOpt->automaton.stateCount()
                                      : 0;
     rec.composeMs = lapMs();
 
     // 2. Verification step (Sec. 4.1).
-    ctl::VerifyOptions vo;
-    vo.maxCounterexamples = config_.counterexamplesPerCheck;
-    vo.search = config_.search;
-    vo.requireDeadlockFree = false;
-    const auto propRes =
-        needOpt ? ctl::verify(productOpt->automaton, phi, vo)
-                : ctl::VerifyResult{true, {}, 0, {}};
-    vo.requireDeadlockFree = true;
-    const auto dlRes =
-        needPess ? ctl::verify(productPess->automaton, nullptr, vo)
-                 : ctl::VerifyResult{true, {}, 0, {}};
+    ctl::VerifyResult propRes{true, {}, 0, {}};
+    ctl::VerifyResult dlRes{true, {}, 0, {}};
+    {
+      const obs::ObsSpan span("check");
+      ctl::VerifyOptions vo;
+      vo.maxCounterexamples = config_.counterexamplesPerCheck;
+      vo.search = config_.search;
+      vo.requireDeadlockFree = false;
+      if (needOpt) propRes = ctl::verify(productOpt->automaton, phi, vo);
+      vo.requireDeadlockFree = true;
+      if (needPess) dlRes = ctl::verify(productPess->automaton, nullptr, vo);
+    }
     rec.checkPassed = propRes.holds && dlRes.holds;
     rec.checkMs = lapMs();
     // Atoms can become known as states are learned: report the final round's
@@ -204,6 +258,7 @@ IntegrationResult IntegrationVerifier::run() {
 
     if (rec.checkPassed) {
       accumulate(rec);
+      emitIteration(rec);
       res.journal.push_back(std::move(rec));
       res.verdict = Verdict::ProvenCorrect;
       res.explanation =
@@ -247,9 +302,12 @@ IntegrationResult IntegrationVerifier::run() {
         }
       }
     };
-    if (!propRes.holds) process(propRes, *productOpt, closuresOpt);
-    if (!realError && !dlRes.holds) {
-      process(dlRes, *productPess, closuresPess);
+    {
+      const obs::ObsSpan span("test");
+      if (!propRes.holds) process(propRes, *productOpt, closuresOpt);
+      if (!realError && !dlRes.holds) {
+        process(dlRes, *productPess, closuresPess);
+      }
     }
     rec.testMs = lapMs();
     rec.learnedFacts = totalKnowledge() - knowledgeBefore;
@@ -257,6 +315,7 @@ IntegrationResult IntegrationVerifier::run() {
     res.totalTestPeriods += rec.testPeriods;
     const bool progressed = rec.learnedFacts > 0;
     accumulate(rec);
+    emitIteration(rec);
     res.journal.push_back(std::move(rec));
     if (realError) break;
     if (wasCancelled) break;
@@ -281,6 +340,35 @@ IntegrationResult IntegrationVerifier::run() {
         "stopped by the cancellation hook before reaching a verdict";
   } else if (res.verdict == Verdict::IterationLimit) {
     res.explanation = "iteration budget exhausted";
+  }
+
+  static obs::Counter& iterations = obs::Registry::global().counter(
+      "mui_integration_iterations_total", "Verify-test-learn iterations run");
+  static obs::Counter& learned = obs::Registry::global().counter(
+      "mui_integration_learned_facts_total",
+      "Facts (states+transitions+refusals) learned across all runs");
+  static obs::Counter& periods = obs::Registry::global().counter(
+      "mui_integration_test_periods_total",
+      "Legacy periods driven by counterexample tests across all runs");
+  iterations.add(res.iterations);
+  learned.add(res.totalLearnedFacts);
+  periods.add(res.totalTestPeriods);
+
+  if (journal != nullptr) {
+    journal->event("verdict",
+                   obs::JsonObject()
+                       .s("run", runId)
+                       .s("verdict", verdictName(res.verdict))
+                       .s("explanation", res.explanation)
+                       .u("iterations", res.iterations)
+                       .u("learnedFacts", res.totalLearnedFacts)
+                       .u("testPeriods", res.totalTestPeriods)
+                       .u("productStatesNew", res.totalProductStatesNew)
+                       .u("productStatesReused", res.totalProductStatesReused)
+                       .f("closureMs", res.totalClosureMs)
+                       .f("composeMs", res.totalComposeMs)
+                       .f("checkMs", res.totalCheckMs)
+                       .f("testMs", res.totalTestMs));
   }
   return res;
 }
@@ -475,6 +563,7 @@ std::vector<automata::Interaction> IntegrationVerifier::jointOffers(
 
 bool IntegrationVerifier::applyOutcome(std::size_t legacyIdx,
                                        const testing::TestOutcome& outcome) {
+  const obs::ObsSpan span("learn");
   bool any = models_[legacyIdx].learn(outcome.observed).any();
   if (outcome.refusalRun) {
     any = models_[legacyIdx].learn(*outcome.refusalRun).any() || any;

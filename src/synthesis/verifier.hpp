@@ -39,6 +39,10 @@
 #include "testing/driver.hpp"
 #include "testing/legacy.hpp"
 
+namespace mui::obs {
+class Journal;
+}  // namespace mui::obs
+
 namespace mui::synthesis {
 
 struct IntegrationConfig {
@@ -81,6 +85,14 @@ struct IntegrationConfig {
   /// callable is invoked from the thread executing run(); the batch engine
   /// uses it for per-job deadlines (src/engine/runner.cpp).
   std::function<bool()> cancelRequested;
+  /// Structured run journal (obs/journal.hpp): when set, the loop emits one
+  /// JSONL event per iteration plus run_start/verdict events, labeled with
+  /// `runId`. The journal must outlive run(); it may be shared between
+  /// concurrent runs (it locks internally).
+  obs::Journal* journal = nullptr;
+  /// Label for journal events and the run's trace span (e.g. the job name);
+  /// defaults to the context automaton's name when empty.
+  std::string runId;
 };
 
 enum class Verdict {

@@ -2,7 +2,39 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mui::testing {
+
+namespace {
+
+struct ReplayMetrics {
+  obs::Counter& tests;
+  obs::Counter& steps;
+  obs::Counter& confirmed;
+  obs::Counter& diverged;
+  obs::Counter& blocked;
+
+  static const ReplayMetrics& get() {
+    static ReplayMetrics m{
+        obs::Registry::global().counter("mui_replay_tests_total",
+                                        "Counterexample tests executed"),
+        obs::Registry::global().counter(
+            "mui_replay_steps_total",
+            "Legacy-component periods driven during tests"),
+        obs::Registry::global().counter("mui_replay_confirmed_total",
+                                        "Tests that confirmed the trace"),
+        obs::Registry::global().counter("mui_replay_diverged_total",
+                                        "Tests where the component diverged"),
+        obs::Registry::global().counter("mui_replay_blocked_total",
+                                        "Tests where the component blocked"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 void CounterexampleTestDriver::logMessages(Recorder& rec,
                                            const SignalSet& signals,
@@ -16,6 +48,8 @@ void CounterexampleTestDriver::logMessages(Recorder& rec,
 
 TestOutcome CounterexampleTestDriver::execute(
     const std::vector<automata::Interaction>& expectedSteps) {
+  const obs::ObsSpan span("replay", expectedSteps.size());
+  const std::uint64_t periodsBefore = periods_;
   TestOutcome out;
 
   // ---- Phase 1: execute on the "target" with minimal probes. -------------
@@ -92,6 +126,20 @@ TestOutcome CounterexampleTestDriver::execute(
   }
   if (!out.observed.wellFormed()) {
     throw std::logic_error("test driver produced a malformed observed run");
+  }
+  const ReplayMetrics& m = ReplayMetrics::get();
+  m.tests.inc();
+  m.steps.add(periods_ - periodsBefore);
+  switch (out.kind) {
+    case TestOutcome::Kind::Confirmed:
+      m.confirmed.inc();
+      break;
+    case TestOutcome::Kind::Diverged:
+      m.diverged.inc();
+      break;
+    case TestOutcome::Kind::Blocked:
+      m.blocked.inc();
+      break;
   }
   return out;
 }

@@ -1,0 +1,107 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace mui::util {
+
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 if the
+/// bytes at i do not start one. Follows RFC 3629: no overlong forms, no
+/// surrogates, nothing above U+10FFFF.
+std::size_t utf8SequenceLength(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) -> unsigned {
+    return k < s.size() ? static_cast<unsigned char>(s[k]) : 0x100;
+  };
+  const unsigned b0 = byte(i);
+  const auto cont = [&](std::size_t k, unsigned lo = 0x80, unsigned hi = 0xBF) {
+    const unsigned b = byte(k);
+    return b >= lo && b <= hi;
+  };
+  if (b0 <= 0x7F) return 1;
+  if (b0 >= 0xC2 && b0 <= 0xDF) return cont(i + 1) ? 2 : 0;
+  if (b0 == 0xE0) return cont(i + 1, 0xA0) && cont(i + 2) ? 3 : 0;
+  if (b0 >= 0xE1 && b0 <= 0xEC) return cont(i + 1) && cont(i + 2) ? 3 : 0;
+  if (b0 == 0xED) return cont(i + 1, 0x80, 0x9F) && cont(i + 2) ? 3 : 0;
+  if (b0 >= 0xEE && b0 <= 0xEF) return cont(i + 1) && cont(i + 2) ? 3 : 0;
+  if (b0 == 0xF0) {
+    return cont(i + 1, 0x90) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  if (b0 >= 0xF1 && b0 <= 0xF3) {
+    return cont(i + 1) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  if (b0 == 0xF4) {
+    return cont(i + 1, 0x80, 0x8F) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        ++i;
+        continue;
+      case '\\':
+        out += "\\\\";
+        ++i;
+        continue;
+      case '\n':
+        out += "\\n";
+        ++i;
+        continue;
+      case '\t':
+        out += "\\t";
+        ++i;
+        continue;
+      case '\r':
+        out += "\\r";
+        ++i;
+        continue;
+      case '\b':
+        out += "\\b";
+        ++i;
+        continue;
+      case '\f':
+        out += "\\f";
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    if (const std::size_t len = utf8SequenceLength(s, i)) {
+      out.append(s.substr(i, len));
+      i += len;
+    } else {
+      out += "\\ufffd";
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string jsonQuote(std::string_view s) {
+  return "\"" + jsonEscape(s) + "\"";
+}
+
+}  // namespace mui::util

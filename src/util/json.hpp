@@ -1,0 +1,25 @@
+#pragma once
+// The one JSON string escaper of the tree. Every JSON/JSONL writer — the
+// engine's batch report, the SARIF renderer, the obs journal/trace/metrics
+// writers, the bench artifacts — must escape through here so that control
+// characters and invalid UTF-8 in model, job, or state names can never
+// produce an unparseable artifact.
+
+#include <string>
+#include <string_view>
+
+namespace mui::util {
+
+/// Escapes `s` for embedding between double quotes in JSON: `"` and `\`
+/// are backslash-escaped, control characters (U+0000..U+001F) become their
+/// short escape (\n, \t, \r, \b, \f) or \u00XX, well-formed UTF-8
+/// sequences pass through unchanged, and every byte that is not part of a
+/// well-formed UTF-8 sequence is replaced by � (REPLACEMENT
+/// CHARACTER). The output is therefore always valid UTF-8 and always a
+/// valid JSON string body.
+std::string jsonEscape(std::string_view s);
+
+/// `"` + jsonEscape(s) + `"`.
+std::string jsonQuote(std::string_view s);
+
+}  // namespace mui::util

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "engine/thread_pool.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
+#include "obs/journal.hpp"
+#include "obs/stats.hpp"
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
 #include "util/parse.hpp"
@@ -357,6 +360,50 @@ TEST(Batch, ReportRenderingAndSummarySerialization) {
   EXPECT_NE(jsonl.find("\"type\":\"job\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"type\":\"batch\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"name\":\"good\""), std::string::npos);
+}
+
+TEST(Batch, SummaryEscapesControlCharactersInJobNames) {
+  // A hostile manifest name (embedded newline and quote) must not corrupt
+  // the JSONL summary: every line stays one parseable JSON object.
+  std::vector<Job> jobs;
+  jobs.push_back(watchdogJob("evil\n\"name\"", "deviceCompliant"));
+  const auto report = engine::runBatch(jobs, {});
+  const std::string jsonl = engine::writeBatchSummary(report);
+  EXPECT_NE(jsonl.find("evil\\n\\\"name\\\""), std::string::npos);
+  std::istringstream in(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(obs::parseFlatJson(line).has_value())
+        << "unparseable summary line: " << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);  // one job row + the batch trailer
+}
+
+TEST(Batch, JournalCollectsJobAndBatchEvents) {
+  std::vector<Job> jobs;
+  jobs.push_back(watchdogJob("good", "deviceCompliant"));
+  jobs.push_back(watchdogJob("bad", "deviceMute"));
+  obs::Journal journal;
+  engine::BatchOptions options;
+  options.threads = 2;
+  options.journal = &journal;
+  const auto report = engine::runBatch(jobs, options);
+  ASSERT_EQ(report.results.size(), 2u);
+
+  // Per-run events (run_start/iteration/verdict) plus one "job" event per
+  // job and one closing "batch" event, all aggregatable by mui stats.
+  const auto stats = obs::aggregateJournals({journal.text()});
+  EXPECT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(stats.runs.size(), 2u);
+  for (const auto& run : stats.runs) {
+    EXPECT_FALSE(run.verdict.empty()) << run.run;
+    EXPECT_NE(run.worker.find("worker-"), std::string::npos) << run.run;
+  }
+  EXPECT_GT(stats.totalIterations, 0u);
+  EXPECT_NE(journal.text().find("\"type\":\"batch\""), std::string::npos);
 }
 
 TEST(Batch, PrimedTextCacheRunsWithoutDisk) {

@@ -1,0 +1,324 @@
+// Unit tests for the observability subsystem (src/obs/): span tracing
+// (nesting, per-thread tracks, ring overwrite, disabled-guard), the
+// metrics registry (bucket boundaries, renderer goldens), the run journal
+// (schema round-trip through the flat JSON parser), and journal
+// aggregation for `mui stats` — including a real integration run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "helpers.hpp"
+#include "muml/shuttle.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/legacy.hpp"
+#include "util/json.hpp"
+
+namespace mui::obs {
+namespace {
+
+/// Restores the tracer to its default (disabled, empty) state so tests
+/// never leak events into each other.
+struct TracerGuard {
+  TracerGuard() { Tracer::enable(); }
+  ~TracerGuard() {
+    Tracer::disable();
+    Tracer::clear();
+  }
+};
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  Tracer::disable();
+  Tracer::clear();
+  {
+    const ObsSpan a("closure");
+    const ObsSpan b(std::string("iteration"), 7);
+  }
+  EXPECT_EQ(Tracer::eventCount(), 0u);
+  EXPECT_EQ(Tracer::droppedEvents(), 0u);
+  EXPECT_EQ(Tracer::chromeTrace().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, NestedSpansAreContained) {
+  TracerGuard guard;
+  {
+    const ObsSpan outer("outer");
+    {
+      const ObsSpan inner("inner");
+    }
+  }
+  ASSERT_EQ(Tracer::eventCount(), 2u);
+  const std::string json = Tracer::chromeTrace();
+  // Inner closes first, so it serializes first; both are complete events.
+  const auto innerPos = json.find("\"name\":\"inner\"");
+  const auto outerPos = json.find("\"name\":\"outer\"");
+  ASSERT_NE(innerPos, std::string::npos);
+  ASSERT_NE(outerPos, std::string::npos);
+  EXPECT_LT(innerPos, outerPos);
+  // The document is a loadable Chrome trace.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(Trace, SpanArgLandsInArgs) {
+  TracerGuard guard;
+  { const ObsSpan span("iteration", 42); }
+  EXPECT_NE(Tracer::chromeTrace().find("\"args\":{\"i\":42}"),
+            std::string::npos);
+}
+
+TEST(Trace, ConcurrentWorkersGetDistinctNamedTracks) {
+  TracerGuard guard;
+  constexpr int kThreads = 4;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i, &ready] {
+      setThreadName("worker-" + std::to_string(i));
+      // Spin barrier: all workers record while truly concurrent.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (int n = 0; n < 8; ++n) {
+        const ObsSpan span("check");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Tracer::eventCount(), kThreads * 8u);
+  const std::string json = Tracer::chromeTrace();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_NE(json.find("\"name\":\"worker-" + std::to_string(i) + "\""),
+              std::string::npos)
+        << "missing thread_name track for worker-" << i;
+  }
+}
+
+TEST(Trace, RingDropsOldestEvents) {
+  Tracer::disable();
+  Tracer::clear();
+  Tracer::enable(4);
+  for (int i = 0; i < 10; ++i) {
+    const ObsSpan span("span-" + std::to_string(i));
+  }
+  Tracer::disable();
+  EXPECT_EQ(Tracer::eventCount(), 4u);
+  EXPECT_EQ(Tracer::droppedEvents(), 6u);
+  const std::string json = Tracer::chromeTrace();
+  EXPECT_EQ(json.find("\"name\":\"span-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"span-9\""), std::string::npos);
+  Tracer::clear();
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(5), 3u);
+  EXPECT_EQ(Histogram::bucketIndex(1ull << 40), 40u);
+  EXPECT_EQ(Histogram::bucketIndex((1ull << 40) + 1), 41u);
+  // Everything past 2^62 lands in the +Inf bucket.
+  EXPECT_EQ(Histogram::bucketIndex(~0ull), Histogram::kBuckets - 1);
+
+  Histogram h;
+  for (const std::uint64_t v : {1, 2, 3, 4, 5}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.bucketCount(0), 1u);  // le 1: {1}
+  EXPECT_EQ(h.bucketCount(1), 1u);  // le 2: {2}
+  EXPECT_EQ(h.bucketCount(2), 2u);  // le 4: {3, 4}
+  EXPECT_EQ(h.bucketCount(3), 1u);  // le 8: {5}
+}
+
+TEST(Metrics, PrometheusRendererGolden) {
+  Registry reg;
+  reg.counter("mui_test_pops_total", "States popped").add(3);
+  reg.gauge("mui_test_depth", "Queue depth", "tasks").set(-2);
+  Histogram& h = reg.histogram("mui_test_sizes", "Product sizes");
+  h.observe(1);
+  h.observe(3);
+  EXPECT_EQ(reg.renderPrometheus(),
+            "# HELP mui_test_depth Queue depth (tasks)\n"
+            "# TYPE mui_test_depth gauge\n"
+            "mui_test_depth -2\n"
+            "# HELP mui_test_pops_total States popped\n"
+            "# TYPE mui_test_pops_total counter\n"
+            "mui_test_pops_total 3\n"
+            "# HELP mui_test_sizes Product sizes\n"
+            "# TYPE mui_test_sizes histogram\n"
+            "mui_test_sizes_bucket{le=\"1\"} 1\n"
+            "mui_test_sizes_bucket{le=\"2\"} 1\n"
+            "mui_test_sizes_bucket{le=\"4\"} 2\n"
+            "mui_test_sizes_bucket{le=\"+Inf\"} 2\n"
+            "mui_test_sizes_sum 4\n"
+            "mui_test_sizes_count 2\n");
+}
+
+TEST(Metrics, JsonRendererParsesAndCarriesValues) {
+  Registry reg;
+  reg.counter("c_total", "a counter").add(7);
+  reg.histogram("h_sizes", "a histogram").observe(2);
+  const std::string json = reg.renderJson();
+  EXPECT_NE(json.find("\"name\":\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":["), std::string::npos);
+}
+
+TEST(Metrics, RegistryIsIdempotentAndKindChecked) {
+  Registry reg;
+  Counter& a = reg.counter("x_total", "first help wins");
+  Counter& b = reg.counter("x_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_THROW((void)reg.gauge("x_total", "wrong kind"), std::logic_error);
+  a.add(5);
+  reg.resetAll();
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(Journal, EventRoundTripsThroughFlatParser) {
+  Journal journal;
+  journal.event("iteration", JsonObject()
+                                 .s("run", "p/r/h")
+                                 .u("iter", 3)
+                                 .i("delta", -1)
+                                 .f("checkMs", 1.25)
+                                 .b("checkPassed", true)
+                                 .s("note", "tab\there \"quoted\" \xE2\x9C\x93"));
+  ASSERT_EQ(journal.eventCount(), 1u);
+  const std::string line =
+      journal.text().substr(0, journal.text().size() - 1);  // drop '\n'
+  const auto obj = parseFlatJson(line);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("schema").asUint(), 1u);
+  EXPECT_EQ(obj->at("type").text, "iteration");
+  EXPECT_EQ(obj->at("run").text, "p/r/h");
+  EXPECT_EQ(obj->at("iter").asUint(), 3u);
+  EXPECT_EQ(obj->at("delta").number, -1.0);
+  EXPECT_EQ(obj->at("checkMs").number, 1.25);
+  EXPECT_TRUE(obj->at("checkPassed").boolean);
+  EXPECT_EQ(obj->at("note").text, "tab\there \"quoted\" \xE2\x9C\x93");
+}
+
+TEST(Journal, ParserRejectsMalformedAndKeepsNestedRaw) {
+  EXPECT_FALSE(parseFlatJson("not json").has_value());
+  EXPECT_FALSE(parseFlatJson("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parseFlatJson("{\"a\":}").has_value());
+  const auto obj = parseFlatJson("{\"a\":{\"x\":[1,2]},\"b\":null}");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("a").kind, JsonValue::Kind::Raw);
+  EXPECT_EQ(obj->at("a").text, "{\"x\":[1,2]}");
+  EXPECT_EQ(obj->at("b").kind, JsonValue::Kind::Null);
+}
+
+TEST(Journal, InvalidUtf8IsEscapedAsReplacement) {
+  // A lone 0xFF byte is not valid UTF-8; the escaper must not emit it raw
+  // (that would produce an unparseable JSON document).
+  const std::string escaped = util::jsonEscape("a\xFF"
+                                               "b");
+  EXPECT_EQ(escaped, "a\\ufffdb");
+  EXPECT_EQ(util::jsonEscape("ok \xE2\x9C\x93"), "ok \xE2\x9C\x93");
+  EXPECT_EQ(util::jsonEscape("\x01"), "\\u0001");
+}
+
+TEST(Stats, AggregatesHandCraftedJournals) {
+  Journal j1;
+  j1.event("run_start", JsonObject().s("run", "a").u("legacies", 1));
+  j1.event("iteration", JsonObject()
+                            .s("run", "a")
+                            .u("iter", 0)
+                            .u("productStates", 10)
+                            .u("learnedFacts", 2)
+                            .u("testPeriods", 5)
+                            .f("checkMs", 1.5)
+                            .f("testMs", 0.5)
+                            .b("checkPassed", false)
+                            .s("cexKind", "deadlock")
+                            .u("cexLength", 3));
+  j1.event("verdict", JsonObject()
+                          .s("run", "a")
+                          .s("verdict", "proven")
+                          .u("iterations", 1)
+                          .u("learnedFacts", 2)
+                          .u("testPeriods", 5));
+  Journal j2;
+  j2.event("job", JsonObject()
+                      .s("run", "b")
+                      .s("status", "real-error")
+                      .s("worker", "worker-1")
+                      .b("cacheHit", false)
+                      .f("wallMs", 12.0)
+                      .u("iterations", 4)
+                      .u("learnedFacts", 0)
+                      .u("testPeriods", 9));
+  const auto report =
+      aggregateJournals({j1.text(), j2.text(), "garbage line\n"});
+  EXPECT_EQ(report.events, 4u);
+  EXPECT_EQ(report.skipped, 1u);
+  ASSERT_EQ(report.iterations.size(), 1u);
+  EXPECT_EQ(report.iterations[0].run, "a");
+  EXPECT_EQ(report.iterations[0].cexKind, "deadlock");
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_EQ(report.runs[0].verdict, "proven");
+  EXPECT_EQ(report.runs[1].verdict, "real-error");
+  EXPECT_EQ(report.runs[1].worker, "worker-1");
+  // Totals sum iteration events (job/verdict events carry per-run rollups).
+  EXPECT_EQ(report.totalIterations, 1u);
+  EXPECT_EQ(report.totalTestPeriods, 5u);
+
+  const std::string text = renderStatsText(report);
+  EXPECT_NE(text.find("deadlock/3"), std::string::npos);
+  EXPECT_NE(text.find("runs=2"), std::string::npos);
+  const std::string json = renderStatsJson(report);
+  EXPECT_NE(json.find("\"totals\":"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"real-error\""), std::string::npos);
+}
+
+TEST(Stats, UnknownSchemaVersionIsSkippedNotFatal) {
+  const auto report = aggregateJournals(
+      {"{\"schema\":999,\"type\":\"iteration\",\"run\":\"x\"}\n"});
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_TRUE(report.iterations.empty());
+}
+
+TEST(Stats, RealIntegrationRunProducesAggregatableJournal) {
+  namespace sh = muml::shuttle;
+  test::Tables t;
+  const auto front = sh::frontRoleAutomaton(t.signals, t.props);
+  testing::AutomatonLegacy legacy(sh::correctRearLegacy(t.signals, t.props));
+  Journal journal;
+  synthesis::IntegrationConfig cfg;
+  cfg.property = sh::kPatternConstraint;
+  cfg.journal = &journal;
+  cfg.runId = "shuttle/rearRole/correct";
+  const auto res =
+      synthesis::IntegrationVerifier(front, legacy, cfg).run();
+  ASSERT_EQ(res.verdict, synthesis::Verdict::ProvenCorrect);
+
+  // run_start + one event per iteration + verdict.
+  EXPECT_EQ(journal.eventCount(), res.iterations + 2);
+  const auto report = aggregateJournals({journal.text()});
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(report.iterations.size(), res.iterations);
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_EQ(report.runs[0].run, "shuttle/rearRole/correct");
+  EXPECT_EQ(report.runs[0].verdict, "proven");
+  EXPECT_EQ(report.totalLearnedFacts, res.totalLearnedFacts);
+  EXPECT_EQ(report.totalTestPeriods, res.totalTestPeriods);
+  // The final iteration passes the check; earlier ones report their
+  // counterexample kind.
+  EXPECT_TRUE(report.iterations.back().checkPassed);
+}
+
+}  // namespace
+}  // namespace mui::obs

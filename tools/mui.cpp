@@ -13,10 +13,14 @@
 //       deadlock freedom.
 //
 //   mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>
+//                 [--trace-out F] [--metrics-out F] [--journal-out F]
 //       Run the full legacy-integration loop: the named automaton of the
 //       model acts as the hidden legacy component playing <legacyRole>;
 //       the remaining roles (and connector) form the context. Prints the
-//       journal, the verdict, and the learned model.
+//       journal, the verdict, and the learned model. The observability
+//       flags (docs/OBSERVABILITY.md) write a Chrome/Perfetto trace, a
+//       metrics snapshot (Prometheus text, or JSON for *.json paths) and
+//       a structured JSONL run journal.
 //
 //   mui suite-gen <model.muml> <pattern> <legacyRole> <hiddenAutomaton>
 //       Run the integration loop and write the generated component test
@@ -26,11 +30,18 @@
 //       Replay a saved suite against a component revision.
 //
 //   mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>]
-//             [--no-lint]
+//             [--no-lint] [--trace-out F] [--metrics-out F]
+//             [--journal-out F]
 //       Run a whole campaign of integration jobs from a job manifest
 //       (docs/BATCH_FORMAT.md) on a thread pool; prints the per-job table
 //       and writes a JSON-lines summary with --out. Every job's model is
-//       linted first (--no-lint skips that pre-flight).
+//       linted first (--no-lint skips that pre-flight). The observability
+//       flags work as for `mui integrate`, with one trace track per
+//       worker thread.
+//
+//   mui stats <journal.jsonl>... [--format text|json]
+//       Aggregate one or more run journals (written by --journal-out)
+//       into per-iteration and per-run tables plus totals.
 //
 //   mui lint <model.muml> [--format text|json] [--disable MUIxxx]...
 //       Statically analyze a model (docs/LINT_RULES.md): unreachable and
@@ -67,6 +78,10 @@
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
 #include "muml/verify.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "synthesis/report.hpp"
 #include "synthesis/test_suite.hpp"
 #include "synthesis/verifier.hpp"
@@ -88,10 +103,13 @@ void printUsage(std::FILE* out) {
       "  mui compose <model.muml> <automaton>... [--check <formula>]\n"
       "  mui verify-pattern <model.muml> <pattern>\n"
       "  mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>\n"
+      "                [--trace-out F] [--metrics-out F] [--journal-out F]\n"
       "  mui suite-gen <model.muml> <pattern> <legacyRole> <hidden>\n"
       "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
       "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>] "
       "[--no-lint]\n"
+      "            [--trace-out F] [--metrics-out F] [--journal-out F]\n"
+      "  mui stats <journal.jsonl>... [--format text|json]\n"
       "  mui lint <model.muml> [--format text|json] [--disable MUIxxx]...\n"
       "  mui dot <model.muml> <automaton|rtsc>\n"
       "  mui --help | --version\n"
@@ -113,6 +131,87 @@ int usageError(const std::string& msg) {
 }
 
 muml::Model loadFile(const char* path) { return muml::loadModelFile(path); }
+
+void writeFileOrThrow(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  out << content;
+}
+
+std::string readFileOrThrow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Shared --trace-out/--metrics-out/--journal-out handling for the verbs
+/// that run the verification loop (integrate, batch). Lifecycle:
+/// consume() the flags while parsing, beforeRun() before the loop starts,
+/// writeArtifacts() once the verb has quiesced (tracer contract).
+struct ObsOptions {
+  std::string traceOut;
+  std::string metricsOut;
+  std::string journalOut;
+  obs::Journal journal;
+
+  /// Consumes argv[i] (and its value) when it is an observability flag.
+  /// Throws on a flag with a missing value.
+  bool consume(int argc, char** argv, int& i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      traceOut = flagValue("--trace-out");
+      return true;
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metricsOut = flagValue("--metrics-out");
+      return true;
+    }
+    if (std::strcmp(argv[i], "--journal-out") == 0) {
+      journalOut = flagValue("--journal-out");
+      return true;
+    }
+    return false;
+  }
+
+  /// The journal sink to hand to the loop, or nullptr when not requested.
+  obs::Journal* journalPtr() {
+    return journalOut.empty() ? nullptr : &journal;
+  }
+
+  void beforeRun() {
+    if (!traceOut.empty()) {
+      obs::setThreadName("main");
+      obs::Tracer::enable();
+    }
+  }
+
+  void writeArtifacts() {
+    if (!traceOut.empty()) {
+      obs::Tracer::disable();
+      writeFileOrThrow(traceOut, obs::Tracer::chromeTrace());
+    }
+    if (!metricsOut.empty()) {
+      // Format by extension: *.json gets the JSON snapshot, everything
+      // else the Prometheus exposition text.
+      const bool json = metricsOut.size() >= 5 &&
+                        metricsOut.compare(metricsOut.size() - 5, 5,
+                                           ".json") == 0;
+      auto& registry = obs::Registry::global();
+      writeFileOrThrow(metricsOut, json ? registry.renderJson()
+                                        : registry.renderPrometheus());
+    }
+    if (!journalOut.empty()) {
+      writeFileOrThrow(journalOut, journal.text());
+    }
+  }
+};
 
 const automata::Automaton& findAutomaton(const muml::Model& model,
                                          const std::string& name) {
@@ -215,38 +314,54 @@ int cmdVerifyPattern(int argc, char** argv) {
 }
 
 int cmdIntegrate(int argc, char** argv) {
-  if (argc != 4) {
+  ObsOptions obsOpts;
+  std::vector<const char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (obsOpts.consume(argc, argv, i)) continue;
+    if (argv[i][0] == '-') {
+      return usageError(std::string("unknown integrate flag '") + argv[i] +
+                        "'");
+    }
+    positional.push_back(argv[i]);
+  }
+  if (positional.size() != 4) {
     return usageError(
         "integrate expects <model.muml> <pattern> <legacyRole> "
-        "<hiddenAutomaton>");
+        "<hiddenAutomaton> [--trace-out F] [--metrics-out F] "
+        "[--journal-out F]");
   }
-  const muml::Model model = loadFile(argv[0]);
-  const auto pit = model.patterns.find(argv[1]);
+  const muml::Model model = loadFile(positional[0]);
+  const auto pit = model.patterns.find(positional[1]);
   if (pit == model.patterns.end()) {
-    throw std::runtime_error(std::string("no pattern named '") + argv[1] +
-                             "'");
+    throw std::runtime_error(std::string("no pattern named '") +
+                             positional[1] + "'");
   }
   const auto& pattern = pit->second;
   std::size_t roleIdx = pattern.roles.size();
   for (std::size_t i = 0; i < pattern.roles.size(); ++i) {
-    if (pattern.roles[i].name == argv[2]) roleIdx = i;
+    if (pattern.roles[i].name == positional[2]) roleIdx = i;
   }
   if (roleIdx == pattern.roles.size()) {
-    throw std::runtime_error(std::string("pattern has no role '") + argv[2] +
-                             "'");
+    throw std::runtime_error(std::string("pattern has no role '") +
+                             positional[2] + "'");
   }
   const auto scenario = muml::makeIntegrationScenario(
       pattern, roleIdx, model.signals, model.props);
   // The hidden automaton plays the role: rebind its instance name so the
   // role invariants and the pattern constraint see its states.
   testing::AutomatonLegacy legacy(automata::withInstanceName(
-      findAutomaton(model, argv[3]), pattern.roles[roleIdx].name));
+      findAutomaton(model, positional[3]), pattern.roles[roleIdx].name));
 
   synthesis::IntegrationConfig cfg;
   cfg.property = scenario.property;
   cfg.keepTraces = true;
+  cfg.journal = obsOpts.journalPtr();
+  cfg.runId = std::string(positional[1]) + "/" + positional[2] + "/" +
+              positional[3];
+  obsOpts.beforeRun();
   const auto res =
       synthesis::IntegrationVerifier(scenario.context, legacy, cfg).run();
+  obsOpts.writeArtifacts();
 
   std::printf("%s", synthesis::renderJournal(res).c_str());
   std::printf("%s", synthesis::renderSummary(res).c_str());
@@ -395,6 +510,7 @@ int cmdBatch(int argc, char** argv) {
   }
   const char* manifestPath = argv[0];
   engine::BatchOptions options;
+  ObsOptions obsOpts;
   std::string outPath;
   for (int i = 1; i < argc; ++i) {
     const auto flagValue = [&](const char* flag) -> const char* {
@@ -404,7 +520,9 @@ int cmdBatch(int argc, char** argv) {
       return argv[++i];
     };
     std::uint64_t v = 0;
-    if (std::strcmp(argv[i], "--jobs") == 0) {
+    if (obsOpts.consume(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
       if (!parseUint(flagValue("--jobs"), v)) {
         return usageError("--jobs expects a non-negative integer");
       }
@@ -435,7 +553,10 @@ int cmdBatch(int argc, char** argv) {
       std::filesystem::path(manifestPath).parent_path().string();
   const auto jobs = engine::parseManifest(buf.str(), manifestPath, baseDir);
 
+  options.journal = obsOpts.journalPtr();
+  obsOpts.beforeRun();
   const auto report = engine::runBatch(jobs, options);
+  obsOpts.writeArtifacts();
   std::printf("%s", engine::renderBatchReport(report).c_str());
 
   if (!outPath.empty()) {
@@ -446,6 +567,40 @@ int cmdBatch(int argc, char** argv) {
     out << engine::writeBatchSummary(report);
   }
   return report.allProven() ? 0 : 1;
+}
+
+int cmdStats(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0) {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("--format needs a value");
+      }
+      const std::string format = argv[++i];
+      if (format == "json") {
+        json = true;
+      } else if (format == "text") {
+        json = false;
+      } else {
+        return usageError("--format expects 'text' or 'json'");
+      }
+    } else if (argv[i][0] == '-') {
+      return usageError(std::string("unknown stats flag '") + argv[i] + "'");
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    return usageError("stats expects <journal.jsonl>... [--format text|json]");
+  }
+  std::vector<std::string> journals;
+  journals.reserve(paths.size());
+  for (const auto& path : paths) journals.push_back(readFileOrThrow(path));
+  const auto report = obs::aggregateJournals(journals);
+  std::printf("%s", json ? obs::renderStatsJson(report).c_str()
+                         : obs::renderStatsText(report).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -469,6 +624,7 @@ int main(int argc, char** argv) {
     if (cmd == "suite-gen") return cmdSuiteGen(argc - 2, argv + 2);
     if (cmd == "suite-run") return cmdSuiteRun(argc - 2, argv + 2);
     if (cmd == "batch") return cmdBatch(argc - 2, argv + 2);
+    if (cmd == "stats") return cmdStats(argc - 2, argv + 2);
     if (cmd == "lint") return cmdLint(argc - 2, argv + 2);
     if (cmd == "dot") return cmdDot(argc - 2, argv + 2);
     return usageError("unknown command '" + cmd + "'");
