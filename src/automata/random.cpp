@@ -147,4 +147,32 @@ Automaton subAutomaton(const Automaton& a, std::uint64_t keepPct,
   return out.prunedToReachable();
 }
 
+Automaton shuffledCopy(const Automaton& a, std::uint64_t seed,
+                       bool freshNames) {
+  util::Rng rng(seed * 0xd1b54a32d192ed03ull + 11);
+  std::vector<StateId> order(a.stateCount());
+  for (StateId s = 0; s < a.stateCount(); ++s) order[s] = s;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  Automaton out(a.signalTable(), a.propTable(), a.name());
+  out.declareSignals(a.inputs(), a.outputs());
+  std::vector<StateId> oldToNew(a.stateCount());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const StateId orig = order[k];
+    const StateId fresh = out.addState(
+        freshNames ? "r" + std::to_string(k) : a.stateName(orig));
+    out.addLabels(fresh, a.labels(orig));
+    oldToNew[orig] = fresh;
+  }
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    for (const auto& t : a.transitionsFrom(s)) {
+      out.addTransition(oldToNew[s], t.label, oldToNew[t.to]);
+    }
+  }
+  for (StateId q : a.initialStates()) out.markInitial(oldToNew[q]);
+  return out;
+}
+
 }  // namespace mui::automata

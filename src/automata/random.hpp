@@ -51,4 +51,13 @@ Automaton mirrored(const Automaton& a, const std::string& name);
 Automaton subAutomaton(const Automaton& a, std::uint64_t keepPct,
                        std::uint64_t seed, const std::string& name);
 
+/// A structure-preserving random copy of `a`: states are re-inserted in a
+/// seeded random order (permuting the state ids) and, with `freshNames`,
+/// renamed to opaque "r<k>" identifiers. Label sets are copied verbatim —
+/// unlike withInstanceName this does NOT relabel, so every CTL/CCTL verdict
+/// is invariant under the transformation. This is the renaming half of the
+/// fuzzer's O5 metamorphic oracle (src/fuzz/oracles.hpp).
+Automaton shuffledCopy(const Automaton& a, std::uint64_t seed,
+                       bool freshNames = true);
+
 }  // namespace mui::automata

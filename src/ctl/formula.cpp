@@ -237,6 +237,11 @@ FormulaPtr weaken(const FormulaPtr& f, const FormulaPtr& chaos) {
 }
 }  // namespace
 
+std::size_t formulaSize(const FormulaPtr& f) {
+  if (!f) return 0;
+  return 1 + formulaSize(f->lhs) + formulaSize(f->rhs);
+}
+
 FormulaPtr toNNF(const FormulaPtr& f) { return nnf(f, false); }
 
 FormulaPtr weakenForChaos(const FormulaPtr& f, const std::string& chaosProp) {

@@ -86,6 +86,11 @@ class Formula {
   [[nodiscard]] std::string toString() const;
 };
 
+/// Number of nodes in the formula tree (atoms and constants count 1). The
+/// fuzzer's shrinker (src/fuzz/shrink.hpp) uses this as its simplification
+/// order: a replacement candidate is accepted only if it is strictly smaller.
+std::size_t formulaSize(const FormulaPtr& f);
+
 /// Negation normal form: negations pushed to the atoms. Throws
 /// std::invalid_argument for negated Until (we do not implement Release; the
 /// paper's property patterns never need it).

@@ -1,0 +1,465 @@
+#include "fuzz/oracles.hpp"
+
+#include <utility>
+
+#include "automata/chaos.hpp"
+#include "automata/compose.hpp"
+#include "automata/incomplete.hpp"
+#include "automata/minimize.hpp"
+#include "automata/random.hpp"
+#include "automata/refine.hpp"
+#include "ctl/checker.hpp"
+#include "ctl/counterexample.hpp"
+#include "ctl/parser.hpp"
+#include "ctl/reference.hpp"
+#include "synthesis/initial.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/legacy.hpp"
+#include "util/rng.hpp"
+
+namespace mui::fuzz {
+
+namespace {
+
+using automata::Automaton;
+using automata::Interaction;
+using automata::StateId;
+
+/// The formula workload of an oracle: the scenario property (when present)
+/// plus, unless pinned, a seed-derived batch of random CCTL formulas.
+std::vector<std::pair<std::string, ctl::FormulaPtr>> formulasFor(
+    const Scenario& s, const OracleOptions& opts, std::uint64_t salt) {
+  std::vector<std::pair<std::string, ctl::FormulaPtr>> out;
+  if (!s.property.empty()) {
+    out.emplace_back(s.property, ctl::parseFormula(s.property));
+  }
+  if (!opts.propertyOnly) {
+    util::Rng rng(s.seed * 0x9e3779b97f4a7c15ull + salt);
+    const auto atoms = scenarioAtoms(s);
+    for (std::size_t i = 0; i < opts.formulasPerScenario; ++i) {
+      auto f = randomCctlFormula(rng, atoms, 1 + rng.below(3));
+      out.emplace_back(f->toString(), std::move(f));
+    }
+  }
+  return out;
+}
+
+OracleResult violation(std::string detail, std::string formula = {}) {
+  OracleResult r;
+  r.ok = false;
+  r.detail = std::move(detail);
+  r.failingFormula = std::move(formula);
+  return r;
+}
+
+// ---- O1: worklist checker vs reference checker ----------------------------
+
+OracleResult checkO1(const Scenario& s, const OracleOptions& opts) {
+  const auto product = automata::compose(s.hidden, s.context);
+  const Automaton& m = product.automaton;
+  ctl::Checker fast(m);
+  ctl::ReferenceChecker ref(m);
+  for (StateId st = 0; st < m.stateCount(); ++st) {
+    if (fast.isDeadlockState(st) != ref.isDeadlockState(st)) {
+      return violation("O1: deadlock predicate disagrees on product state '" +
+                       m.stateName(st) + "'");
+    }
+  }
+  for (const auto& [text, f] : formulasFor(s, opts, 0xf1)) {
+    ctl::SatSet fast_sat = fast.evaluate(f);
+    if (opts.injectBug == BugInjection::O1DeadlockAF &&
+        f->op == ctl::Op::AF) {
+      // Fault injection: pretend the worklist checker concluded that stuck
+      // states satisfy AF (vacuous liveness).
+      for (StateId st = 0; st < m.stateCount(); ++st) {
+        if (m.transitionsFrom(st).empty()) fast_sat.set(st);
+      }
+    }
+    const std::vector<char> ref_sat = ref.evaluate(f);
+    for (StateId st = 0; st < m.stateCount(); ++st) {
+      if (fast_sat.test(st) != (ref_sat[st] != 0)) {
+        return violation(
+            "O1: worklist and reference checker disagree on product state '" +
+                m.stateName(st) + "' (worklist=" +
+                (fast_sat.test(st) ? "true" : "false") + ", reference=" +
+                (ref_sat[st] != 0 ? "true" : "false") + ") for formula " +
+                text,
+            text);
+      }
+    }
+  }
+  return {};
+}
+
+// ---- O2: Thm. 1 safety + Lemma 5 transfer ---------------------------------
+
+/// Learns a random partial model of the hidden behavior into `m0`, exactly
+/// as the loop would: observation runs from the initial state (Def. 11) and
+/// occasional verified refusals (Def. 12).
+void learnRandomFacts(util::Rng& rng, const Automaton& hidden,
+                      const std::vector<Interaction>& alphabet,
+                      automata::IncompleteAutomaton& m0) {
+  const std::size_t walks = rng.below(4);
+  for (std::size_t w = 0; w < walks; ++w) {
+    StateId cur = hidden.initialStates().front();
+    automata::ObservedRun run;
+    run.stateNames.push_back(hidden.stateName(cur));
+    const std::size_t len = 1 + rng.below(5);
+    for (std::size_t step = 0; step < len; ++step) {
+      const auto& ts = hidden.transitionsFrom(cur);
+      if (ts.empty()) break;
+      const auto& t = ts[rng.below(ts.size())];
+      run.labels.push_back(t.label);
+      cur = t.to;
+      run.stateNames.push_back(hidden.stateName(cur));
+    }
+    m0.learn(run);
+    if (rng.chance(1, 2)) {
+      // A genuine refusal at the walk's end state: any alphabet interaction
+      // whose input set the hidden component does not respond to there.
+      std::vector<Interaction> refused;
+      for (const auto& x : alphabet) {
+        bool enabled = false;
+        for (const auto& t : hidden.transitionsFrom(cur)) {
+          if (t.label.in == x.in) {
+            enabled = true;
+            break;
+          }
+        }
+        if (!enabled) refused.push_back(x);
+      }
+      if (!refused.empty()) {
+        automata::ObservedRun blocked = run;
+        blocked.labels.push_back(refused[rng.below(refused.size())]);
+        blocked.blocked = true;
+        m0.learn(blocked);
+      }
+    }
+  }
+}
+
+/// An automaton with the same states, labels and initials as `a` but no
+/// transitions yet.
+Automaton stateSkeleton(const Automaton& a) {
+  Automaton out(a.signalTable(), a.propTable(), a.name());
+  out.declareSignals(a.inputs(), a.outputs());
+  for (StateId st = 0; st < a.stateCount(); ++st) {
+    const StateId n = out.addState(a.stateName(st));
+    out.addLabels(n, a.labels(st));
+  }
+  for (StateId q : a.initialStates()) out.markInitial(q);
+  return out;
+}
+
+/// A random input-deterministic behavior consistent with the learned model:
+/// every fact of M0's T is kept, T̄ entries are never contradicted, and the
+/// unknown sites are freely kept, dropped, or re-invented — the space of
+/// "rest of the component" behaviors Thm. 1 quantifies over.
+Automaton consistentVariant(const Automaton& hidden,
+                            const automata::IncompleteAutomaton& m0,
+                            const std::vector<Interaction>& alphabet,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  Automaton v = stateSkeleton(hidden);
+  for (StateId st = 0; st < hidden.stateCount(); ++st) {
+    const auto ms = m0.base().stateByName(hidden.stateName(st));
+    const auto knownInput = [&](const automata::SignalSet& in) {
+      if (!ms) return false;
+      for (const auto& kt : m0.base().transitionsFrom(*ms)) {
+        if (kt.label.in == in) return true;
+      }
+      return false;
+    };
+    for (const auto& t : hidden.transitionsFrom(st)) {
+      // M0 facts must be reproduced exactly; unknown behavior is kept with
+      // high probability so variants stay close to realistic refinements.
+      if (knownInput(t.label.in) || rng.chance(7, 10)) {
+        v.addTransition(t.from, t.label, t.to);
+      }
+    }
+    for (const auto& x : alphabet) {
+      if (!rng.chance(1, 4)) continue;
+      bool taken = false;  // input-determinism: one response per input set
+      for (const auto& vt : v.transitionsFrom(st)) {
+        if (vt.label.in == x.in) {
+          taken = true;
+          break;
+        }
+      }
+      if (taken || knownInput(x.in)) continue;
+      if (ms && m0.isForbidden(*ms, x)) continue;  // T̄ fact
+      v.addTransition(st, x,
+                      static_cast<StateId>(rng.below(hidden.stateCount())));
+    }
+  }
+  return v;
+}
+
+OracleResult checkO2(const Scenario& s, const OracleOptions& opts) {
+  util::Rng rng(s.seed * 0x2545f4914f6cdd1dull + 0xf2);
+  const auto alphabet =
+      automata::makeAlphabet(s.hidden.inputs(), s.hidden.outputs(),
+                             automata::InteractionMode::AtMostOneSignal);
+  testing::AutomatonLegacy probe(s.hidden);
+  automata::IncompleteAutomaton m0 =
+      synthesis::initialModel(probe, s.signals, s.props);
+  learnRandomFacts(rng, s.hidden, alphabet, m0);
+  const auto closure = automata::chaoticClosure(
+      m0, alphabet, automata::ClosureStyle::DeterministicTarget,
+      automata::ClosureCopies::Both);
+
+  std::vector<Automaton> variants;
+  variants.push_back(s.hidden);
+  for (std::size_t i = 0; i < opts.variantsPerScenario; ++i) {
+    variants.push_back(consistentVariant(s.hidden, m0, alphabet, rng.next()));
+  }
+
+  automata::RefinementOptions ropts;
+  ropts.wildcardProp = automata::kChaosProp;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto r =
+        automata::checkRefinement(variants[i], closure.automaton, alphabet,
+                                  ropts);
+    if (!r.holds) {
+      return violation("O2: Thm. 1 violated — " +
+                       std::string(i == 0 ? "the hidden behavior"
+                                          : "consistent refinement #" +
+                                                std::to_string(i)) +
+                       " does not refine chaos(M0): " + r.reason);
+    }
+  }
+
+  // Lemma 5 transfer, phrased exactly as the verifier's ProvenCorrect
+  // condition (synthesis/verifier.cpp): deadlock freedom against the
+  // pessimistic Both-copies closure, the weakened property against the
+  // optimistic Copy1Only closure. When both pass, every consistent
+  // refinement composed with the context must satisfy φ ∧ ¬δ.
+  ctl::VerifyOptions deadlockOnly;
+  const bool absDeadlockFree =
+      ctl::verify(automata::compose(closure.automaton, s.context).automaton,
+                  nullptr, deadlockOnly)
+          .holds;
+  bool absPropertyHolds = true;
+  ctl::FormulaPtr phi;
+  if (!s.property.empty()) {
+    phi = ctl::parseFormula(s.property);
+    const auto optimistic = automata::chaoticClosure(
+        m0, alphabet, automata::ClosureStyle::DeterministicTarget,
+        automata::ClosureCopies::Copy1Only);
+    ctl::VerifyOptions propOnly;
+    propOnly.requireDeadlockFree = false;
+    absPropertyHolds =
+        ctl::verify(
+            automata::compose(optimistic.automaton, s.context).automaton,
+            ctl::weakenForChaos(phi), propOnly)
+            .holds;
+  }
+  if (absDeadlockFree && absPropertyHolds) {
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const auto conc = automata::compose(variants[i], s.context);
+      if (!ctl::verify(conc.automaton, phi, {}).holds) {
+        return violation(
+            "O2: Lemma 5 transfer violated — the abstraction passes (weakened "
+            "property + deadlock freedom) but " +
+                std::string(i == 0 ? "the hidden behavior"
+                                   : "refinement #" + std::to_string(i)) +
+                " ∥ ctx violates φ ∧ ¬δ (φ = " +
+                (s.property.empty() ? "true" : s.property) + ")",
+            s.property);
+      }
+    }
+  }
+  return {};
+}
+
+// ---- O3: integration verdict vs ground truth ------------------------------
+
+OracleResult checkO3(const Scenario& s, const OracleOptions& opts) {
+  testing::AutomatonLegacy legacy(s.hidden);
+  synthesis::IntegrationConfig cfg;
+  cfg.property = s.property;
+  cfg.requireDeadlockFree = true;
+  cfg.maxIterations = opts.maxIterations;
+  cfg.runId = "fuzz-O3";
+  const auto res = synthesis::runIntegration(s.context, legacy, cfg);
+
+  const ctl::FormulaPtr phi =
+      s.property.empty() ? nullptr : ctl::parseFormula(s.property);
+  const auto truth =
+      ctl::verify(automata::compose(s.hidden, s.context).automaton, phi, {});
+
+  if (res.verdict == synthesis::Verdict::ProvenCorrect && !truth.holds) {
+    return violation(
+        "O3: Lemma 5 broken — ProvenCorrect after " +
+            std::to_string(res.iterations) +
+            " iterations, but the concrete composition violates the "
+            "obligation (" +
+            (truth.counterexamples.empty() ? "?"
+                                           : truth.cex().note) +
+            ")",
+        s.property);
+  }
+  if (res.verdict == synthesis::Verdict::RealError && truth.holds) {
+    return violation(
+        "O3: Lemma 6 broken — RealError claimed (" + res.explanation +
+            ") but the concrete composition satisfies the property and "
+            "deadlock freedom",
+        s.property);
+  }
+  return {};
+}
+
+// ---- O4: incremental composition vs full recomposition --------------------
+
+OracleResult checkO4(const Scenario& s, const OracleOptions&) {
+  util::Rng rng(s.seed * 0x9e3779b97f4a7c15ull + 0xf4);
+  // A partial revision of the hidden model over the same state set, as the
+  // refinement loop produces between iterations (the composer keys arena
+  // entries by state id, so the state set must stay aligned across calls).
+  Automaton partial = stateSkeleton(s.hidden);
+  for (StateId st = 0; st < s.hidden.stateCount(); ++st) {
+    for (const auto& t : s.hidden.transitionsFrom(st)) {
+      if (rng.chance(7, 10)) partial.addTransition(t.from, t.label, t.to);
+    }
+  }
+
+  automata::IncrementalComposer composer(s.context);
+  const auto check = [&](const Automaton& other,
+                         const char* what) -> std::optional<std::string> {
+    const auto inc = composer.compose({&other});
+    const auto scratch = automata::composeAll({&s.context, &other});
+    if (canonicalText(inc.automaton) != canonicalText(scratch.automaton)) {
+      return "O4: incremental product not isomorphic to full recomposition (" +
+             std::string(what) + ")";
+    }
+    return std::nullopt;
+  };
+  const std::vector<std::pair<const Automaton*, const char*>> calls = {
+      {&partial, "partial model"},
+      {&s.hidden, "grown model"},
+      {&s.hidden, "repeat call"}};
+  for (const auto& [other, what] : calls) {
+    if (auto err = check(*other, what)) return violation(std::move(*err));
+  }
+  if (composer.lastStats().statesNew != 0) {
+    return violation(
+        "O4: repeat composition interned " +
+        std::to_string(composer.lastStats().statesNew) +
+        " new product states (arena reuse broken)");
+  }
+  return {};
+}
+
+// ---- O5: verdict invariance under quotient and renaming -------------------
+
+OracleResult checkO5(const Scenario& s, const OracleOptions& opts) {
+  const Automaton product =
+      automata::compose(s.hidden, s.context).automaton;
+  ctl::Checker base(product);
+  const Automaton minimized = automata::minimizeBisimulation(product);
+  const Automaton renamed =
+      automata::shuffledCopy(product, s.seed * 31 + 0xf5);
+  ctl::Checker quotient(minimized);
+  ctl::Checker shuffled(renamed);
+  for (const auto& [text, f] : formulasFor(s, opts, 0xf5)) {
+    const bool verdict = base.holds(f);
+    if (quotient.holds(f) != verdict) {
+      return violation(
+          "O5: verdict changed under bisimulation minimization (product " +
+              std::string(verdict ? "holds" : "violates") + ") for formula " +
+              text,
+          text);
+    }
+    if (shuffled.holds(f) != verdict) {
+      return violation(
+          "O5: verdict changed under state renaming/reordering for formula " +
+              text,
+          text);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* toString(OracleId id) {
+  switch (id) {
+    case OracleId::O1CheckerAgreement:
+      return "O1";
+    case OracleId::O2ChaosSafety:
+      return "O2";
+    case OracleId::O3VerdictSound:
+      return "O3";
+    case OracleId::O4IncrementalCompose:
+      return "O4";
+    case OracleId::O5VerdictInvariance:
+      return "O5";
+  }
+  return "O?";
+}
+
+std::optional<OracleId> oracleFromString(std::string_view text) {
+  for (const OracleId id : allOracles()) {
+    if (text == toString(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<OracleId> allOracles() {
+  return {OracleId::O1CheckerAgreement, OracleId::O2ChaosSafety,
+          OracleId::O3VerdictSound, OracleId::O4IncrementalCompose,
+          OracleId::O5VerdictInvariance};
+}
+
+const char* describeOracle(OracleId id) {
+  switch (id) {
+    case OracleId::O1CheckerAgreement:
+      return "worklist Checker agrees with ReferenceChecker state-by-state";
+    case OracleId::O2ChaosSafety:
+      return "Thm. 1: consistent refinements refine chaos(M0); verdicts "
+             "transfer (Lemma 5)";
+    case OracleId::O3VerdictSound:
+      return "integration verdict matches the concrete ground truth "
+             "(Lemmas 5/6)";
+    case OracleId::O4IncrementalCompose:
+      return "incremental composition isomorphic to full recomposition";
+    case OracleId::O5VerdictInvariance:
+      return "verdicts invariant under minimization and state renaming";
+  }
+  return "";
+}
+
+std::optional<BugInjection> bugInjectionFromString(std::string_view text) {
+  if (text == "none") return BugInjection::None;
+  if (text == "o1-deadlock-af") return BugInjection::O1DeadlockAF;
+  return std::nullopt;
+}
+
+const char* toString(BugInjection b) {
+  switch (b) {
+    case BugInjection::None:
+      return "none";
+    case BugInjection::O1DeadlockAF:
+      return "o1-deadlock-af";
+  }
+  return "none";
+}
+
+OracleResult checkOracle(OracleId id, const Scenario& s,
+                         const OracleOptions& opts) {
+  switch (id) {
+    case OracleId::O1CheckerAgreement:
+      return checkO1(s, opts);
+    case OracleId::O2ChaosSafety:
+      return checkO2(s, opts);
+    case OracleId::O3VerdictSound:
+      return checkO3(s, opts);
+    case OracleId::O4IncrementalCompose:
+      return checkO4(s, opts);
+    case OracleId::O5VerdictInvariance:
+      return checkO5(s, opts);
+  }
+  return {};
+}
+
+}  // namespace mui::fuzz

@@ -1,0 +1,91 @@
+#pragma once
+// The five metamorphic oracles of the fuzzing subsystem. Each one turns a
+// guarantee of the paper — or an internal implementation equivalence — into
+// an executable check over a generated scenario:
+//
+//   O1  The worklist ctl::Checker and the naive ctl::ReferenceChecker agree
+//       state-by-state on the composed model, for the scenario property and
+//       a batch of random CCTL formulas (plus the deadlock predicate).
+//   O2  Thm. 1 safety: the hidden behavior and every consistent refinement
+//       of a partially learned model M0 refine chaos(M0); and when
+//       chaos(M0) ∥ context ⊨ weaken(φ), every such refinement composed
+//       with the context satisfies φ (Lemma 5 transfer).
+//   O3  Verdict soundness: runIntegration's ProvenCorrect implies the
+//       concrete composition satisfies φ ∧ ¬δ (Lemma 5), and RealError
+//       implies it does not (Lemma 6 — replayed counterexamples admit no
+//       false negatives).
+//   O4  IncrementalComposer products are isomorphic to full recomposition
+//       across model revisions, and repeat calls reuse the whole arena.
+//   O5  CCTL verdicts are invariant under bisimulation minimization and
+//       under state renaming/reordering (automata::shuffledCopy).
+//
+// checkOracle never reports flaky results: everything derives from the
+// scenario seed. Violations carry the exposing formula so the shrinker
+// (shrink.hpp) can pin it while minimizing the automata.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+
+namespace mui::fuzz {
+
+enum class OracleId {
+  O1CheckerAgreement,
+  O2ChaosSafety,
+  O3VerdictSound,
+  O4IncrementalCompose,
+  O5VerdictInvariance,
+};
+
+/// "O1" .. "O5".
+const char* toString(OracleId id);
+std::optional<OracleId> oracleFromString(std::string_view text);
+/// All five, in numeric order.
+std::vector<OracleId> allOracles();
+/// One-line catalog entry (usage text and docs/FUZZING.md).
+const char* describeOracle(OracleId id);
+
+/// Intentional fault injection — the self-test proving the harness can
+/// catch and shrink a checker bug (see tests/test_fuzz_oracles.cpp and the
+/// `--inject-bug` CLI flag). The bug corrupts the oracle's *observation* of
+/// the worklist checker, never the production checker itself.
+enum class BugInjection {
+  None,
+  /// O1 sees every deadlock state as satisfying a top-level AF formula —
+  /// the classic "vacuous liveness at a stuck state" checker bug.
+  O1DeadlockAF,
+};
+std::optional<BugInjection> bugInjectionFromString(std::string_view text);
+/// "none", "o1-deadlock-af" — inverse of bugInjectionFromString.
+const char* toString(BugInjection b);
+
+struct OracleOptions {
+  BugInjection injectBug = BugInjection::None;
+  /// Check only the scenario's own property; skip the random differential
+  /// formulas. The shrinker sets this after pinning the exposing formula
+  /// into Scenario::property.
+  bool propertyOnly = false;
+  /// Random CCTL formulas per scenario for O1/O5.
+  std::size_t formulasPerScenario = 4;
+  /// Consistent refinements per scenario for O2.
+  std::size_t variantsPerScenario = 3;
+  /// Iteration budget for O3's integration loop.
+  std::size_t maxIterations = 1000;
+};
+
+struct OracleResult {
+  bool ok = true;
+  std::string detail;          // human-readable violation description
+  std::string failingFormula;  // formula text that exposed it, if any
+};
+
+/// Runs one oracle on the scenario. Exceptions escape to the caller — the
+/// campaign layer treats them as crash findings and shrinks them like
+/// ordinary violations.
+OracleResult checkOracle(OracleId id, const Scenario& s,
+                         const OracleOptions& opts = {});
+
+}  // namespace mui::fuzz

@@ -1,0 +1,131 @@
+#include "fuzz/reproducer.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "muml/loader.hpp"
+#include "muml/writer.hpp"
+
+namespace mui::fuzz {
+
+namespace {
+constexpr const char* kMagic = "# mui fuzz reproducer v1";
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+std::string writeReproducer(const Reproducer& r) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "# oracle: " << toString(r.oracle) << "\n";
+  out << "# seed: " << r.seed << "\n";
+  out << "# legacy: " << r.scenario.hidden.name() << "\n";
+  out << "# context: " << r.scenario.context.name() << "\n";
+  if (!r.scenario.property.empty()) {
+    out << "# property: " << r.scenario.property << "\n";
+  }
+  if (!r.injectBug.empty()) {
+    out << "# inject-bug: " << r.injectBug << "\n";
+  }
+  out << "# repro: mui fuzz --replay <this-file>\n";
+  out << "\n";
+  out << muml::writeAutomaton(r.scenario.hidden);
+  out << "\n";
+  out << muml::writeAutomaton(r.scenario.context);
+  return out.str();
+}
+
+Reproducer parseReproducer(std::string_view text, std::string_view sourceName) {
+  const std::string where =
+      sourceName.empty() ? "reproducer" : std::string(sourceName);
+  std::map<std::string, std::string> header;
+  {
+    std::istringstream in{std::string(text)};
+    std::string line;
+    bool sawMagic = false;
+    while (std::getline(in, line)) {
+      line = trim(line);
+      if (line.empty()) continue;
+      if (line == kMagic) {
+        sawMagic = true;
+        continue;
+      }
+      if (line.rfind("# ", 0) != 0) break;  // payload reached
+      const auto colon = line.find(": ");
+      if (colon == std::string::npos) continue;
+      header[line.substr(2, colon - 2)] = line.substr(colon + 2);
+    }
+    if (!sawMagic) {
+      throw std::invalid_argument(where + ": missing '" + kMagic +
+                                  "' header line");
+    }
+  }
+
+  const auto oracleIt = header.find("oracle");
+  if (oracleIt == header.end()) {
+    throw std::invalid_argument(where + ": missing '# oracle:' header");
+  }
+  const auto oracle = oracleFromString(oracleIt->second);
+  if (!oracle) {
+    throw std::invalid_argument(where + ": unknown oracle '" +
+                                oracleIt->second + "'");
+  }
+  std::uint64_t seed = 0;
+  if (const auto it = header.find("seed"); it != header.end()) {
+    seed = std::stoull(it->second);
+  }
+  std::string injectBug =
+      header.count("inject-bug") ? header.at("inject-bug") : "";
+  if (!injectBug.empty() && !bugInjectionFromString(injectBug)) {
+    throw std::invalid_argument(where + ": unknown inject-bug '" + injectBug +
+                                "'");
+  }
+
+  muml::Model model = muml::loadModel(text, sourceName);
+  const std::string legacyName =
+      header.count("legacy") ? header.at("legacy") : "legacy";
+  const std::string contextName =
+      header.count("context") ? header.at("context") : "ctx";
+  const auto find = [&](const std::string& name) -> automata::Automaton {
+    const auto it = model.automata.find(name);
+    if (it == model.automata.end()) {
+      throw std::invalid_argument(where + ": payload has no automaton '" +
+                                  name + "'");
+    }
+    return it->second;
+  };
+  automata::Automaton hidden = find(legacyName);
+  automata::Automaton context = find(contextName);
+  return Reproducer{
+      *oracle, seed,
+      Scenario{model.signals, model.props, std::move(hidden),
+               std::move(context),
+               header.count("property") ? header.at("property") : "", seed},
+      std::move(injectBug)};
+}
+
+Reproducer loadReproducerFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read reproducer: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseReproducer(buf.str(), path);
+}
+
+OracleResult replayReproducer(const Reproducer& r, const OracleOptions& opts) {
+  OracleOptions effective = opts;
+  if (effective.injectBug == BugInjection::None && !r.injectBug.empty()) {
+    effective.injectBug = *bugInjectionFromString(r.injectBug);
+  }
+  return checkOracle(r.oracle, r.scenario, effective);
+}
+
+}  // namespace mui::fuzz

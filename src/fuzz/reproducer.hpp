@@ -1,0 +1,46 @@
+#pragma once
+// Reproducer files: a failing (usually shrunk) scenario serialized as a
+// plain .muml model plus `# key: value` header comments carrying the fuzz
+// metadata (oracle, seed, property, automaton roles, exact repro command).
+// Because the payload is ordinary .muml, reproducers load in every tool
+// (`mui check`, `mui lint`, …) as well as via `mui fuzz --replay` and the
+// corpus-replay test (tests/test_corpus_replay.cpp).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace mui::fuzz {
+
+struct Reproducer {
+  OracleId oracle = OracleId::O1CheckerAgreement;
+  std::uint64_t seed = 0;
+  Scenario scenario;
+  /// Non-empty when the finding only manifests under an intentional fault
+  /// injection (`# inject-bug:` header) — replay applies it automatically,
+  /// so self-test reproducers keep reproducing.
+  std::string injectBug;
+};
+
+/// Renders the reproducer file text (deterministic).
+std::string writeReproducer(const Reproducer& r);
+
+/// Parses a reproducer file's text. Throws std::invalid_argument when the
+/// header is missing/garbled or the payload lacks the named automata, and
+/// propagates .muml parse errors.
+Reproducer parseReproducer(std::string_view text,
+                           std::string_view sourceName = "");
+
+/// Reads and parses a reproducer file. Throws std::runtime_error when the
+/// file cannot be read.
+Reproducer loadReproducerFile(const std::string& path);
+
+/// Re-runs the recorded oracle on the recorded scenario. `ok == false`
+/// means the violation still reproduces.
+OracleResult replayReproducer(const Reproducer& r,
+                              const OracleOptions& opts = {});
+
+}  // namespace mui::fuzz

@@ -1,0 +1,218 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/random.hpp"
+#include "testing/mutation.hpp"
+#include "util/name_table.hpp"
+
+namespace mui::fuzz {
+
+namespace {
+
+using automata::Automaton;
+using automata::RandomSpec;
+using ctl::Formula;
+
+/// One of the four context families (see generateScenario doc).
+Automaton drawContext(util::Rng& rng, const Automaton& hidden,
+                      const RandomSpec& hiddenSpec, const ScenarioSpec& spec) {
+  switch (rng.below(4)) {
+    case 0:
+      return automata::mirrored(hidden, "ctx");
+    case 1:
+      return automata::mirrored(
+          automata::subAutomaton(hidden, 40 + rng.below(50), rng.next(), "sub"),
+          "ctx");
+    case 2: {
+      // Independent behavior over the same interface: reusing the hidden
+      // spec's name re-interns the same signal names, so the mirror swaps
+      // onto exactly the hidden component's I/O sets. Labeling is left to
+      // mirrored() so the states carry "ctx.*" propositions only.
+      RandomSpec cs = hiddenSpec;
+      cs.states = spec.minStates + rng.below(spec.maxStates - spec.minStates + 1);
+      cs.densityPct = 20 + rng.below(60);
+      cs.deterministic = false;
+      cs.labelStates = false;
+      cs.seed = rng.next();
+      const Automaton other = automata::randomAutomaton(
+          cs, hidden.signalTable(), hidden.propTable());
+      return automata::mirrored(other, "ctx");
+    }
+    default: {
+      // Faulty counterpart: the mirror with one or two structural mutations.
+      Automaton m = automata::mirrored(hidden, "ctx");
+      const std::size_t mutations = 1 + rng.below(2);
+      for (std::size_t i = 0; i < mutations; ++i) {
+        const auto op = static_cast<testing::MutationOp>(rng.below(3));
+        if (auto mutated = testing::mutateAutomaton(m, op, rng.next())) {
+          m = std::move(mutated->first);
+        }
+      }
+      return m;
+    }
+  }
+}
+
+}  // namespace
+
+Scenario generateScenario(std::uint64_t seed, const ScenarioSpec& spec) {
+  util::Rng rng(seed ^ 0x6d75695f66757a7aull);  // "mui_fuzz"
+  auto signals = std::make_shared<util::NameTable>();
+  auto props = std::make_shared<util::NameTable>();
+
+  RandomSpec hs;
+  hs.states = spec.minStates + rng.below(spec.maxStates - spec.minStates + 1);
+  hs.inputs = 1 + rng.below(spec.maxInputs);
+  hs.outputs = 1 + rng.below(spec.maxOutputs);
+  hs.densityPct = 20 + rng.below(60);
+  hs.deterministic = true;  // legacy-component discipline (Sec. 4.3)
+  hs.noLocalDeadlocks = rng.chance(3, 4);
+  hs.seed = rng.next();
+  hs.name = "legacy";
+  Automaton hidden = automata::randomAutomaton(hs, signals, props);
+  Automaton context = drawContext(rng, hidden, hs, spec);
+
+  Scenario s{std::move(signals), std::move(props), std::move(hidden),
+             std::move(context), std::string(), seed};
+  if (!rng.chance(1, 5)) {  // 20% of scenarios check deadlock freedom only
+    s.property = randomActlProperty(rng, scenarioAtoms(s));
+  }
+  return s;
+}
+
+std::vector<std::string> scenarioAtoms(const Scenario& s) {
+  std::set<std::size_t> bits;
+  for (const Automaton* a : {&s.hidden, &s.context}) {
+    for (automata::StateId st = 0; st < a->stateCount(); ++st) {
+      a->labels(st).forEach([&](std::size_t bit) { bits.insert(bit); });
+    }
+  }
+  std::vector<std::string> atoms;
+  atoms.reserve(bits.size());
+  for (const std::size_t bit : bits) {
+    atoms.push_back(s.props->name(static_cast<util::NameId>(bit)));
+  }
+  return atoms;
+}
+
+std::string randomActlProperty(util::Rng& rng,
+                               const std::vector<std::string>& atoms) {
+  if (atoms.empty()) return "";
+  const auto atom = [&]() -> const std::string& {
+    return atoms[rng.below(atoms.size())];
+  };
+  const auto bound = [&] {
+    const std::uint64_t lo = rng.below(3);
+    const std::uint64_t hi = lo + 1 + rng.below(4);
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  };
+  // Every template is inside the counterexample-supported ACTL fragment.
+  const auto simple = [&]() -> std::string {
+    switch (rng.below(5)) {
+      case 0:
+        return "AG !(" + atom() + " && " + atom() + ")";
+      case 1:
+        return "AG (" + atom() + " -> AF" + bound() + " " + atom() + ")";
+      case 2:
+        return "AF" + bound() + " " + atom();
+      case 3:
+        return "AG (" + atom() + " -> " + atom() + ")";
+      default:
+        return "AG (" + atom() + " || !" + atom() + ")";
+    }
+  };
+  std::string text = simple();
+  if (rng.chance(1, 4)) text = "(" + text + ") && (" + simple() + ")";
+  return text;
+}
+
+ctl::FormulaPtr randomCctlFormula(util::Rng& rng,
+                                  const std::vector<std::string>& atoms,
+                                  std::size_t depth) {
+  const auto leaf = [&]() -> ctl::FormulaPtr {
+    switch (rng.below(8)) {
+      case 0:
+        return Formula::mkTrue();
+      case 1:
+        return Formula::mkFalse();
+      case 2:
+        return Formula::mkDeadlock();
+      default:
+        if (atoms.empty()) return Formula::mkTrue();
+        return Formula::mkAtom(atoms[rng.below(atoms.size())]);
+    }
+  };
+  if (depth == 0) return leaf();
+  const auto sub = [&] { return randomCctlFormula(rng, atoms, depth - 1); };
+  const auto bound = [&]() -> ctl::Bound {
+    if (rng.chance(1, 2)) return {};
+    const std::size_t lo = rng.below(3);
+    return {lo, lo + rng.below(4)};
+  };
+  switch (rng.below(13)) {
+    case 0:
+      return Formula::mkNot(sub());
+    case 1:
+      return Formula::mkAnd(sub(), sub());
+    case 2:
+      return Formula::mkOr(sub(), sub());
+    case 3:
+      return Formula::mkImplies(sub(), sub());
+    case 4:
+      return Formula::mkAX(sub());
+    case 5:
+      return Formula::mkEX(sub());
+    case 6:
+      return Formula::mkAF(sub(), bound());
+    case 7:
+      return Formula::mkEF(sub(), bound());
+    case 8:
+      return Formula::mkAG(sub(), bound());
+    case 9:
+      return Formula::mkEG(sub(), bound());
+    case 10:
+      return Formula::mkAU(sub(), sub(), bound());
+    case 11:
+      return Formula::mkEU(sub(), sub(), bound());
+    default:
+      return leaf();
+  }
+}
+
+std::string canonicalText(const automata::Automaton& a) {
+  const auto& props = *a.propTable();
+  std::vector<std::string> states;
+  states.reserve(a.stateCount());
+  for (automata::StateId s = 0; s < a.stateCount(); ++s) {
+    std::string line = "s " + a.stateName(s);
+    if (a.isInitial(s)) line += " *";
+    std::vector<std::string> labels;
+    a.labels(s).forEach([&](std::size_t bit) {
+      labels.push_back(props.name(static_cast<util::NameId>(bit)));
+    });
+    std::sort(labels.begin(), labels.end());
+    for (const auto& p : labels) line += " [" + p + "]";
+    states.push_back(std::move(line));
+  }
+  std::sort(states.begin(), states.end());
+
+  std::vector<std::string> transitions;
+  transitions.reserve(a.transitionCount());
+  for (automata::StateId s = 0; s < a.stateCount(); ++s) {
+    for (const auto& t : a.transitionsFrom(s)) {
+      transitions.push_back("t " + a.stateName(t.from) + " -" +
+                            a.interactionToString(t.label) + "-> " +
+                            a.stateName(t.to));
+    }
+  }
+  std::sort(transitions.begin(), transitions.end());
+
+  std::string out = "automaton " + a.name() + "\n";
+  for (const auto& line : states) out += line + "\n";
+  for (const auto& line : transitions) out += line + "\n";
+  return out;
+}
+
+}  // namespace mui::fuzz

@@ -1,0 +1,287 @@
+#include "fuzz/shrink.hpp"
+
+#include <exception>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ctl/parser.hpp"
+
+namespace mui::fuzz {
+
+namespace {
+
+using automata::Automaton;
+using automata::StateId;
+using ctl::Formula;
+using ctl::FormulaPtr;
+
+constexpr std::size_t kMaxRounds = 12;
+constexpr std::size_t kMaxAttempts = 4000;
+
+/// Runs the oracle and classifies the outcome; crashes count as failures.
+struct Evaluator {
+  OracleId id;
+  std::size_t attempts = 0;
+
+  bool fails(const Scenario& s, const OracleOptions& opts,
+             std::string* detail = nullptr, bool* crashed = nullptr) {
+    if (attempts >= kMaxAttempts) return false;  // budget: stop accepting
+    ++attempts;
+    try {
+      const OracleResult r = checkOracle(id, s, opts);
+      if (detail) *detail = r.detail;
+      if (crashed) *crashed = false;
+      return !r.ok;
+    } catch (const std::exception& e) {
+      if (detail) *detail = std::string("crash: ") + e.what();
+      if (crashed) *crashed = true;
+      return true;
+    } catch (...) {
+      if (detail) *detail = "crash: non-standard exception";
+      if (crashed) *crashed = true;
+      return true;
+    }
+  }
+};
+
+/// Copy of `a` keeping only the states/transitions the predicates accept.
+/// Names, labels, signal sets and initial markers survive; state ids are
+/// renumbered densely.
+Automaton copyFiltered(
+    const Automaton& a, const std::function<bool(StateId)>& keepState,
+    const std::function<bool(const automata::Transition&)>& keepTransition) {
+  Automaton out(a.signalTable(), a.propTable(), a.name());
+  out.declareSignals(a.inputs(), a.outputs());
+  std::vector<StateId> map(a.stateCount(), UINT32_MAX);
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    if (!keepState(s)) continue;
+    map[s] = out.addState(a.stateName(s));
+    out.addLabels(map[s], a.labels(s));
+  }
+  for (StateId s = 0; s < a.stateCount(); ++s) {
+    if (map[s] == UINT32_MAX) continue;
+    for (const auto& t : a.transitionsFrom(s)) {
+      if (map[t.to] == UINT32_MAX || !keepTransition(t)) continue;
+      out.addTransition(map[s], t.label, map[t.to]);
+    }
+  }
+  for (StateId q : a.initialStates()) {
+    if (map[q] != UINT32_MAX) out.markInitial(map[q]);
+  }
+  return out;
+}
+
+Scenario withAutomaton(const Scenario& s, bool hidden, Automaton a) {
+  Scenario c = s;
+  (hidden ? c.hidden : c.context) = std::move(a);
+  return c;
+}
+
+/// One pass of single-transition removal over one scenario automaton.
+bool dropTransitionsPass(Scenario& s, bool hidden, Evaluator& eval,
+                         const OracleOptions& opts) {
+  bool progress = false;
+  std::size_t index = 0;
+  for (;;) {
+    const Automaton& a = hidden ? s.hidden : s.context;
+    // Flatten to (state, position-in-state) so indices survive re-copies.
+    std::vector<automata::Transition> all;
+    for (StateId st = 0; st < a.stateCount(); ++st) {
+      for (const auto& t : a.transitionsFrom(st)) all.push_back(t);
+    }
+    if (index >= all.size()) return progress;
+    const automata::Transition victim = all[index];
+    Scenario cand = withAutomaton(
+        s, hidden,
+        copyFiltered(
+            a, [](StateId) { return true; },
+            [&](const automata::Transition& t) { return !(t == victim); }));
+    if (eval.fails(cand, opts)) {
+      s = std::move(cand);
+      progress = true;  // same index now names the next transition
+    } else {
+      ++index;
+    }
+  }
+}
+
+/// One pass of single-state removal (with its incident transitions).
+bool dropStatesPass(Scenario& s, bool hidden, Evaluator& eval,
+                    const OracleOptions& opts) {
+  bool progress = false;
+  StateId index = 0;
+  for (;;) {
+    const Automaton& a = hidden ? s.hidden : s.context;
+    if (a.stateCount() <= 1 || index >= a.stateCount()) return progress;
+    const bool soleInitial =
+        a.initialStates().size() == 1 && a.initialStates().front() == index;
+    if (soleInitial) {
+      ++index;
+      continue;
+    }
+    const StateId victim = index;
+    Scenario cand = withAutomaton(
+        s, hidden,
+        copyFiltered(
+            a, [&](StateId st) { return st != victim; },
+            [](const automata::Transition&) { return true; }));
+    if (eval.fails(cand, opts)) {
+      s = std::move(cand);
+      progress = true;
+    } else {
+      ++index;
+    }
+  }
+}
+
+/// Rebuilds `f` with the given children, preserving operator and bound.
+FormulaPtr rebuild(const FormulaPtr& f, FormulaPtr a, FormulaPtr b) {
+  switch (f->op) {
+    case ctl::Op::Not:
+      return Formula::mkNot(std::move(a));
+    case ctl::Op::And:
+      return Formula::mkAnd(std::move(a), std::move(b));
+    case ctl::Op::Or:
+      return Formula::mkOr(std::move(a), std::move(b));
+    case ctl::Op::Implies:
+      return Formula::mkImplies(std::move(a), std::move(b));
+    case ctl::Op::AX:
+      return Formula::mkAX(std::move(a));
+    case ctl::Op::EX:
+      return Formula::mkEX(std::move(a));
+    case ctl::Op::AF:
+      return Formula::mkAF(std::move(a), f->bound);
+    case ctl::Op::EF:
+      return Formula::mkEF(std::move(a), f->bound);
+    case ctl::Op::AG:
+      return Formula::mkAG(std::move(a), f->bound);
+    case ctl::Op::EG:
+      return Formula::mkEG(std::move(a), f->bound);
+    case ctl::Op::AU:
+      return Formula::mkAU(std::move(a), std::move(b), f->bound);
+    case ctl::Op::EU:
+      return Formula::mkEU(std::move(a), std::move(b), f->bound);
+    default:
+      return f;
+  }
+}
+
+/// Strictly smaller replacement candidates for `f`, in preference order:
+/// constants, the children themselves, then recursive child shrinks.
+void collectReplacements(const FormulaPtr& f, std::vector<FormulaPtr>& out) {
+  if (!f) return;
+  if (f->op != ctl::Op::True) out.push_back(Formula::mkTrue());
+  if (f->op != ctl::Op::False) out.push_back(Formula::mkFalse());
+  if (f->lhs) out.push_back(f->lhs);
+  if (f->rhs) out.push_back(f->rhs);
+  if (f->lhs) {
+    std::vector<FormulaPtr> sub;
+    collectReplacements(f->lhs, sub);
+    for (auto& r : sub) out.push_back(rebuild(f, std::move(r), f->rhs));
+  }
+  if (f->rhs) {
+    std::vector<FormulaPtr> sub;
+    collectReplacements(f->rhs, sub);
+    for (auto& r : sub) out.push_back(rebuild(f, f->lhs, std::move(r)));
+  }
+}
+
+/// Greedy property simplification to a fixpoint.
+bool shrinkPropertyPass(Scenario& s, Evaluator& eval,
+                        const OracleOptions& opts) {
+  if (s.property.empty()) return false;
+  bool progress = false;
+  for (;;) {
+    FormulaPtr current;
+    try {
+      current = ctl::parseFormula(s.property);
+    } catch (const std::exception&) {
+      return progress;  // unparsable property: nothing to shrink
+    }
+    const std::size_t size = ctl::formulaSize(current);
+    std::vector<FormulaPtr> candidates;
+    collectReplacements(current, candidates);
+    std::set<std::string> seen;
+    bool improved = false;
+    for (const auto& cand : candidates) {
+      if (ctl::formulaSize(cand) >= size) continue;
+      const std::string text = cand->toString();
+      if (!seen.insert(text).second) continue;
+      Scenario trial = s;
+      trial.property = text;
+      if (eval.fails(trial, opts)) {
+        s = std::move(trial);
+        improved = true;
+        progress = true;
+        break;
+      }
+    }
+    if (!improved) return progress;
+  }
+}
+
+}  // namespace
+
+ShrinkOutcome shrinkScenario(const Scenario& s, OracleId id,
+                             const OracleOptions& opts) {
+  ShrinkOutcome out{s, opts, {}, false, 0, 0};
+  Evaluator eval{id};
+
+  std::string detail;
+  bool crashed = false;
+  if (!eval.fails(out.scenario, out.options, &detail, &crashed)) {
+    out.attempts = eval.attempts;
+    return out;  // precondition violated: nothing to shrink
+  }
+
+  // Pin the exposing formula so the minimum witnesses *this* violation, not
+  // whatever else the random formula workload might turn up on the way down.
+  if (!crashed) {
+    const OracleResult r = checkOracle(id, out.scenario, out.options);
+    if (!r.ok && !r.failingFormula.empty()) {
+      Scenario pinned = out.scenario;
+      pinned.property = r.failingFormula;
+      OracleOptions pinnedOpts = out.options;
+      pinnedOpts.propertyOnly = true;
+      ++eval.attempts;
+      if (eval.fails(pinned, pinnedOpts)) {
+        out.scenario = std::move(pinned);
+        out.options = pinnedOpts;
+      }
+    }
+  }
+
+  for (std::size_t round = 0; round < kMaxRounds; ++round) {
+    bool progress = false;
+    progress |= dropTransitionsPass(out.scenario, /*hidden=*/true, eval,
+                                    out.options);
+    progress |= dropTransitionsPass(out.scenario, /*hidden=*/false, eval,
+                                    out.options);
+    progress |= dropStatesPass(out.scenario, /*hidden=*/true, eval,
+                               out.options);
+    progress |= dropStatesPass(out.scenario, /*hidden=*/false, eval,
+                               out.options);
+    progress |= shrinkPropertyPass(out.scenario, eval, out.options);
+    out.rounds = round + 1;
+    if (!progress) break;
+  }
+
+  // Final capture runs outside the attempt budget so the outcome always
+  // carries the minimized failure text.
+  try {
+    out.failure = checkOracle(id, out.scenario, out.options).detail;
+    out.crashed = false;
+  } catch (const std::exception& e) {
+    out.failure = std::string("crash: ") + e.what();
+    out.crashed = true;
+  } catch (...) {
+    out.failure = "crash: non-standard exception";
+    out.crashed = true;
+  }
+  out.attempts = eval.attempts + 1;
+  return out;
+}
+
+}  // namespace mui::fuzz

@@ -1,0 +1,40 @@
+#pragma once
+// Greedy reproducer shrinking. Given a scenario on which an oracle fails,
+// repeatedly tries structure-removing simplifications — drop a transition,
+// drop a state, replace the property by a smaller subformula — and keeps
+// each one only if the oracle still fails afterwards. The result is a local
+// minimum: removing any single remaining element makes the failure vanish,
+// which is what makes checked-in reproducers (tests/corpus/) readable.
+//
+// The exposing formula reported by the failing oracle is pinned first: it
+// becomes the scenario property and the oracle is re-run in propertyOnly
+// mode, so shrinking never wanders off to a *different* violation drawn
+// from the random formula workload.
+//
+// Oracle crashes (exceptions) are shrunk exactly like violations: a
+// candidate "still fails" if the oracle throws again.
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace mui::fuzz {
+
+struct ShrinkOutcome {
+  Scenario scenario;     // the minimized failing scenario
+  OracleOptions options; // options the minimized failure reproduces under
+  std::string failure;   // oracle detail (or exception text) on the minimum
+  bool crashed = false;  // minimum fails by throwing, not by a verdict
+  std::size_t rounds = 0;
+  std::size_t attempts = 0;  // oracle executions spent
+};
+
+/// Shrinks `s` against oracle `id`. Precondition: checkOracle(id, s, opts)
+/// currently fails (returns !ok or throws); if it does not, the scenario is
+/// returned unchanged with an empty failure text.
+ShrinkOutcome shrinkScenario(const Scenario& s, OracleId id,
+                             const OracleOptions& opts = {});
+
+}  // namespace mui::fuzz

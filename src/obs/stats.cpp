@@ -59,7 +59,10 @@ StatsReport aggregateJournals(const std::vector<std::string>& journals) {
     std::istringstream in(text);
     std::string line;
     while (std::getline(in, line)) {
-      if (line.empty()) continue;
+      // Blank and whitespace-only lines (trailing newlines, CRLF journals,
+      // or an empty file) are not events — skip them without counting them
+      // as malformed.
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       const auto obj = parseFlatJson(line);
       if (!obj || getU(*obj, "schema") != kJournalSchemaVersion) {
         ++report.skipped;

@@ -1,0 +1,160 @@
+// Edge cases for counterexample projection (paper Sec. 4.2): projecting a
+// product counterexample run back onto one component must be total — it has
+// to cope with degenerate runs (empty, single-state) and with lassos whose
+// loop lives entirely in the *context* while the legacy component stutters.
+
+#include <gtest/gtest.h>
+
+#include "automata/compose.hpp"
+#include "ctl/counterexample.hpp"
+#include "ctl/parser.hpp"
+#include "helpers.hpp"
+
+namespace mui::automata {
+namespace {
+
+using ARun = Run;  // ::testing::Test::Run() shadows automata::Run in TEST bodies
+using test::Tables;
+using test::ia;
+using test::idle;
+
+/// Legacy: a single idling state. Context: an idle two-state cycle plus an
+/// unreachable `goal`-labelled state, so `AF goal` fails with a lasso whose
+/// loop suffix only ever changes the context's state.
+struct StutterPair {
+  Tables t;
+  Automaton leg;
+  Automaton ctx;
+
+  StutterPair()
+      : leg(t.signals, t.props, "leg"), ctx(t.signals, t.props, "ctx") {
+    leg.addState("l0");
+    leg.markInitial(0);
+    leg.labelWithStateName(0);
+    leg.addTransition(0, idle(), 0);
+
+    ctx.addState("c0");
+    ctx.addState("c1");
+    ctx.addState("c2");
+    ctx.markInitial(0);
+    ctx.labelWithStateName(0);
+    ctx.labelWithStateName(1);
+    ctx.addLabel(2, "goal");  // interns the atom; state stays unreachable
+    ctx.addTransition(0, idle(), 1);
+    ctx.addTransition(1, idle(), 0);
+  }
+};
+
+TEST(CexProjection, EmptyRunProjectsToEmptyRun) {
+  StutterPair s;
+  const Product p = compose(s.leg, s.ctx);
+  ARun empty;
+  const ARun proj = p.projectRun(empty, 0);
+  EXPECT_TRUE(proj.states.empty());
+  EXPECT_TRUE(proj.labels.empty());
+  EXPECT_FALSE(proj.deadlock);
+}
+
+TEST(CexProjection, SingleStateRunProjectsToComponentState) {
+  StutterPair s;
+  const Product p = compose(s.leg, s.ctx);
+  // A propositional counterexample is a bare initial state with no steps
+  // (ctl/counterexample.cpp renders it with pathExact == true).
+  ARun single;
+  single.states.push_back(p.automaton.initialStates()[0]);
+  ASSERT_TRUE(single.wellFormed());
+
+  const ARun onLeg = p.projectRun(single, 0);
+  ASSERT_EQ(onLeg.states.size(), 1u);
+  EXPECT_EQ(onLeg.states[0], 0u);  // leg.l0
+  EXPECT_TRUE(onLeg.labels.empty());
+
+  const ARun onCtx = p.projectRun(single, 1);
+  ASSERT_EQ(onCtx.states.size(), 1u);
+  EXPECT_EQ(p.componentStateNames[1][onCtx.states[0]], "c0");
+}
+
+TEST(CexProjection, ContextOnlyLassoProjectsToLegacyStutter) {
+  StutterPair s;
+  const Product p = compose(s.leg, s.ctx);
+  // Only the idle cycle (l0,c0) <-> (l0,c1) is reachable.
+  ASSERT_EQ(p.automaton.stateCount(), 2u);
+
+  const ctl::VerifyResult res =
+      ctl::verify(p.automaton, ctl::parseFormula("AF goal"), {});
+  ASSERT_FALSE(res.holds);
+  ASSERT_FALSE(res.counterexamples.empty());
+  const ctl::Counterexample& cex = res.cex();
+  EXPECT_EQ(cex.kind, ctl::Counterexample::Kind::Property);
+  EXPECT_TRUE(cex.pathExact);
+  ASSERT_TRUE(cex.run.wellFormed());
+  // The lasso unrolls until a product state repeats, so it must take at
+  // least two steps and revisit its loop head.
+  ASSERT_GE(cex.run.states.size(), 3u);
+  EXPECT_EQ(cex.run.states.front(), cex.run.states.back());
+
+  // Projected onto the legacy component the whole lasso is a stutter: the
+  // same single state, and every projected interaction is the idle step.
+  const ARun onLeg = p.projectRun(cex.run, 0);
+  ASSERT_EQ(onLeg.states.size(), cex.run.states.size());
+  for (StateId st : onLeg.states) EXPECT_EQ(st, 0u);
+  for (const Interaction& x : onLeg.labels) {
+    EXPECT_TRUE(x.in.empty());
+    EXPECT_TRUE(x.out.empty());
+  }
+
+  // The context projection, by contrast, carries the actual loop: both
+  // cycle states appear.
+  const ARun onCtx = p.projectRun(cex.run, 1);
+  bool sawC0 = false;
+  bool sawC1 = false;
+  for (StateId st : onCtx.states) {
+    const std::string& name = p.componentStateNames[1][st];
+    sawC0 |= name == "c0";
+    sawC1 |= name == "c1";
+  }
+  EXPECT_TRUE(sawC0);
+  EXPECT_TRUE(sawC1);
+}
+
+TEST(CexProjection, DeadlockRunKeepsFlagAndBlockedLabel) {
+  // One synchronized step, then the product is stuck: the deadlock witness
+  // ends with the blocked interaction (states.size() == labels.size()), and
+  // projection must preserve both the flag and the per-component share of
+  // the final blocked label.
+  Tables t;
+  Automaton a(t.signals, t.props, "a");
+  Automaton b(t.signals, t.props, "b");
+  a.addOutput("go");
+  a.addState("a0");
+  a.addState("a1");
+  a.markInitial(0);
+  a.addTransition(0, ia(*t.signals, {}, {"go"}), 1);
+  b.addInput("go");
+  b.addState("b0");
+  b.addState("b1");
+  b.markInitial(0);
+  b.addTransition(0, ia(*t.signals, {"go"}, {}), 1);
+
+  const Product p = compose(a, b);
+  const ctl::VerifyResult res = ctl::verify(p.automaton, nullptr, {});
+  ASSERT_FALSE(res.holds);
+  EXPECT_EQ(res.cex().kind, ctl::Counterexample::Kind::Deadlock);
+
+  // Hand-build the deadlock run (one step, blocked retry of `go`).
+  ARun dead;
+  dead.deadlock = true;
+  dead.states = {p.automaton.initialStates()[0]};
+  dead.labels = {ia(*t.signals, {"go"}, {"go"})};
+  ASSERT_TRUE(dead.wellFormed());
+  const ARun onA = p.projectRun(dead, 0);
+  EXPECT_TRUE(onA.deadlock);
+  ASSERT_EQ(onA.labels.size(), 1u);
+  EXPECT_EQ(onA.labels[0], ia(*t.signals, {}, {"go"}));  // a only sends
+  const ARun onB = p.projectRun(dead, 1);
+  ASSERT_EQ(onB.labels.size(), 1u);
+  EXPECT_EQ(onB.labels[0], ia(*t.signals, {"go"}, {}));  // b only receives
+}
+
+}  // namespace
+}  // namespace mui::automata

@@ -1,0 +1,76 @@
+// Corpus replay (regression guard for the fuzzing subsystem): every
+// checked-in reproducer under tests/corpus/ is loaded and its recorded
+// oracle re-run.
+//
+//   - Reproducers WITH an `# inject-bug:` header are harness self-tests:
+//     the oracle must STILL FAIL under the recorded injection (if it stops
+//     failing, the harness lost its ability to catch that bug class).
+//   - Reproducers WITHOUT the header capture once-fixed real findings: the
+//     oracle must PASS (if it fails again, the bug regressed).
+//
+// New findings from `mui fuzz --out <dir>` join the corpus by copying the
+// .muml file here once the underlying bug is fixed (see docs/FUZZING.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/reproducer.hpp"
+
+namespace mui::fuzz {
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MUI_CORPUS_DIR)) {
+    if (entry.path().extension() == ".muml") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty) {
+  EXPECT_FALSE(corpusFiles().empty())
+      << "tests/corpus/ holds no .muml reproducers";
+}
+
+TEST(CorpusReplay, EveryReproducerReassertsItsOracle) {
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    const Reproducer repro = loadReproducerFile(path);
+    OracleOptions opts;
+    opts.propertyOnly = !repro.scenario.property.empty();
+    // replayReproducer applies any recorded `# inject-bug:` automatically.
+    const OracleResult res = replayReproducer(repro, opts);
+    if (!repro.injectBug.empty()) {
+      EXPECT_FALSE(res.ok)
+          << "self-test reproducer no longer reproduces under injection '"
+          << repro.injectBug << "'";
+    } else {
+      EXPECT_TRUE(res.ok) << "fixed finding regressed: " << res.detail;
+    }
+  }
+}
+
+TEST(CorpusReplay, SelfTestReproducersAreCleanWithoutInjection) {
+  // The planted-bug reproducers must be *only* about the injection: the
+  // same scenario on the production checker is clean.
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    Reproducer repro = loadReproducerFile(path);
+    if (repro.injectBug.empty()) continue;
+    repro.injectBug.clear();
+    OracleOptions opts;
+    opts.propertyOnly = !repro.scenario.property.empty();
+    EXPECT_TRUE(replayReproducer(repro, opts).ok);
+  }
+}
+
+}  // namespace
+}  // namespace mui::fuzz

@@ -291,6 +291,35 @@ TEST(Stats, UnknownSchemaVersionIsSkippedNotFatal) {
   EXPECT_TRUE(report.iterations.empty());
 }
 
+TEST(Stats, EmptyJournalYieldsEmptyReportWithoutSkips) {
+  // An empty journal file (a run that crashed before its first event, or a
+  // fresh --journal-out target) is valid input, not malformed lines.
+  const auto report = aggregateJournals({""});
+  EXPECT_EQ(report.events, 0u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_TRUE(report.runs.empty());
+  const std::string text = renderStatsText(report);
+  EXPECT_NE(text.find("runs=0"), std::string::npos);
+  EXPECT_NE(text.find("skipped=0"), std::string::npos);
+}
+
+TEST(Stats, WhitespaceOnlyLinesAreNotCountedAsMalformed) {
+  // Blank lines, CRLF line endings, and indented blanks all occur in
+  // hand-edited or concatenated journals; none of them are events and none
+  // of them are parse failures.
+  const auto report = aggregateJournals({"\n  \n\t\r\n   \t  \n"});
+  EXPECT_EQ(report.events, 0u);
+  EXPECT_EQ(report.skipped, 0u);
+  // A real event surrounded by such lines still parses.
+  Journal j;
+  j.event("run_start", JsonObject().s("run", "r"));
+  const auto mixed = aggregateJournals({"\n \n" + j.text() + "\r\n\t\n"});
+  EXPECT_EQ(mixed.events, 1u);
+  EXPECT_EQ(mixed.skipped, 0u);
+  ASSERT_EQ(mixed.runs.size(), 1u);
+  EXPECT_EQ(mixed.runs[0].run, "r");
+}
+
 TEST(Stats, RealIntegrationRunProducesAggregatableJournal) {
   namespace sh = muml::shuttle;
   test::Tables t;

@@ -1,0 +1,14 @@
+# Acceptance check for the fuzzing subsystem: the same seeded campaign run
+# twice must print byte-identical summaries (no wall-clock, no interleaving
+# effects). Invoked as a ctest entry from tools/CMakeLists.txt:
+#   cmake -DMUI=<mui-binary> -P fuzz_determinism.cmake
+execute_process(COMMAND "${MUI}" fuzz --seed 1 --runs 200
+                OUTPUT_VARIABLE first RESULT_VARIABLE rc1)
+execute_process(COMMAND "${MUI}" fuzz --seed 1 --runs 200 --jobs 4
+                OUTPUT_VARIABLE second RESULT_VARIABLE rc2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "mui fuzz exited nonzero (${rc1} / ${rc2}):\n${first}\n${second}")
+endif()
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR "mui fuzz --seed 1 --runs 200 is not deterministic:\n--- run 1 ---\n${first}\n--- run 2 (--jobs 4) ---\n${second}")
+endif()

@@ -43,6 +43,18 @@
 //       Aggregate one or more run journals (written by --journal-out)
 //       into per-iteration and per-run tables plus totals.
 //
+//   mui fuzz [--seed N] [--runs N] [--jobs N] [--time-budget SEC]
+//            [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]
+//            [--inject-bug <name>] [--journal-out F] [--metrics-out F]
+//       Property-based fuzzing campaign (docs/FUZZING.md): N seeded
+//       scenarios, each checked against the metamorphic oracles O1-O5.
+//       Violations are shrunk to minimal reproducers and written to the
+//       corpus directory. Deterministic in (seed, runs, oracle selection).
+//       --inject-bug plants a known checker bug (harness self-test).
+//
+//   mui fuzz --replay <reproducer.muml>...
+//       Re-run the recorded oracle of saved reproducer files.
+//
 //   mui lint <model.muml> [--format text|json] [--disable MUIxxx]...
 //       Statically analyze a model (docs/LINT_RULES.md): unreachable and
 //       sink states, unused signals, composition alphabet mismatches,
@@ -56,8 +68,10 @@
 //   mui --help | --version
 //
 // Exit code: 0 on verified/proven (batch: every job proven; lint: no
-// finding at warning or above), 1 on violation/real error (lint: warnings
-// or errors), 2 on usage or model errors.
+// finding at warning or above; fuzz: campaign clean / replay does not
+// reproduce), 1 on violation/real error (lint: warnings or errors; fuzz:
+// oracle violations found / replay still reproduces), 2 on usage or model
+// errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +89,8 @@
 #include "engine/engine.hpp"
 #include "engine/manifest.hpp"
 #include "engine/report.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/reproducer.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
 #include "muml/verify.hpp"
@@ -110,6 +126,10 @@ void printUsage(std::FILE* out) {
       "[--no-lint]\n"
       "            [--trace-out F] [--metrics-out F] [--journal-out F]\n"
       "  mui stats <journal.jsonl>... [--format text|json]\n"
+      "  mui fuzz [--seed N] [--runs N] [--jobs N] [--time-budget SEC]\n"
+      "           [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]\n"
+      "           [--inject-bug <name>] [--journal-out F] [--metrics-out F]\n"
+      "  mui fuzz --replay <reproducer.muml>...\n"
       "  mui lint <model.muml> [--format text|json] [--disable MUIxxx]...\n"
       "  mui dot <model.muml> <automaton|rtsc>\n"
       "  mui --help | --version\n"
@@ -603,6 +623,119 @@ int cmdStats(int argc, char** argv) {
   return 0;
 }
 
+int cmdFuzz(int argc, char** argv) {
+  fuzz::FuzzOptions options;
+  ObsOptions obsOpts;
+  std::vector<std::string> replayPaths;
+  bool replayMode = false;
+  for (int i = 0; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (obsOpts.consume(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replayMode = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!parseUint(flagValue("--seed"), v)) {
+        return usageError("--seed expects a non-negative integer");
+      }
+      options.seed = v;
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      if (!parseUint(flagValue("--runs"), v)) {
+        return usageError("--runs expects a non-negative integer");
+      }
+      options.runs = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (!parseUint(flagValue("--jobs"), v)) {
+        return usageError("--jobs expects a non-negative integer");
+      }
+      options.jobs = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--time-budget") == 0) {
+      if (!parseUint(flagValue("--time-budget"), v)) {
+        return usageError("--time-budget expects seconds");
+      }
+      options.timeBudgetSec = v;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      options.outDir = flagValue("--out");
+    } else if (std::strcmp(argv[i], "--oracles") == 0) {
+      std::string list = flagValue("--oracles");
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!name.empty()) {
+          const auto id = fuzz::oracleFromString(name);
+          if (!id) {
+            return usageError("unknown oracle '" + name +
+                              "' (expected O1..O5)");
+          }
+          options.oracles.push_back(*id);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (options.oracles.empty()) {
+        return usageError("--oracles expects a comma-separated O1..O5 list");
+      }
+    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
+      const char* name = flagValue("--inject-bug");
+      const auto bug = fuzz::bugInjectionFromString(name);
+      if (!bug) {
+        return usageError(std::string("unknown bug injection '") + name +
+                          "' (expected: none, o1-deadlock-af)");
+      }
+      options.oracle.injectBug = *bug;
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      options.shrink = false;
+    } else if (argv[i][0] == '-') {
+      return usageError(std::string("unknown fuzz flag '") + argv[i] + "'");
+    } else if (replayMode) {
+      replayPaths.emplace_back(argv[i]);
+    } else {
+      return usageError(std::string("unexpected fuzz argument '") + argv[i] +
+                        "' (reproducer files need --replay)");
+    }
+  }
+
+  if (replayMode) {
+    if (replayPaths.empty()) {
+      return usageError("--replay expects at least one reproducer file");
+    }
+    std::size_t reproduced = 0;
+    for (const auto& path : replayPaths) {
+      const fuzz::Reproducer repro = fuzz::loadReproducerFile(path);
+      fuzz::OracleOptions opts = options.oracle;
+      opts.propertyOnly = !repro.scenario.property.empty();
+      const fuzz::OracleResult res = fuzz::replayReproducer(repro, opts);
+      if (res.ok) {
+        std::printf("%s: %s no longer reproduces\n", path.c_str(),
+                    fuzz::toString(repro.oracle));
+      } else {
+        ++reproduced;
+        std::printf("%s: %s REPRODUCES\n    %s\n", path.c_str(),
+                    fuzz::toString(repro.oracle), res.detail.c_str());
+      }
+    }
+    std::printf("%zu/%zu reproducers still fail their oracle\n", reproduced,
+                replayPaths.size());
+    return reproduced == 0 ? 0 : 1;
+  }
+
+  options.journal = obsOpts.journalPtr();
+  obsOpts.beforeRun();
+  const fuzz::FuzzReport report = fuzz::runCampaign(options);
+  obsOpts.writeArtifacts();
+  std::printf("%s", fuzz::renderFuzzSummary(report).c_str());
+  return report.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -625,6 +758,7 @@ int main(int argc, char** argv) {
     if (cmd == "suite-run") return cmdSuiteRun(argc - 2, argv + 2);
     if (cmd == "batch") return cmdBatch(argc - 2, argv + 2);
     if (cmd == "stats") return cmdStats(argc - 2, argv + 2);
+    if (cmd == "fuzz") return cmdFuzz(argc - 2, argv + 2);
     if (cmd == "lint") return cmdLint(argc - 2, argv + 2);
     if (cmd == "dot") return cmdDot(argc - 2, argv + 2);
     return usageError("unknown command '" + cmd + "'");
