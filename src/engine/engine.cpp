@@ -22,6 +22,7 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
   report.results.resize(jobs.size());
 
   ResultCache cache;
+  if (options.persistent != nullptr) cache.attachPersistent(options.persistent);
   RunnerOptions runnerOptions;
   runnerOptions.defaultTimeoutMs = options.defaultTimeoutMs;
   runnerOptions.lintPreflight = options.lintPreflight;

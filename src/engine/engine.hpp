@@ -25,6 +25,8 @@ class Journal;
 
 namespace mui::engine {
 
+class PersistentResultCache;
+
 struct BatchOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 1;
@@ -37,6 +39,11 @@ struct BatchOptions {
   /// events from every worker plus one closing "batch" event. Must outlive
   /// the call; the CLI exposes `mui batch --journal-out`.
   obs::Journal* journal = nullptr;
+  /// Durable result cache layered under the batch's in-memory cache
+  /// (persistent_cache.hpp): outcomes already in the log are served
+  /// without re-running, fresh ones are appended. Must outlive the call;
+  /// the CLI exposes `mui batch --cache <file>`.
+  PersistentResultCache* persistent = nullptr;
 };
 
 /// Runs every job, at most `threads` at a time; results keep manifest

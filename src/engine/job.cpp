@@ -22,6 +22,15 @@ const char* jobStatusName(JobStatus s) {
   return "?";
 }
 
+std::optional<JobStatus> jobStatusFromName(std::string_view name) {
+  for (const JobStatus s :
+       {JobStatus::Proven, JobStatus::RealError, JobStatus::IterationLimit,
+        JobStatus::Unsupported, JobStatus::Timeout, JobStatus::EngineError}) {
+    if (name == jobStatusName(s)) return s;
+  }
+  return std::nullopt;
+}
+
 std::size_t BatchReport::count(JobStatus s) const {
   return static_cast<std::size_t>(
       std::count_if(results.begin(), results.end(),

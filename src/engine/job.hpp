@@ -10,7 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mui::engine {
@@ -46,6 +48,10 @@ enum class JobStatus {
 
 /// One-word status name ("proven", "real-error", "timeout", ...).
 const char* jobStatusName(JobStatus s);
+
+/// Inverse of jobStatusName; nullopt for unknown names. Used by consumers
+/// of serialized results (persistent cache replay, the serve protocol).
+std::optional<JobStatus> jobStatusFromName(std::string_view name);
 
 struct JobResult {
   Job job;

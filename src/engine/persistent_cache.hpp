@@ -1,0 +1,105 @@
+#pragma once
+// Durable result cache: an append-only JSONL log of completed job
+// outcomes, keyed by the same fnv1a content hashes as the in-memory
+// ResultCache (cache.hpp) and layered underneath it, so duplicate
+// verification work is shared *across* runs and clients, not just within
+// one process.
+//
+// Log format (reference: docs/SERVE.md). One record per line:
+//
+//   {"schema":1,"type":"result","key":"<16 hex digits>","material":"...",
+//    "status":"proven","explanation":"...","iterations":3,"testPeriods":9,
+//    "learnedFacts":2}
+//
+// `material` is the job's full key material (JobKey::material — model text
+// included), and `key` must equal fnv1a(material). Storing the material
+// makes 64-bit collisions *detectable*: two records with the same key but
+// different material poison that hash — neither is ever served — instead
+// of one silently answering for the other. It also lets replay reject
+// records whose key does not digest from their material (torn writes, hand
+// edits).
+//
+// Durability model: records are appended under a mutex as one write() and
+// (by default) fsync'd, so a crash loses at most the record being written.
+// Replay tolerates exactly that: a malformed final line is counted as a
+// truncated tail and skipped, and the next append starts on a fresh line.
+// The log only grows; compact() rewrites it to one record per live key
+// (runbook: docs/SERVE.md).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/cache.hpp"
+
+namespace mui::engine {
+
+class PersistentResultCache {
+ public:
+  struct ReplayStats {
+    std::size_t replayed = 0;   // live records loaded
+    std::size_t superseded = 0; // older records overwritten by a later one
+    std::size_t skipped = 0;    // malformed / wrong-schema / bad-digest lines
+    std::size_t collisions = 0; // hashes poisoned by conflicting material
+    bool truncatedTail = false; // final line had no newline or did not parse
+  };
+
+  /// Opens (creating if absent) and replays the log at `path`; throws
+  /// std::runtime_error when the file cannot be created or opened for
+  /// append. `fsyncEachAppend` trades durability for append latency.
+  explicit PersistentResultCache(std::string path, bool fsyncEachAppend = true);
+  ~PersistentResultCache();
+
+  PersistentResultCache(const PersistentResultCache&) = delete;
+  PersistentResultCache& operator=(const PersistentResultCache&) = delete;
+
+  /// The outcome stored for `hash`, provided the stored material is
+  /// byte-identical to `material`; a mismatch is a detected collision and
+  /// a miss.
+  std::optional<CachedOutcome> lookup(std::uint64_t hash,
+                                      std::string_view material);
+
+  /// Appends one record (no-op for poisoned hashes and exact duplicates).
+  void append(std::uint64_t hash, std::string_view material,
+              const CachedOutcome& outcome);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const ReplayStats& replayStats() const { return replay_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// One log record as a JSONL line (no trailing newline); exposed for
+  /// tests and compaction tooling.
+  static std::string encodeRecord(std::uint64_t hash,
+                                  std::string_view material,
+                                  const CachedOutcome& outcome);
+
+  /// Rewrites the log at `path` to one record per live key, dropping
+  /// superseded, malformed, and collision-poisoned records. Returns the
+  /// number of records kept. Must not run concurrently with a daemon
+  /// appending to the same file.
+  static std::size_t compact(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string material;
+    CachedOutcome outcome;
+  };
+
+  void replayLog();                            // constructor helper
+  void writeRecord(const std::string& line);   // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::string path_;
+  bool fsync_;
+  int fd_ = -1;
+  bool needsLeadingNewline_ = false;  // log ended in a truncated record
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::unordered_set<std::uint64_t> poisoned_;
+  ReplayStats replay_;
+};
+
+}  // namespace mui::engine

@@ -35,22 +35,6 @@ JobStatus statusOf(synthesis::Verdict v) {
   return JobStatus::EngineError;
 }
 
-/// Content hash of everything that determines the job's outcome; see the
-/// ResultCache contract in cache.hpp. The 0x1f bytes separate fields so
-/// ("ab","c") and ("a","bc") hash differently.
-std::uint64_t jobKey(const std::string& modelText, const Job& job,
-                     std::uint64_t timeoutMs) {
-  std::uint64_t h = fnv1a(modelText);
-  for (const std::string* field :
-       {&job.pattern, &job.legacyRole, &job.hidden, &job.formula}) {
-    h = fnv1a(*field, fnv1a("\x1f", h));
-  }
-  h = fnv1a(std::to_string(timeoutMs) + "\x1f" +
-                std::to_string(job.maxIterations),
-            fnv1a("\x1f", h));
-  return h;
-}
-
 }  // namespace
 
 JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
@@ -86,7 +70,9 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     const std::uint64_t timeoutMs =
         job.timeoutMs != 0 ? job.timeoutMs : options.defaultTimeoutMs;
 
-    const std::uint64_t key = jobKey(text, job, timeoutMs);
+    // Content key of everything that determines the job's outcome; see the
+    // ResultCache contract in cache.hpp.
+    const JobKey key = makeJobKey(text, job, timeoutMs);
     if (auto hit = results.lookup(key)) {
       out.status = hit->status;
       out.explanation = hit->explanation;

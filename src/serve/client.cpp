@@ -1,0 +1,118 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace mui::serve {
+
+SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
+                         const SubmitOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  Fd fd = connectTcp(options.host, options.port);
+  LineReader reader(fd.get());
+  writeAll(fd.get(),
+           writeHelloLine(options.clientName, options.deadlineMs) + "\n");
+
+  SubmitOutcome out;
+  out.report.results.resize(jobs.size());
+  out.report.threads = 1;
+
+  // Wave loop: submit everything, collect results/sheds, re-submit the
+  // shed wave after the daemon's retry-after, until every job has a
+  // result or its retries are spent. Job id = submission index + 1.
+  std::vector<std::size_t> toSend(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) toSend[i] = i;
+  std::size_t round = 0;
+  std::uint64_t retryAfterMs = 50;
+
+  while (!toSend.empty()) {
+    std::string wave;
+    for (const std::size_t idx : toSend) {
+      wave += writeJobLine(idx + 1, jobs[idx]) + "\n";
+    }
+    writeAll(fd.get(), wave);
+
+    std::vector<std::size_t> shedNow;
+    std::size_t awaiting = toSend.size();
+    while (awaiting > 0) {
+      const auto line = reader.next();
+      if (!line) {
+        throw std::runtime_error(
+            "daemon closed the connection before all results arrived");
+      }
+      const Response res = parseResponse(*line);
+      switch (res.type) {
+        case Response::Type::Welcome:
+        case Response::Type::Stats:
+          break;  // informational
+        case Response::Type::Result: {
+          if (res.id == 0 || res.id > jobs.size()) {
+            throw std::runtime_error("daemon sent a result with unknown id " +
+                                     std::to_string(res.id));
+          }
+          const std::size_t idx = res.id - 1;
+          out.report.results[idx] = res.result;
+          out.report.results[idx].job = jobs[idx];
+          --awaiting;
+          break;
+        }
+        case Response::Type::Shed: {
+          if (res.id == 0 || res.id > jobs.size()) {
+            throw std::runtime_error("daemon shed an unknown job id " +
+                                     std::to_string(res.id));
+          }
+          shedNow.push_back(res.id - 1);
+          if (res.retryAfterMs != 0) retryAfterMs = res.retryAfterMs;
+          --awaiting;
+          break;
+        }
+        case Response::Type::Error:
+          throw std::runtime_error("daemon rejected a request: " + res.error);
+        case Response::Type::Done:
+          throw std::runtime_error(
+              "daemon sent 'done' while results were still pending");
+        case Response::Type::Invalid:
+          throw std::runtime_error("unparseable daemon reply: " + res.error);
+      }
+    }
+
+    if (shedNow.empty()) break;
+    if (round >= options.maxRetryRounds) {
+      for (const std::size_t idx : shedNow) {
+        auto& r = out.report.results[idx];
+        r.job = jobs[idx];
+        r.status = engine::JobStatus::EngineError;
+        r.explanation = "load-shed by daemon (queue full after " +
+                        std::to_string(round) + " retry round(s))";
+      }
+      break;
+    }
+    ++round;
+    out.shedRetries += shedNow.size();
+    std::this_thread::sleep_for(std::chrono::milliseconds(retryAfterMs));
+    toSend = std::move(shedNow);
+  }
+
+  writeAll(fd.get(), writeEndLine() + "\n");
+  while (const auto line = reader.next()) {
+    const Response res = parseResponse(*line);
+    if (res.type == Response::Type::Done) {
+      out.serverCacheHits = res.cacheHits;
+      out.serverCacheMisses = res.cacheMisses;
+      out.report.cacheHits = res.cacheHits;
+      out.report.cacheMisses = res.cacheMisses;
+      break;
+    }
+  }
+  out.report.wallMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return out;
+}
+
+}  // namespace mui::serve

@@ -1,0 +1,46 @@
+#pragma once
+// Client side of the serve protocol — the library behind `mui submit` and
+// the round-trip tests. Connects to a running daemon, pipelines every job
+// in one connection, collects the streamed results back into manifest
+// order, and optionally retries jobs the daemon shed (honoring its
+// retry-after hint). The outcome reuses the engine's BatchReport, so the
+// CLI renders a submit exactly like a local batch.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace mui::serve {
+
+struct SubmitOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // required
+  /// Client-level deadline sent in the hello; applies server-side to jobs
+  /// without their own timeout-ms (0 = none).
+  std::uint64_t deadlineMs = 0;
+  /// Rounds of re-submission for shed jobs; 0 reports them as shed
+  /// immediately (engine-error rows marked "load-shed").
+  std::size_t maxRetryRounds = 8;
+  std::string clientName = "mui-submit";
+};
+
+struct SubmitOutcome {
+  /// Results in submission order. Shed jobs that exhausted their retries
+  /// are EngineError rows whose explanation starts with "load-shed".
+  engine::BatchReport report;
+  /// Jobs re-submitted after a shed reply (across all rounds).
+  std::uint64_t shedRetries = 0;
+  /// Daemon-side totals for this connection, from the done line.
+  std::uint64_t serverCacheHits = 0;
+  std::uint64_t serverCacheMisses = 0;
+};
+
+/// Submits `jobs` and blocks until every one has a result (or exhausted
+/// its shed retries). Throws std::runtime_error when the daemon is
+/// unreachable or the connection breaks mid-protocol.
+SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
+                         const SubmitOptions& options);
+
+}  // namespace mui::serve

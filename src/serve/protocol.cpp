@@ -1,0 +1,225 @@
+#include "serve/protocol.hpp"
+
+#include "obs/journal.hpp"
+
+namespace mui::serve {
+
+namespace {
+
+const obs::JsonValue* field(const obs::FlatObject& obj, const char* name) {
+  const auto it = obj.find(name);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string str(const obs::FlatObject& obj, const char* name) {
+  const auto* v = field(obj, name);
+  return v == nullptr ? std::string() : v->text;
+}
+
+std::uint64_t uns(const obs::FlatObject& obj, const char* name) {
+  const auto* v = field(obj, name);
+  return v == nullptr ? 0 : v->asUint();
+}
+
+double num(const obs::FlatObject& obj, const char* name) {
+  const auto* v = field(obj, name);
+  return v == nullptr ? 0 : v->number;
+}
+
+obs::JsonObject header(const char* type) {
+  obs::JsonObject o;
+  o.u("schema", kProtocolSchemaVersion).s("type", type);
+  return o;
+}
+
+}  // namespace
+
+Request parseRequest(std::string_view line) {
+  Request req;
+  const auto obj = obs::parseFlatJson(line);
+  if (!obj) {
+    req.error = "malformed JSON request line";
+    return req;
+  }
+  if (uns(*obj, "schema") != kProtocolSchemaVersion) {
+    req.error = "unsupported or missing schema (expected " +
+                std::to_string(kProtocolSchemaVersion) + ")";
+    return req;
+  }
+  const std::string type = str(*obj, "type");
+  if (type == "hello") {
+    req.type = Request::Type::Hello;
+    req.client = str(*obj, "client");
+    req.deadlineMs = uns(*obj, "deadline-ms");
+    return req;
+  }
+  if (type == "stats") {
+    req.type = Request::Type::Stats;
+    return req;
+  }
+  if (type == "end") {
+    req.type = Request::Type::End;
+    return req;
+  }
+  if (type != "job") {
+    req.error = "unknown request type '" + type + "'";
+    return req;
+  }
+  req.id = uns(*obj, "id");
+  req.job.name = str(*obj, "name");
+  req.job.modelPath = str(*obj, "model");
+  req.job.pattern = str(*obj, "pattern");
+  req.job.legacyRole = str(*obj, "role");
+  req.job.hidden = str(*obj, "hidden");
+  req.job.formula = str(*obj, "formula");
+  req.job.timeoutMs = uns(*obj, "timeout-ms");
+  req.job.maxIterations = static_cast<std::size_t>(uns(*obj, "max-iterations"));
+  for (const auto& [key, value] : {std::pair<const char*, const std::string*>{
+                                       "model", &req.job.modelPath},
+                                   {"pattern", &req.job.pattern},
+                                   {"role", &req.job.legacyRole},
+                                   {"hidden", &req.job.hidden}}) {
+    if (value->empty()) {
+      req.error = std::string("job is missing required field '") + key + "'";
+      return req;
+    }
+  }
+  req.type = Request::Type::Job;
+  return req;
+}
+
+std::string writeHelloLine(const std::string& client,
+                           std::uint64_t deadlineMs) {
+  auto o = header("hello");
+  o.s("client", client);
+  if (deadlineMs != 0) o.u("deadline-ms", deadlineMs);
+  return o.str();
+}
+
+std::string writeJobLine(std::uint64_t id, const engine::Job& job) {
+  auto o = header("job");
+  o.u("id", id)
+      .s("name", job.name)
+      .s("model", job.modelPath)
+      .s("pattern", job.pattern)
+      .s("role", job.legacyRole)
+      .s("hidden", job.hidden);
+  if (!job.formula.empty()) o.s("formula", job.formula);
+  if (job.timeoutMs != 0) o.u("timeout-ms", job.timeoutMs);
+  if (job.maxIterations != 0) o.u("max-iterations", job.maxIterations);
+  return o.str();
+}
+
+std::string writeStatsRequestLine() { return header("stats").str(); }
+
+std::string writeEndLine() { return header("end").str(); }
+
+Response parseResponse(std::string_view line) {
+  Response res;
+  res.raw = std::string(line);
+  const auto obj = obs::parseFlatJson(line);
+  if (!obj) {
+    res.error = "malformed JSON response line";
+    return res;
+  }
+  if (uns(*obj, "schema") != kProtocolSchemaVersion) {
+    res.error = "unsupported or missing schema";
+    return res;
+  }
+  const std::string type = str(*obj, "type");
+  if (type == "welcome") {
+    res.type = Response::Type::Welcome;
+    return res;
+  }
+  if (type == "error") {
+    res.type = Response::Type::Error;
+    res.error = str(*obj, "message");
+    return res;
+  }
+  if (type == "stats") {
+    res.type = Response::Type::Stats;
+    return res;
+  }
+  if (type == "shed") {
+    res.type = Response::Type::Shed;
+    res.id = uns(*obj, "id");
+    res.retryAfterMs = uns(*obj, "retry-after-ms");
+    return res;
+  }
+  if (type == "done") {
+    res.type = Response::Type::Done;
+    res.jobs = uns(*obj, "jobs");
+    res.shed = uns(*obj, "shed");
+    res.cacheHits = uns(*obj, "cacheHits");
+    res.cacheMisses = uns(*obj, "cacheMisses");
+    return res;
+  }
+  if (type != "result") {
+    res.error = "unknown response type '" + type + "'";
+    return res;
+  }
+  res.id = uns(*obj, "id");
+  res.result.job.name = str(*obj, "name");
+  const auto status = engine::jobStatusFromName(str(*obj, "status"));
+  if (!status) {
+    res.error = "result with unknown status '" + str(*obj, "status") + "'";
+    return res;
+  }
+  res.result.status = *status;
+  res.result.explanation = str(*obj, "explanation");
+  res.result.iterations = static_cast<std::size_t>(uns(*obj, "iterations"));
+  res.result.testPeriods = uns(*obj, "testPeriods");
+  res.result.learnedFacts = static_cast<std::size_t>(uns(*obj, "learnedFacts"));
+  res.result.wallMs = num(*obj, "wallMs");
+  res.result.worker = str(*obj, "worker");
+  if (const auto* v = field(*obj, "cacheHit")) {
+    res.result.cacheHit = v->boolean;
+  }
+  res.type = Response::Type::Result;
+  return res;
+}
+
+std::string writeWelcomeLine(const std::string& version, std::size_t threads) {
+  auto o = header("welcome");
+  o.s("version", version).u("threads", threads);
+  return o.str();
+}
+
+std::string writeResultLine(std::uint64_t id, const engine::JobResult& r) {
+  auto o = header("result");
+  o.u("id", id)
+      .s("name", r.job.name)
+      .s("status", engine::jobStatusName(r.status))
+      .s("explanation", r.explanation)
+      .b("cacheHit", r.cacheHit)
+      .u("iterations", r.iterations)
+      .u("testPeriods", r.testPeriods)
+      .u("learnedFacts", r.learnedFacts)
+      .f("wallMs", r.wallMs)
+      .s("worker", r.worker);
+  return o.str();
+}
+
+std::string writeShedLine(std::uint64_t id, std::uint64_t retryAfterMs) {
+  auto o = header("shed");
+  o.u("id", id).u("retry-after-ms", retryAfterMs);
+  return o.str();
+}
+
+std::string writeErrorLine(std::string_view message) {
+  auto o = header("error");
+  o.s("message", message);
+  return o.str();
+}
+
+std::string writeDoneLine(std::uint64_t jobs, std::uint64_t shed,
+                          std::uint64_t cacheHits, std::uint64_t cacheMisses) {
+  auto o = header("done");
+  o.u("jobs", jobs)
+      .u("shed", shed)
+      .u("cacheHits", cacheHits)
+      .u("cacheMisses", cacheMisses);
+  return o.str();
+}
+
+}  // namespace mui::serve

@@ -203,10 +203,16 @@ TEST(TextCache, ServesPrimedContentAndThrowsOnMissingFile) {
 
 TEST(ResultCache, CountsHitsAndMisses) {
   engine::ResultCache cache;
-  EXPECT_FALSE(cache.lookup(7).has_value());
+  engine::Job job;
+  job.pattern = "P";
+  job.legacyRole = "r";
+  job.hidden = "h";
+  const engine::JobKey key = engine::makeJobKey("model text", job, 0);
+  EXPECT_EQ(key.hash, engine::fnv1a(key.material));
+  EXPECT_FALSE(cache.lookup(key).has_value());
   EXPECT_EQ(cache.misses(), 1u);
-  cache.store(7, engine::CachedOutcome{JobStatus::Proven, "ok", 3, 10, 5});
-  const auto hit = cache.lookup(7);
+  cache.store(key, engine::CachedOutcome{JobStatus::Proven, "ok", 3, 10, 5});
+  const auto hit = cache.lookup(key);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->status, JobStatus::Proven);
   EXPECT_EQ(hit->iterations, 3u);

@@ -1,0 +1,381 @@
+// mui::serve — wire-protocol round-trips and whole-daemon behavior against
+// the shipped models: submit/result round-trips with cache hits, deadline
+// expiry, admission-control shedding, durable-cache survival across a
+// server restart, the HTTP endpoints, and protocol error handling.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+namespace {
+
+using namespace mui;
+using engine::Job;
+using engine::JobStatus;
+
+const std::string kWatchdog = std::string(MUI_MODELS_DIR) + "/watchdog.muml";
+const std::string kRailcab = std::string(MUI_MODELS_DIR) + "/railcab.muml";
+
+std::filesystem::path testDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mui_serve_tests" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Job watchdogJob(std::string name, std::string hidden) {
+  Job job;
+  job.name = std::move(name);
+  job.modelPath = kWatchdog;
+  job.pattern = "Watchdog";
+  job.legacyRole = "device";
+  job.hidden = std::move(hidden);
+  return job;
+}
+
+Job railcabJob(std::string name, std::uint64_t timeoutMs = 0) {
+  Job job;
+  job.name = std::move(name);
+  job.modelPath = kRailcab;
+  job.pattern = "DistanceCoordination";
+  job.legacyRole = "rearRole";
+  job.hidden = "rearShipped";
+  job.timeoutMs = timeoutMs;
+  return job;
+}
+
+serve::ServeOptions localOptions() {
+  serve::ServeOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;  // kernel-assigned
+  options.threads = 2;
+  options.version = "test";
+  return options;
+}
+
+serve::SubmitOptions clientFor(const serve::Server& server) {
+  serve::SubmitOptions options;
+  options.port = server.port();
+  options.clientName = "gtest";
+  return options;
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, JobLineRoundTrips) {
+  Job job = watchdogJob("wd", "deviceCompliant");
+  job.formula = "AG x";
+  job.timeoutMs = 1234;
+  job.maxIterations = 7;
+  const serve::Request req =
+      serve::parseRequest(serve::writeJobLine(42, job));
+  ASSERT_EQ(req.type, serve::Request::Type::Job);
+  EXPECT_EQ(req.id, 42u);
+  EXPECT_EQ(req.job.name, "wd");
+  EXPECT_EQ(req.job.modelPath, kWatchdog);
+  EXPECT_EQ(req.job.pattern, "Watchdog");
+  EXPECT_EQ(req.job.legacyRole, "device");
+  EXPECT_EQ(req.job.hidden, "deviceCompliant");
+  EXPECT_EQ(req.job.formula, "AG x");
+  EXPECT_EQ(req.job.timeoutMs, 1234u);
+  EXPECT_EQ(req.job.maxIterations, 7u);
+}
+
+TEST(ServeProtocol, HelloEndAndMalformedLines) {
+  const serve::Request hello =
+      serve::parseRequest(serve::writeHelloLine("ci", 5000));
+  ASSERT_EQ(hello.type, serve::Request::Type::Hello);
+  EXPECT_EQ(hello.client, "ci");
+  EXPECT_EQ(hello.deadlineMs, 5000u);
+  EXPECT_EQ(serve::parseRequest(serve::writeEndLine()).type,
+            serve::Request::Type::End);
+  EXPECT_EQ(serve::parseRequest("not json").type,
+            serve::Request::Type::Invalid);
+  // A job without the required fields must not parse as a job.
+  EXPECT_EQ(serve::parseRequest(R"({"schema":1,"type":"job","id":1})").type,
+            serve::Request::Type::Invalid);
+}
+
+TEST(ServeProtocol, ResultAndControlRepliesRoundTrip) {
+  engine::JobResult result;
+  result.job = watchdogJob("wd", "deviceCompliant");
+  result.status = JobStatus::Proven;
+  result.explanation = "all good";
+  result.iterations = 3;
+  result.cacheHit = true;
+  const serve::Response res =
+      serve::parseResponse(serve::writeResultLine(9, result));
+  ASSERT_EQ(res.type, serve::Response::Type::Result);
+  EXPECT_EQ(res.id, 9u);
+  EXPECT_EQ(res.result.status, JobStatus::Proven);
+  EXPECT_EQ(res.result.explanation, "all good");
+  EXPECT_EQ(res.result.iterations, 3u);
+  EXPECT_TRUE(res.result.cacheHit);
+
+  const serve::Response shed =
+      serve::parseResponse(serve::writeShedLine(4, 250));
+  ASSERT_EQ(shed.type, serve::Response::Type::Shed);
+  EXPECT_EQ(shed.id, 4u);
+  EXPECT_EQ(shed.retryAfterMs, 250u);
+
+  const serve::Response done =
+      serve::parseResponse(serve::writeDoneLine(10, 1, 4, 6));
+  ASSERT_EQ(done.type, serve::Response::Type::Done);
+  EXPECT_EQ(done.jobs, 10u);
+  EXPECT_EQ(done.shed, 1u);
+  EXPECT_EQ(done.cacheHits, 4u);
+  EXPECT_EQ(done.cacheMisses, 6u);
+
+  EXPECT_EQ(serve::parseResponse("garbage").type,
+            serve::Response::Type::Invalid);
+}
+
+// ----------------------------------------------------------- daemon basics
+
+TEST(ServeServer, RoundTripsJobsAndServesDuplicatesFromCache) {
+  serve::Server server(localOptions());
+  server.start();
+
+  const std::vector<Job> jobs = {
+      watchdogJob("wd-1", "deviceCompliant"),
+      watchdogJob("wd-2", "deviceSlow"),
+      watchdogJob("wd-1-again", "deviceCompliant"),  // duplicate of wd-1
+  };
+  const serve::SubmitOutcome outcome =
+      serve::submitJobs(jobs, clientFor(server));
+
+  ASSERT_EQ(outcome.report.results.size(), 3u);
+  EXPECT_EQ(outcome.report.results[0].status, JobStatus::Proven);
+  EXPECT_EQ(outcome.report.results[1].status, JobStatus::Proven);
+  EXPECT_EQ(outcome.report.results[2].status, JobStatus::Proven);
+  // Results arrive in completion order but must be re-associated by id.
+  EXPECT_EQ(outcome.report.results[0].job.name, "wd-1");
+  EXPECT_EQ(outcome.report.results[2].job.name, "wd-1-again");
+  EXPECT_GE(outcome.serverCacheHits, 1u);  // the duplicate
+  EXPECT_EQ(outcome.serverCacheHits + outcome.serverCacheMisses, 3u);
+
+  server.requestDrain();
+  server.wait();
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.jobsAccepted, 3u);
+  EXPECT_EQ(stats.jobsCompleted, 3u);
+  EXPECT_EQ(stats.connections, 1u);
+}
+
+TEST(ServeServer, JobDeadlineExpiryYieldsTimeout) {
+  serve::Server server(localOptions());
+  server.start();
+  const std::vector<Job> jobs = {railcabJob("impatient", /*timeoutMs=*/1)};
+  const serve::SubmitOutcome outcome =
+      serve::submitJobs(jobs, clientFor(server));
+  ASSERT_EQ(outcome.report.results.size(), 1u);
+  EXPECT_EQ(outcome.report.results[0].status, JobStatus::Timeout);
+}
+
+TEST(ServeServer, ClientHelloDeadlineAppliesToJobsWithoutTheirOwn) {
+  serve::Server server(localOptions());
+  server.start();
+  serve::SubmitOptions options = clientFor(server);
+  options.deadlineMs = 1;  // sent in the hello, adopted server-side
+  const std::vector<Job> jobs = {railcabJob("inherits-deadline")};
+  const serve::SubmitOutcome outcome = serve::submitJobs(jobs, options);
+  ASSERT_EQ(outcome.report.results.size(), 1u);
+  EXPECT_EQ(outcome.report.results[0].status, JobStatus::Timeout);
+}
+
+TEST(ServeServer, ServerMaxTimeoutCapsEveryJob) {
+  serve::ServeOptions options = localOptions();
+  options.maxTimeoutMs = 1;
+  serve::Server server(options);
+  server.start();
+  // The job asks for a generous deadline; the server-wide cap wins.
+  const std::vector<Job> jobs = {railcabJob("capped", /*timeoutMs=*/600000)};
+  const serve::SubmitOutcome outcome =
+      serve::submitJobs(jobs, clientFor(server));
+  ASSERT_EQ(outcome.report.results.size(), 1u);
+  EXPECT_EQ(outcome.report.results[0].status, JobStatus::Timeout);
+}
+
+TEST(ServeServer, AdmissionControlShedsBeyondTheQueueLimit) {
+  serve::ServeOptions options = localOptions();
+  options.threads = 1;
+  options.queueLimit = 1;
+  options.retryAfterMs = 10;
+  serve::Server server(options);
+  server.start();
+
+  // Both job lines land in one write and are parsed back-to-back, so the
+  // second arrives while the first is still pending: it must be shed, and
+  // with retries disabled the client reports it as a load-shed row.
+  serve::SubmitOptions client = clientFor(server);
+  client.maxRetryRounds = 0;
+  const std::vector<Job> jobs = {railcabJob("holds-the-queue", 2000),
+                                 railcabJob("gets-shed", 2000)};
+  const serve::SubmitOutcome outcome = serve::submitJobs(jobs, client);
+
+  ASSERT_EQ(outcome.report.results.size(), 2u);
+  EXPECT_EQ(outcome.report.results[0].job.name, "holds-the-queue");
+  EXPECT_EQ(outcome.report.results[1].status, JobStatus::EngineError);
+  EXPECT_EQ(outcome.report.results[1].explanation.rfind("load-shed", 0), 0u);
+  EXPECT_EQ(server.stats().jobsShed, 1u);
+}
+
+TEST(ServeServer, ShedJobsSucceedOnRetry) {
+  serve::ServeOptions options = localOptions();
+  options.threads = 1;
+  options.queueLimit = 1;
+  options.retryAfterMs = 10;
+  serve::Server server(options);
+  server.start();
+
+  serve::SubmitOptions client = clientFor(server);
+  client.maxRetryRounds = 50;
+  const std::vector<Job> jobs = {watchdogJob("a", "deviceCompliant"),
+                                 watchdogJob("b", "deviceSlow"),
+                                 watchdogJob("c", "deviceCompliant")};
+  const serve::SubmitOutcome outcome = serve::submitJobs(jobs, client);
+  for (const auto& result : outcome.report.results) {
+    EXPECT_EQ(result.status, JobStatus::Proven) << result.job.name;
+  }
+}
+
+// ------------------------------------------------------ restart persistence
+
+TEST(ServeServer, DurableCacheAnswersAcrossARestart) {
+  const auto dir = testDir("restart");
+  serve::ServeOptions options = localOptions();
+  options.cachePath = (dir / "cache.jsonl").string();
+  options.fsyncCache = false;  // test speed; durability is covered elsewhere
+
+  const std::vector<Job> jobs = {watchdogJob("wd-1", "deviceCompliant"),
+                                 watchdogJob("wd-2", "deviceSlow")};
+  {
+    serve::Server first(options);
+    first.start();
+    const serve::SubmitOutcome cold =
+        serve::submitJobs(jobs, clientFor(first));
+    EXPECT_EQ(cold.serverCacheMisses, 2u);
+    first.requestDrain();
+    first.wait();
+  }
+
+  // A brand-new process-equivalent: fresh Server, same log file.
+  serve::Server second(options);
+  second.start();
+  EXPECT_EQ(second.stats().persistentReplayed, 2u);
+  const serve::SubmitOutcome warm =
+      serve::submitJobs(jobs, clientFor(second));
+  EXPECT_EQ(warm.serverCacheHits, 2u);
+  EXPECT_EQ(warm.serverCacheMisses, 0u);
+  for (const auto& result : warm.report.results) {
+    EXPECT_TRUE(result.cacheHit) << result.job.name;
+    EXPECT_EQ(result.status, JobStatus::Proven);
+  }
+}
+
+// ------------------------------------------------------------- http + misc
+
+std::string httpGet(std::uint16_t port, const std::string& path) {
+  serve::Fd fd = serve::connectTcp("127.0.0.1", port);
+  serve::writeAll(fd.get(),
+                  "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+  std::string response;
+  serve::LineReader reader(fd.get());
+  while (const auto line = reader.next()) {
+    response += *line;
+    response += '\n';
+  }
+  return response;
+}
+
+TEST(ServeServer, HttpEndpointsShareThePort) {
+  serve::Server server(localOptions());
+  server.start();
+  // Run one job so the serve counters are non-zero in /metrics.
+  serve::submitJobs({watchdogJob("wd", "deviceCompliant")}, clientFor(server));
+
+  const std::string healthz = httpGet(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  const std::string metrics = httpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("mui_serve_jobs_total"), std::string::npos);
+  EXPECT_NE(metrics.find("mui_serve_connections_total"), std::string::npos);
+
+  const std::string stats = httpGet(server.port(), "/stats");
+  EXPECT_NE(stats.find("\"type\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"jobsAccepted\":1"), std::string::npos);
+
+  const std::string missing = httpGet(server.port(), "/no-such-endpoint");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST(ServeServer, MalformedLinesGetAnErrorReplyAndTheSessionSurvives) {
+  serve::Server server(localOptions());
+  server.start();
+
+  serve::Fd fd = serve::connectTcp("127.0.0.1", server.port());
+  serve::LineReader reader(fd.get());
+  serve::writeAll(fd.get(), "this is not a protocol line\n");
+  const auto errorLine = reader.next();
+  ASSERT_TRUE(errorLine.has_value());
+  EXPECT_EQ(serve::parseResponse(*errorLine).type,
+            serve::Response::Type::Error);
+
+  // The connection is still usable afterwards.
+  serve::writeAll(fd.get(), serve::writeJobLine(
+                                1, watchdogJob("wd", "deviceCompliant")) +
+                                "\n" + serve::writeEndLine() + "\n");
+  bool sawResult = false;
+  bool sawDone = false;
+  while (const auto line = reader.next()) {
+    const serve::Response res = serve::parseResponse(*line);
+    if (res.type == serve::Response::Type::Result) {
+      sawResult = true;
+      EXPECT_EQ(res.result.status, JobStatus::Proven);
+    }
+    if (res.type == serve::Response::Type::Done) {
+      sawDone = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(sawResult);
+  EXPECT_TRUE(sawDone);
+  EXPECT_GE(server.stats().protocolErrors, 1u);
+}
+
+TEST(ServeServer, DrainingDaemonShedsNewJobs) {
+  serve::Server server(localOptions());
+  server.start();
+  serve::Fd fd = serve::connectTcp("127.0.0.1", server.port());
+  serve::LineReader reader(fd.get());
+  // Handshake first: a freshly connected socket may still sit unaccepted
+  // in the listen backlog, and a draining accept loop never picks it up.
+  serve::writeAll(fd.get(), serve::writeHelloLine("gtest", 0) + "\n");
+  const auto welcome = reader.next();
+  ASSERT_TRUE(welcome.has_value());
+  ASSERT_EQ(serve::parseResponse(*welcome).type,
+            serve::Response::Type::Welcome);
+  server.requestDrain();
+
+  serve::writeAll(fd.get(), serve::writeJobLine(
+                                1, watchdogJob("wd", "deviceCompliant")) +
+                                "\n");
+  const auto line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(serve::parseResponse(*line).type, serve::Response::Type::Shed);
+  fd.reset();
+  server.wait();
+}
+
+}  // namespace

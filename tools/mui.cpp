@@ -43,6 +43,31 @@
 //       Aggregate one or more run journals (written by --journal-out)
 //       into per-iteration and per-run tables plus totals.
 //
+//   mui serve [--host H] [--port P] [--port-file F] [--threads N]
+//             [--queue-limit N] [--timeout-ms T] [--max-timeout-ms T]
+//             [--retry-after-ms T] [--cache <file>] [--no-fsync]
+//             [--no-lint] [--journal-out F] [--metrics-out F]
+//       Verification-as-a-service daemon (docs/SERVE.md): accepts jobs as
+//       newline-delimited JSON over loopback TCP (the manifest job schema),
+//       runs them on the engine thread pool with admission control and
+//       per-client deadlines, and streams results back as JSONL. --cache
+//       layers a durable result cache under the in-memory one, replayed at
+//       startup, so duplicate jobs are answered across restarts. The same
+//       port serves HTTP GET /metrics, /healthz, and /stats. SIGTERM or
+//       SIGINT drains gracefully: in-flight jobs finish, then exit 0.
+//
+//   mui serve --cache <file> --compact
+//       Offline compaction: rewrite the cache log to one record per live
+//       key (dropping superseded, corrupt, and collision-poisoned
+//       records), then exit.
+//
+//   mui submit <manifest> --port P [--host H] [--deadline-ms T]
+//              [--retry-rounds N] [--out <file>]
+//       Submit a job manifest (docs/BATCH_FORMAT.md) to a running daemon
+//       and render the streamed results exactly like `mui batch`. Shed
+//       jobs are retried after the daemon's retry-after hint for up to
+//       --retry-rounds rounds (0 reports them immediately).
+//
 //   mui fuzz [--seed N] [--runs N] [--jobs N] [--time-budget SEC]
 //            [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]
 //            [--inject-bug <name>] [--journal-out F] [--metrics-out F]
@@ -73,11 +98,13 @@
 // oracle violations found / replay still reproduces), 2 on usage or model
 // errors.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/analyze.hpp"
@@ -88,6 +115,7 @@
 #include "ctl/parser.hpp"
 #include "engine/engine.hpp"
 #include "engine/manifest.hpp"
+#include "engine/persistent_cache.hpp"
 #include "engine/report.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/reproducer.hpp"
@@ -98,6 +126,8 @@
 #include "obs/metrics.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "synthesis/report.hpp"
 #include "synthesis/test_suite.hpp"
 #include "synthesis/verifier.hpp"
@@ -124,7 +154,16 @@ void printUsage(std::FILE* out) {
       "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
       "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>] "
       "[--no-lint]\n"
-      "            [--trace-out F] [--metrics-out F] [--journal-out F]\n"
+      "            [--cache <file>] [--trace-out F] [--metrics-out F] "
+      "[--journal-out F]\n"
+      "  mui serve [--host H] [--port P] [--port-file F] [--threads N]\n"
+      "            [--queue-limit N] [--timeout-ms T] [--max-timeout-ms T]\n"
+      "            [--retry-after-ms T] [--cache <file>] [--no-fsync] "
+      "[--no-lint]\n"
+      "            [--journal-out F] [--metrics-out F]\n"
+      "  mui serve --cache <file> --compact\n"
+      "  mui submit <manifest> --port P [--host H] [--deadline-ms T]\n"
+      "             [--retry-rounds N] [--out <file>]\n"
       "  mui stats <journal.jsonl>... [--format text|json]\n"
       "  mui fuzz [--seed N] [--runs N] [--jobs N] [--time-budget SEC]\n"
       "           [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]\n"
@@ -532,6 +571,7 @@ int cmdBatch(int argc, char** argv) {
   engine::BatchOptions options;
   ObsOptions obsOpts;
   std::string outPath;
+  std::string cachePath;
   for (int i = 1; i < argc; ++i) {
     const auto flagValue = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -554,11 +594,21 @@ int cmdBatch(int argc, char** argv) {
       options.defaultTimeoutMs = v;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       outPath = flagValue("--out");
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cachePath = flagValue("--cache");
     } else if (std::strcmp(argv[i], "--no-lint") == 0) {
       options.lintPreflight = false;
     } else {
       return usageError(std::string("unknown batch flag '") + argv[i] + "'");
     }
+  }
+
+  // A durable cache makes consecutive batch runs over the same manifest
+  // hit instead of recompute, same as the serve daemon (docs/SERVE.md).
+  std::unique_ptr<engine::PersistentResultCache> persistent;
+  if (!cachePath.empty()) {
+    persistent = std::make_unique<engine::PersistentResultCache>(cachePath);
+    options.persistent = persistent.get();
   }
 
   std::ifstream in(manifestPath);
@@ -587,6 +637,194 @@ int cmdBatch(int argc, char** argv) {
     out << engine::writeBatchSummary(report);
   }
   return report.allProven() ? 0 : 1;
+}
+
+int cmdServe(int argc, char** argv) {
+  serve::ServeOptions options;
+  options.version = MUI_VERSION;
+  ObsOptions obsOpts;
+  std::string portFile;
+  bool compactOnly = false;
+  for (int i = 0; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (obsOpts.consume(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = flagValue("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (!parseUint(flagValue("--port"), v) || v > 65535) {
+        return usageError("--port expects a port number (0 = auto)");
+      }
+      options.port = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      portFile = flagValue("--port-file");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (!parseUint(flagValue("--threads"), v)) {
+        return usageError("--threads expects a non-negative integer");
+      }
+      options.threads = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--queue-limit") == 0) {
+      if (!parseUint(flagValue("--queue-limit"), v) || v == 0) {
+        return usageError("--queue-limit expects a positive integer");
+      }
+      options.queueLimit = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      if (!parseUint(flagValue("--timeout-ms"), v)) {
+        return usageError("--timeout-ms expects a non-negative integer");
+      }
+      options.defaultTimeoutMs = v;
+    } else if (std::strcmp(argv[i], "--max-timeout-ms") == 0) {
+      if (!parseUint(flagValue("--max-timeout-ms"), v)) {
+        return usageError("--max-timeout-ms expects a non-negative integer");
+      }
+      options.maxTimeoutMs = v;
+    } else if (std::strcmp(argv[i], "--retry-after-ms") == 0) {
+      if (!parseUint(flagValue("--retry-after-ms"), v)) {
+        return usageError("--retry-after-ms expects a non-negative integer");
+      }
+      options.retryAfterMs = v;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      options.cachePath = flagValue("--cache");
+    } else if (std::strcmp(argv[i], "--cache-max-entries") == 0) {
+      if (!parseUint(flagValue("--cache-max-entries"), v) || v == 0) {
+        return usageError("--cache-max-entries expects a positive integer");
+      }
+      options.cacheMaxEntries = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--no-fsync") == 0) {
+      options.fsyncCache = false;
+    } else if (std::strcmp(argv[i], "--no-lint") == 0) {
+      options.lintPreflight = false;
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      compactOnly = true;
+    } else {
+      return usageError(std::string("unknown serve flag '") + argv[i] + "'");
+    }
+  }
+
+  if (compactOnly) {
+    if (options.cachePath.empty()) {
+      return usageError("--compact needs --cache <file>");
+    }
+    const std::size_t kept =
+        engine::PersistentResultCache::compact(options.cachePath);
+    std::printf("mui serve: compacted %s to %zu live record(s)\n",
+                options.cachePath.c_str(), kept);
+    return 0;
+  }
+
+  // Block the shutdown signals before start() spawns any thread so every
+  // worker inherits the mask and delivery is confined to the sigwait
+  // below — the only place a drain can begin.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  options.journal = obsOpts.journalPtr();
+  obsOpts.beforeRun();
+  serve::Server server(options);
+  server.start();
+  if (!portFile.empty()) {
+    writeFileOrThrow(portFile, std::to_string(server.port()) + "\n");
+  }
+  std::printf("mui serve: listening on %s:%u (threads=%zu, queue-limit=%zu%s)\n",
+              options.host.c_str(), server.port(), server.stats().threads,
+              options.queueLimit,
+              options.cachePath.empty()
+                  ? ""
+                  : (", cache=" + options.cachePath).c_str());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  std::fprintf(stderr, "mui serve: caught %s, draining\n",
+               sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  server.requestDrain();
+  server.wait();
+  obsOpts.writeArtifacts();
+  const serve::ServeStats st = server.stats();
+  std::printf("mui serve: drained (%llu job(s) completed, %llu shed, "
+              "%llu connection(s))\n",
+              static_cast<unsigned long long>(st.jobsCompleted),
+              static_cast<unsigned long long>(st.jobsShed),
+              static_cast<unsigned long long>(st.connections));
+  return 0;
+}
+
+int cmdSubmit(int argc, char** argv) {
+  if (argc < 1 || argv[0][0] == '-') {
+    return usageError("submit expects <manifest> --port P [--host H] "
+                      "[--deadline-ms T] [--retry-rounds N] [--out <file>]");
+  }
+  const char* manifestPath = argv[0];
+  serve::SubmitOptions options;
+  std::string outPath;
+  bool portSet = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = flagValue("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (!parseUint(flagValue("--port"), v) || v == 0 || v > 65535) {
+        return usageError("--port expects the daemon's port number");
+      }
+      options.port = static_cast<std::uint16_t>(v);
+      portSet = true;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (!parseUint(flagValue("--deadline-ms"), v)) {
+        return usageError("--deadline-ms expects a non-negative integer");
+      }
+      options.deadlineMs = v;
+    } else if (std::strcmp(argv[i], "--retry-rounds") == 0) {
+      if (!parseUint(flagValue("--retry-rounds"), v)) {
+        return usageError("--retry-rounds expects a non-negative integer");
+      }
+      options.maxRetryRounds = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      outPath = flagValue("--out");
+    } else {
+      return usageError(std::string("unknown submit flag '") + argv[i] + "'");
+    }
+  }
+  if (!portSet) {
+    return usageError("submit needs --port <port> (start one with `mui serve`)");
+  }
+
+  const std::string manifestText = readFileOrThrow(manifestPath);
+  const std::string baseDir =
+      std::filesystem::path(manifestPath).parent_path().string();
+  auto jobs = engine::parseManifest(manifestText, manifestPath, baseDir);
+  // The daemon opens model files in *its* working directory, so relative
+  // manifest paths must be absolutized client-side.
+  for (auto& job : jobs) {
+    job.modelPath = std::filesystem::absolute(job.modelPath)
+                        .lexically_normal()
+                        .string();
+  }
+
+  const serve::SubmitOutcome outcome = serve::submitJobs(jobs, options);
+  std::printf("%s", engine::renderBatchReport(outcome.report).c_str());
+  if (outcome.shedRetries > 0) {
+    std::printf("submit: %llu shed job submission(s) retried\n",
+                static_cast<unsigned long long>(outcome.shedRetries));
+  }
+  if (!outPath.empty()) {
+    writeFileOrThrow(outPath, engine::writeBatchSummary(outcome.report));
+  }
+  return outcome.report.allProven() ? 0 : 1;
 }
 
 int cmdStats(int argc, char** argv) {
@@ -757,6 +995,8 @@ int main(int argc, char** argv) {
     if (cmd == "suite-gen") return cmdSuiteGen(argc - 2, argv + 2);
     if (cmd == "suite-run") return cmdSuiteRun(argc - 2, argv + 2);
     if (cmd == "batch") return cmdBatch(argc - 2, argv + 2);
+    if (cmd == "serve") return cmdServe(argc - 2, argv + 2);
+    if (cmd == "submit") return cmdSubmit(argc - 2, argv + 2);
     if (cmd == "stats") return cmdStats(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmdFuzz(argc - 2, argv + 2);
     if (cmd == "lint") return cmdLint(argc - 2, argv + 2);

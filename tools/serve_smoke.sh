@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end daemon lifecycle smoke test (also run as the CI daemon-smoke
+# job): start `mui serve` with a durable cache, submit the example campaign
+# manifest, restart the daemon, submit the same manifest again, and assert
+# that the second run is answered almost entirely from the replayed cache
+# (>= 90% hits — everything except the uncacheable timeout job) using the
+# daemon's own /metrics endpoint. Both daemons must drain and exit 0 on
+# SIGTERM.
+#
+# usage: serve_smoke.sh <mui-binary> <manifest> <work-dir>
+set -euo pipefail
+
+MUI=$1
+MANIFEST=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+CACHE="$WORK/cache.jsonl"
+DAEMON_PID=""
+PORT=""
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  for log in "$WORK"/serve-*.log; do
+    [ -f "$log" ] && { echo "--- $log ---" >&2; cat "$log" >&2; }
+  done
+  [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null
+  exit 1
+}
+
+start_daemon() { # $1: label
+  rm -f "$WORK/port"
+  "$MUI" serve --port 0 --port-file "$WORK/port" --cache "$CACHE" \
+      --threads 4 --queue-limit 64 >"$WORK/serve-$1.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 150); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon $1 died on startup"
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || fail "daemon $1 never wrote its port file"
+  PORT=$(cat "$WORK/port")
+}
+
+stop_daemon() { # $1: label
+  kill -TERM "$DAEMON_PID"
+  local rc=0
+  wait "$DAEMON_PID" || rc=$?
+  DAEMON_PID=""
+  [ "$rc" -eq 0 ] || fail "daemon $1 exited $rc after SIGTERM (want 0)"
+  grep -q "drained" "$WORK/serve-$1.log" || fail "daemon $1 did not report a drain"
+}
+
+http_get() { # $1: path, $2: output file
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "cannot connect for GET $1"
+  printf 'GET %s HTTP/1.0\r\nHost: localhost\r\n\r\n' "$1" >&3
+  cat <&3 >"$2"
+  exec 3<&- 3>&-
+}
+
+submit() { # $1: label
+  local rc=0
+  "$MUI" submit "$MANIFEST" --port "$PORT" >"$WORK/submit-$1.log" 2>&1 || rc=$?
+  # The campaign deliberately contains real-error and timeout jobs, so a
+  # healthy run exits 1; 2 would mean a protocol or connection failure.
+  [ "$rc" -eq 1 ] || fail "submit $1 exited $rc (want 1); log: $(cat "$WORK/submit-$1.log")"
+  grep -q "real-error" "$WORK/submit-$1.log" || fail "submit $1 report lacks the expected real-error row"
+}
+
+metric() { # $1: metrics file, $2: metric name -> prints the value (0 if absent)
+  awk -v name="$2" '$1 == name { print $2; found = 1 } END { if (!found) print 0 }' "$1"
+}
+
+# Round 1: cold cache.
+start_daemon 1
+http_get /healthz "$WORK/healthz.txt"
+grep -q "200" "$WORK/healthz.txt" || fail "/healthz is not 200 on a fresh daemon"
+submit 1
+stop_daemon 1
+[ -s "$CACHE" ] || fail "cache log $CACHE is empty after the first run"
+
+# Round 2: a NEW daemon process replays the cache log; the same manifest
+# must now be answered from cache for every cacheable job.
+start_daemon 2
+submit 2
+http_get /metrics "$WORK/metrics.txt"
+http_get /stats "$WORK/stats.txt"
+grep -q '"type":"stats"' "$WORK/stats.txt" || fail "/stats did not return a stats object"
+
+HITS=$(metric "$WORK/metrics.txt" mui_engine_cache_hits_total)
+MISSES=$(metric "$WORK/metrics.txt" mui_engine_cache_misses_total)
+TOTAL=$((HITS + MISSES))
+[ "$TOTAL" -gt 0 ] || fail "daemon 2 reports no cache lookups at all"
+# hits/total >= 0.9, in integers.
+[ $((HITS * 10)) -ge $((TOTAL * 9)) ] || \
+    fail "second run hit rate too low: $HITS/$TOTAL (want >= 90%)"
+grep -q "mui_serve_jobs_total" "$WORK/metrics.txt" || fail "/metrics lacks serve counters"
+stop_daemon 2
+
+# Compaction keeps the log replayable.
+"$MUI" serve --cache "$CACHE" --compact >"$WORK/compact.log" 2>&1 || \
+    fail "compaction failed: $(cat "$WORK/compact.log")"
+grep -q "live record" "$WORK/compact.log" || fail "compaction printed no summary"
+
+echo "serve_smoke: OK ($HITS/$TOTAL cache hits on the post-restart run)"
