@@ -41,7 +41,7 @@ class Analyzer {
     const RuleInfo* info = findRule(ruleId);
     report_.diagnostics.push_back(
         {ruleId, info ? info->defaultSeverity : Severity::Warning, subject,
-         message, loc});
+         message, loc, {}});
   }
 
   [[nodiscard]] util::SourceLoc locOf(
@@ -275,7 +275,7 @@ class Analyzer {
                  model_.signals->name(static_cast<util::NameId>(bit)) +
                  "' of " + partNames[i] +
                  " is produced by no other part (environment signal?)",
-             loc});
+             loc, {}});
       });
     }
   }

@@ -28,6 +28,15 @@ enum class Severity {
 /// "note" / "warning" / "error".
 const char* severityName(Severity s);
 
+/// A supporting note attached to a finding — the semantic tier (MUI1xx)
+/// uses chains of these for proof artifacts: the dominator states every
+/// counterexample must pass through, or the per-conjunct reachability facts
+/// behind a pre-solved verdict. Rendered as SARIF relatedLocations.
+struct RelatedNote {
+  std::string message;
+  util::SourceLoc loc;  // unknown for facts about synthesized products
+};
+
 /// One lint finding.
 struct Diagnostic {
   std::string ruleId;    // stable id, e.g. "MUI003"
@@ -35,6 +44,7 @@ struct Diagnostic {
   std::string subject;   // entity (automaton/rtsc/pattern) it is about
   std::string message;   // human-readable, without location or severity
   util::SourceLoc loc;   // unknown for programmatically built models
+  std::vector<RelatedNote> related;  // supporting chain, most causal first
 
   /// "file:3:7: warning: message [MUI003]" (location omitted if unknown).
   [[nodiscard]] std::string toString() const;

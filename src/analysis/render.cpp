@@ -21,6 +21,12 @@ std::string renderText(const Report& report) {
   for (const auto& d : report.diagnostics) {
     out += d.toString();
     out += '\n';
+    for (const auto& note : d.related) {
+      out += "    note: ";
+      if (note.loc.known()) out += note.loc.toString() + ": ";
+      out += note.message;
+      out += '\n';
+    }
   }
   const std::size_t errors = report.count(Severity::Error);
   const std::size_t warnings = report.count(Severity::Warning);
@@ -54,8 +60,8 @@ std::string writeSarif(const Report& report) {
       "          \"rules\": [\n";
   const auto& rules = allRules();
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    out += "            {\"id\": \"" + std::string(rules[i].id) +
-           "\", \"name\": \"" + rules[i].name +
+    out += "            {\"id\": \"" + jsonEscape(rules[i].id) +
+           "\", \"name\": \"" + jsonEscape(rules[i].name) +
            "\", \"shortDescription\": {\"text\": \"" +
            jsonEscape(rules[i].description) +
            "\"}, \"defaultConfiguration\": {\"level\": \"" +
@@ -69,15 +75,34 @@ std::string writeSarif(const Report& report) {
       "      \"results\": [\n";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
-    out += "        {\"ruleId\": \"" + d.ruleId + "\", \"level\": \"" +
-           sarifLevel(d.severity) + "\", \"message\": {\"text\": \"" +
-           jsonEscape(d.message) + "\"}";
+    out += "        {\"ruleId\": \"" + jsonEscape(d.ruleId) +
+           "\", \"level\": \"" + sarifLevel(d.severity) +
+           "\", \"message\": {\"text\": \"" + jsonEscape(d.message) + "\"}";
     if (d.loc.known()) {
       out += ", \"locations\": [{\"physicalLocation\": "
              "{\"artifactLocation\": {\"uri\": \"" +
              jsonEscape(d.loc.file) + "\"}, \"region\": {\"startLine\": " +
              std::to_string(d.loc.line) +
              ", \"startColumn\": " + std::to_string(d.loc.col) + "}}}]";
+    }
+    // The semantic tier's supporting chains (dominator must-pass states,
+    // per-conjunct proof facts) ride along as relatedLocations.
+    if (!d.related.empty()) {
+      out += ", \"relatedLocations\": [";
+      for (std::size_t j = 0; j < d.related.size(); ++j) {
+        const RelatedNote& note = d.related[j];
+        out += "{\"message\": {\"text\": \"" + jsonEscape(note.message) + "\"}";
+        if (note.loc.known()) {
+          out += ", \"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+                 "\"" +
+                 jsonEscape(note.loc.file) + "\"}, \"region\": {\"startLine\": " +
+                 std::to_string(note.loc.line) +
+                 ", \"startColumn\": " + std::to_string(note.loc.col) + "}}";
+        }
+        out += "}";
+        if (j + 1 < d.related.size()) out += ", ";
+      }
+      out += "]";
     }
     out += "}";
     out += i + 1 < report.diagnostics.size() ? ",\n" : "\n";

@@ -30,6 +30,24 @@ const std::vector<RuleInfo>& allRules() {
       {kNonActlFormula, "non-actl-formula", Severity::Warning,
        "formula leaves the ACTL fragment; verdicts do not transfer through "
        "refinement (paper Def. 5)"},
+      {kStaticallyProven, "statically-proven-property", Severity::Note,
+       "every reachable state of the composition satisfies the AG-safety "
+       "property and none deadlocks; the integration verdict is pre-solved "
+       "to proven without running the refinement loop"},
+      {kGuaranteedViolation, "guaranteed-violation", Severity::Note,
+       "a property violation or deadlock is reachable in the composition "
+       "(pessimistic verdict statically known: real error); the related "
+       "chain lists the states every counterexample must pass through"},
+      {kLivelockScc, "livelock-scc", Severity::Warning,
+       "reachable non-trivial SCC exchanges no signals and has no exit; the "
+       "composition can diverge without making progress"},
+      {kDeadTransition, "dead-transition", Severity::Note,
+       "transition is enabled in the component but fires in no reachable "
+       "step of the composition"},
+      {kInterfaceGap, "interface-coverage-gap", Severity::Warning,
+       "legacy stub and context declare matching alphabets (MUI004) but no "
+       "reachable transition ever produces/consumes the signal, so the "
+       "synchronization is flow-dead"},
   };
   return rules;
 }

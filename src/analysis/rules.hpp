@@ -33,6 +33,15 @@ inline constexpr const char* kDegenerateBound = "MUI008";
 inline constexpr const char* kNoInitialState = "MUI009";
 inline constexpr const char* kNonActlFormula = "MUI010";
 
+// The semantic tier (flow-sensitive, whole-integration rules; see
+// analysis/semantic.hpp). MUI1xx ids are emitted only by runSemantic /
+// presolveIntegration, never by the syntactic analysis::run pass.
+inline constexpr const char* kStaticallyProven = "MUI101";
+inline constexpr const char* kGuaranteedViolation = "MUI102";
+inline constexpr const char* kLivelockScc = "MUI103";
+inline constexpr const char* kDeadTransition = "MUI104";
+inline constexpr const char* kInterfaceGap = "MUI105";
+
 /// Every known rule, in id order.
 const std::vector<RuleInfo>& allRules();
 

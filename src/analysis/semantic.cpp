@@ -1,0 +1,984 @@
+#include "analysis/semantic.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "automata/chaos.hpp"
+#include "automata/compose.hpp"
+#include "automata/incomplete.hpp"
+#include "automata/rename.hpp"
+#include "automata/signals.hpp"
+#include "ctl/parser.hpp"
+#include "muml/channel.hpp"
+#include "muml/integration.hpp"
+
+namespace mui::analysis {
+
+namespace {
+
+using automata::Automaton;
+using automata::Interaction;
+using automata::SignalSet;
+using automata::StateId;
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// ---- AG-safety fragment ----------------------------------------------------
+
+bool isPropositional(const ctl::Formula* f) {
+  if (f == nullptr) return false;
+  switch (f->op) {
+    case ctl::Op::True:
+    case ctl::Op::False:
+    case ctl::Op::Deadlock:
+    case ctl::Op::Atom:
+      return true;
+    case ctl::Op::Not:
+      return isPropositional(f->lhs.get());
+    case ctl::Op::And:
+    case ctl::Op::Or:
+    case ctl::Op::Implies:
+      return isPropositional(f->lhs.get()) && isPropositional(f->rhs.get());
+    default:
+      return false;
+  }
+}
+
+bool mentionsDeadlock(const ctl::Formula* f) {
+  if (f == nullptr) return false;
+  if (f->op == ctl::Op::Deadlock) return true;
+  return mentionsDeadlock(f->lhs.get()) || mentionsDeadlock(f->rhs.get());
+}
+
+/// φ split into what the pre-solver decides by reachability: conjuncts of
+/// *unbounded* AG over propositional bodies, plus top-level propositional
+/// conjuncts (evaluated at the initial states). `complete` means the whole
+/// property falls into the fragment — required for proving; refuting only
+/// needs one violated conjunct.
+struct SafetyFragment {
+  ctl::FormulaPtr root;  // keeps conjunct pointers alive
+  std::vector<const ctl::Formula*> agConjuncts;  // the AG nodes
+  std::vector<const ctl::Formula*> nowConjuncts;
+  bool parsed = false;
+  bool complete = false;
+};
+
+SafetyFragment splitSafety(const std::string& property) {
+  SafetyFragment out;
+  out.parsed = true;
+  out.complete = true;
+  if (property.empty()) return out;
+  try {
+    out.root = ctl::parseFormula(property);
+  } catch (const std::exception&) {
+    out.parsed = false;
+    out.complete = false;
+    return out;
+  }
+  std::deque<const ctl::Formula*> work{out.root.get()};
+  while (!work.empty()) {
+    const ctl::Formula* f = work.front();
+    work.pop_front();
+    if (f->op == ctl::Op::And) {
+      work.push_back(f->lhs.get());
+      work.push_back(f->rhs.get());
+    } else if (f->op == ctl::Op::AG && !f->bound.bounded() &&
+               f->bound.lo == 0 && isPropositional(f->lhs.get())) {
+      out.agConjuncts.push_back(f);
+    } else if (isPropositional(f)) {
+      out.nowConjuncts.push_back(f);
+    } else {
+      out.complete = false;
+    }
+  }
+  return out;
+}
+
+// ---- Product exploration ---------------------------------------------------
+
+/// The synchronous product context ‖ partner, explored breadth-first under a
+/// state cap with the exact matching rule of automata::compose (Def. 3).
+/// Keeps the per-node origin pair, the BFS tree (for witness paths), edge
+/// silence (for the livelock rule), and which partner transitions fired
+/// (for the dead-transition rule).
+struct ProductGraph {
+  struct Edge {
+    std::size_t to;
+    bool silent;  // the joint interaction exchanges no signals
+  };
+
+  const Automaton* ctx = nullptr;
+  const Automaton* stub = nullptr;
+  std::vector<StateId> ctxState;   // per node
+  std::vector<StateId> stubState;  // per node
+  std::vector<std::size_t> parent;  // BFS tree; self-index for initials
+  std::vector<std::vector<Edge>> succ;
+  std::vector<char> expanded;
+  std::size_t initialCount = 0;  // nodes [0, initialCount) are initial
+  bool capped = false;
+  /// firedStub[s] parallels stub->transitionsFrom(s): transition fired in
+  /// some explored product step.
+  std::vector<std::vector<char>> firedStub;
+
+  [[nodiscard]] std::size_t size() const { return ctxState.size(); }
+  [[nodiscard]] std::string name(std::size_t n) const {
+    return ctx->stateName(ctxState[n]) + "|" + stub->stateName(stubState[n]);
+  }
+  [[nodiscard]] std::size_t depth(std::size_t n) const {
+    std::size_t d = 0;
+    while (parent[n] != n) {
+      n = parent[n];
+      ++d;
+    }
+    return d;
+  }
+};
+
+ProductGraph explore(const Automaton& ctx, const Automaton& stub,
+                     std::size_t cap) {
+  ProductGraph g;
+  g.ctx = &ctx;
+  g.stub = &stub;
+  g.firedStub.resize(stub.stateCount());
+  for (StateId s = 0; s < stub.stateCount(); ++s) {
+    g.firedStub[s].assign(stub.transitionsFrom(s).size(), 0);
+  }
+
+  std::unordered_map<std::uint64_t, std::size_t> ids;
+  const auto key = [](StateId a, StateId b) {
+    return (std::uint64_t{a} << 32) | b;
+  };
+  std::deque<std::size_t> work;
+  const auto ensure = [&](StateId a, StateId b,
+                          std::size_t from) -> std::size_t {
+    const auto it = ids.find(key(a, b));
+    if (it != ids.end()) return it->second;
+    if (g.size() >= cap) {
+      g.capped = true;
+      return kNone;
+    }
+    const std::size_t n = g.size();
+    ids.emplace(key(a, b), n);
+    g.ctxState.push_back(a);
+    g.stubState.push_back(b);
+    g.parent.push_back(from == kNone ? n : from);
+    g.succ.emplace_back();
+    g.expanded.push_back(0);
+    work.push_back(n);
+    return n;
+  };
+
+  for (StateId qa : ctx.initialStates()) {
+    for (StateId qb : stub.initialStates()) {
+      ensure(qa, qb, kNone);
+    }
+  }
+  g.initialCount = g.size();
+
+  while (!work.empty()) {
+    const std::size_t n = work.front();
+    work.pop_front();
+    const StateId sa = g.ctxState[n];
+    const StateId sb = g.stubState[n];
+    bool complete = true;
+    const auto& fromCtx = ctx.transitionsFrom(sa);
+    const auto& fromStub = stub.transitionsFrom(sb);
+    for (const auto& ta : fromCtx) {
+      for (std::size_t j = 0; j < fromStub.size(); ++j) {
+        const auto& tb = fromStub[j];
+        // Matching condition of Def. 3 (see automata/compose.cpp): what one
+        // side reads of the other's outputs must be exactly what the other
+        // writes into its inputs.
+        if ((ta.label.in & stub.outputs()) != (tb.label.out & ctx.inputs())) {
+          continue;
+        }
+        if ((tb.label.in & ctx.outputs()) != (ta.label.out & stub.inputs())) {
+          continue;
+        }
+        const std::size_t to = ensure(ta.to, tb.to, n);
+        if (to == kNone) {
+          complete = false;
+          continue;
+        }
+        g.firedStub[sb][j] = 1;
+        const Interaction joint{ta.label.in | tb.label.in,
+                                ta.label.out | tb.label.out};
+        g.succ[n].push_back({to, joint.idle()});
+      }
+    }
+    // A node whose successor set was truncated by the cap must not be
+    // mistaken for a deadlock.
+    g.expanded[n] = complete ? 1 : 0;
+  }
+  return g;
+}
+
+// ---- Propositional evaluation ----------------------------------------------
+
+/// Evaluates a propositional body at one product node. Atom semantics mirror
+/// ctl::Checker exactly: an atom holds iff some component state of the node
+/// carries the label; unknown atoms are false. Op::Deadlock is structural
+/// (no outgoing product transition) and only trustworthy on expanded nodes.
+class PropEval {
+ public:
+  explicit PropEval(const ProductGraph& g)
+      : g_(g), props_(*g.ctx->propTable()) {}
+
+  [[nodiscard]] bool eval(const ctl::Formula* f, std::size_t n) const {
+    switch (f->op) {
+      case ctl::Op::True:
+        return true;
+      case ctl::Op::False:
+        return false;
+      case ctl::Op::Deadlock:
+        return g_.succ[n].empty();
+      case ctl::Op::Atom: {
+        const auto id = props_.lookup(f->atom);
+        if (!id) return false;
+        return g_.ctx->labels(g_.ctxState[n]).test(*id) ||
+               g_.stub->labels(g_.stubState[n]).test(*id);
+      }
+      case ctl::Op::Not:
+        return !eval(f->lhs.get(), n);
+      case ctl::Op::And:
+        return eval(f->lhs.get(), n) && eval(f->rhs.get(), n);
+      case ctl::Op::Or:
+        return eval(f->lhs.get(), n) || eval(f->rhs.get(), n);
+      case ctl::Op::Implies:
+        return !eval(f->lhs.get(), n) || eval(f->rhs.get(), n);
+      default:
+        return false;  // unreachable: bodies are pre-checked propositional
+    }
+  }
+
+ private:
+  const ProductGraph& g_;
+  const util::NameTable& props_;
+};
+
+// ---- Dominators (must-pass analysis) ---------------------------------------
+
+/// Immediate dominators of the explored product graph under a virtual root
+/// that feeds every initial node (Cooper–Harvey–Kennedy iteration over
+/// reverse post-order). idom[n] == kNone means "dominated by the root only"
+/// (or unreachable). The chain idom*(target) is exactly the set of states
+/// every path from an initial state to `target` must pass through.
+std::vector<std::size_t> immediateDominators(const ProductGraph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::size_t> order;  // post-order
+  order.reserve(n);
+  std::vector<char> seen(n, 0);
+  for (std::size_t r = 0; r < g.initialCount; ++r) {
+    if (seen[r]) continue;
+    // Iterative DFS with an explicit edge cursor.
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{r, 0}};
+    seen[r] = 1;
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.back();
+      if (cursor < g.succ[v].size()) {
+        const std::size_t w = g.succ[v][cursor++].to;
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<std::size_t> rpoIndex(n, kNone);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rpoIndex[order[i]] = order.size() - 1 - i;
+  }
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& e : g.succ[v]) preds[e.to].push_back(v);
+  }
+
+  // idom in node indices; kNone plays the role of the virtual root.
+  std::vector<std::size_t> idom(n, kNone);
+  std::vector<char> processed(n, 0);
+  for (std::size_t r = 0; r < g.initialCount; ++r) processed[r] = 1;
+
+  const auto intersect = [&](std::size_t a, std::size_t b) {
+    // Walk both fingers up to the common dominator; kNone (the root)
+    // absorbs everything.
+    while (a != b) {
+      if (a == kNone || b == kNone) return kNone;
+      while (a != kNone && b != kNone && rpoIndex[a] > rpoIndex[b]) {
+        a = idom[a];
+      }
+      if (a == b) break;
+      while (a != kNone && b != kNone && rpoIndex[b] > rpoIndex[a]) {
+        b = idom[b];
+      }
+    }
+    return a == b ? a : kNone;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // order[] is post-order; iterating it back to front is RPO.
+    for (std::size_t i = order.size(); i-- > 0;) {
+      const std::size_t v = order[i];
+      if (v < g.initialCount) continue;  // initials: dominated by the root
+      std::size_t best = kNone;
+      bool first = true;
+      for (const std::size_t p : preds[v]) {
+        if (!processed[p]) continue;
+        best = first ? p : intersect(best, p);
+        first = false;
+      }
+      if (first) continue;  // no processed predecessor yet
+      processed[v] = 1;
+      if (idom[v] != best) {
+        idom[v] = best;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+/// The must-pass chain to `target`: its proper dominators, initial-most
+/// first. Capped at `maxLen`.
+std::vector<std::size_t> mustPassChain(const std::vector<std::size_t>& idom,
+                                       std::size_t target,
+                                       std::size_t maxLen) {
+  std::vector<std::size_t> chain;
+  for (std::size_t d = idom[target]; d != kNone; d = idom[d]) {
+    chain.push_back(d);
+    if (chain.size() >= maxLen) break;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+// ---- Tarjan SCCs -----------------------------------------------------------
+
+/// Iterative Tarjan over a successor-list graph. Returns the component id
+/// per node and the component count.
+std::vector<std::size_t> stronglyConnected(
+    const std::vector<std::vector<ProductGraph::Edge>>& succ,
+    std::size_t& componentCount) {
+  const std::size_t n = succ.size();
+  std::vector<std::size_t> comp(n, kNone), low(n, 0), index(n, kNone);
+  std::vector<std::size_t> stack;
+  std::vector<char> onStack(n, 0);
+  std::size_t next = 0;
+  componentCount = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t cursor;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kNone) continue;
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.cursor == 0) {
+        index[v] = low[v] = next++;
+        stack.push_back(v);
+        onStack[v] = 1;
+      }
+      if (f.cursor < succ[v].size()) {
+        const std::size_t w = succ[v][f.cursor++].to;
+        if (index[w] == kNone) {
+          frames.push_back({w, 0});
+        } else if (onStack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            onStack[w] = 0;
+            comp[w] = componentCount;
+            if (w == v) break;
+          }
+          ++componentCount;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+// ---- Integration analysis (MUI101/MUI102 substrate) ------------------------
+
+struct IntegrationAnalysis {
+  ProductGraph graph;
+  SafetyFragment fragment;
+  PresolveOutcome outcome;
+  /// Refutation witness: violating/deadlocked node, and the violated AG
+  /// conjunct (nullptr for a deadlock or initial-state violation).
+  std::size_t witness = kNone;
+  const ctl::Formula* violated = nullptr;
+  bool witnessIsDeadlock = false;
+};
+
+IntegrationAnalysis analyzeIntegration(const Automaton& context,
+                                       const Automaton& hidden,
+                                       const std::string& property,
+                                       const SemanticOptions& opts) {
+  IntegrationAnalysis a;
+  auto& out = a.outcome;
+
+  if (context.signalTable() != hidden.signalTable() ||
+      context.propTable() != hidden.propTable()) {
+    out.explanation = "context and stub do not share signal tables";
+    return a;
+  }
+  if (!context.composableWith(hidden)) {
+    out.explanation = "context and stub are not composable";
+    return a;
+  }
+  a.fragment = splitSafety(property);
+  if (!a.fragment.parsed) {
+    out.explanation = "property does not parse";
+    return a;
+  }
+  // Even with no supported conjunct the exploration is worthwhile: a
+  // reachable deadlock refutes φ ∧ ¬δ outright.
+  a.graph = explore(context, hidden, opts.stateCap);
+  const ProductGraph& g = a.graph;
+  out.productStates = g.size();
+  const PropEval eval(g);
+
+  // Refutation 1: a reachable state violating a supported AG conjunct.
+  // Sound even when capped or when other conjuncts are unsupported — one
+  // failing conjunct fails the conjunction. Deadlock-mentioning bodies are
+  // only evaluated when the graph is complete (succ sets are exact).
+  for (const ctl::Formula* ag : a.fragment.agConjuncts) {
+    const ctl::Formula* body = ag->lhs.get();
+    if (g.capped && mentionsDeadlock(body)) continue;
+    for (std::size_t n = 0; n < g.size(); ++n) {
+      if (g.capped && !g.expanded[n] && mentionsDeadlock(body)) continue;
+      if (!eval.eval(body, n)) {
+        a.witness = n;
+        a.violated = ag;
+        out.verdict = PresolveVerdict::Refuted;
+        out.ruleId = kGuaranteedViolation;
+        out.explanation = "presolved: real error - reachable state '" +
+                          g.name(n) + "' (depth " + std::to_string(g.depth(n)) +
+                          ") violates '" + ag->toString() + "'";
+        return a;
+      }
+    }
+  }
+
+  // Refutation 2: a top-level propositional conjunct failing at an initial
+  // state.
+  for (const ctl::Formula* now : a.fragment.nowConjuncts) {
+    if (g.capped && mentionsDeadlock(now)) continue;
+    for (std::size_t n = 0; n < g.initialCount; ++n) {
+      if (!eval.eval(now, n)) {
+        a.witness = n;
+        out.verdict = PresolveVerdict::Refuted;
+        out.ruleId = kGuaranteedViolation;
+        out.explanation =
+            "presolved: real error - initial state '" + g.name(n) +
+            "' violates '" + now->toString() + "'";
+        return a;
+      }
+    }
+  }
+
+  // Refutation 3: a reachable deadlock (¬δ is part of every integration
+  // check). Only trustworthy on a completely explored graph.
+  if (!g.capped) {
+    for (std::size_t n = 0; n < g.size(); ++n) {
+      if (g.succ[n].empty()) {
+        a.witness = n;
+        a.witnessIsDeadlock = true;
+        out.verdict = PresolveVerdict::Refuted;
+        out.ruleId = kGuaranteedViolation;
+        out.explanation = "presolved: real error - reachable deadlock state '" +
+                          g.name(n) + "' (depth " +
+                          std::to_string(g.depth(n)) + ")";
+        return a;
+      }
+    }
+  }
+
+  // Proof: every conjunct supported, none violated, no deadlock, graph
+  // complete.
+  if (a.fragment.complete && !g.capped) {
+    out.verdict = PresolveVerdict::Proved;
+    out.ruleId = kStaticallyProven;
+    out.explanation =
+        "presolved: proven - " +
+        std::string(property.empty()
+                        ? "deadlock freedom holds"
+                        : "AG-safety property and deadlock freedom hold") +
+        " on all " + std::to_string(g.size()) + " reachable product states";
+    return a;
+  }
+
+  out.explanation = g.capped
+                        ? "state cap (" + std::to_string(opts.stateCap) +
+                              ") exceeded before a definitive verdict"
+                        : "property outside the AG-safety fragment";
+  return a;
+}
+
+// ---- Model-level analyzer --------------------------------------------------
+
+class SemanticAnalyzer {
+ public:
+  SemanticAnalyzer(const muml::Model& model, const RuleSet& rules,
+                   const SemanticOptions& opts)
+      : model_(model), rules_(rules), opts_(opts) {}
+
+  Report run() {
+    for (const auto& [name, pattern] : model_.patterns) {
+      analyzePattern(pattern);
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void emit(const char* ruleId, const std::string& subject,
+            const std::string& message, const util::SourceLoc& loc,
+            std::vector<RelatedNote> related = {}) {
+    if (!rules_.enabled(ruleId)) return;
+    if (model_.source.allows(subject, ruleId)) {
+      ++report_.suppressed;
+      return;
+    }
+    const RuleInfo* info = findRule(ruleId);
+    Diagnostic d{ruleId, info ? info->defaultSeverity : Severity::Warning,
+                 subject, message, loc, std::move(related)};
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  [[nodiscard]] util::SourceLoc locOf(
+      const std::map<std::string, util::SourceLoc>& table,
+      const std::string& key) const {
+    const auto it = table.find(key);
+    return it == table.end() ? util::SourceLoc{} : it->second;
+  }
+
+  void analyzePattern(const muml::CoordinationPattern& p) {
+    const util::SourceLoc loc = locOf(model_.source.patterns, p.name);
+
+    // Compile the parts exactly as verification would; ill-formed patterns
+    // are the syntactic tier's business.
+    std::vector<Automaton> parts;
+    std::vector<std::string> partNames;
+    std::vector<char> partIsRole;
+    try {
+      for (const auto& role : p.roles) {
+        parts.push_back(
+            role.behavior.compile(model_.signals, model_.props, role.name));
+        partNames.push_back("role '" + role.name + "'");
+        partIsRole.push_back(1);
+      }
+      if (p.connector.kind == muml::ConnectorSpec::Kind::Channel) {
+        parts.push_back(muml::makeChannel(model_.signals, model_.props,
+                                          p.connector.channel));
+        partNames.push_back("channel connector");
+        partIsRole.push_back(0);
+      }
+    } catch (const std::exception&) {
+      return;
+    }
+
+    checkPatternProduct(p, parts, partNames, partIsRole, loc);
+
+    for (std::size_t r = 0; r < p.roles.size(); ++r) {
+      analyzeRoleCandidates(p, r);
+    }
+  }
+
+  /// MUI103 + MUI104 over the full role composition.
+  void checkPatternProduct(const muml::CoordinationPattern& p,
+                           const std::vector<Automaton>& parts,
+                           const std::vector<std::string>& partNames,
+                           const std::vector<char>& partIsRole,
+                           const util::SourceLoc& loc) {
+    std::optional<automata::Product> composed;
+    try {
+      std::vector<const Automaton*> ptrs;
+      ptrs.reserve(parts.size());
+      for (const auto& part : parts) ptrs.push_back(&part);
+      composed = automata::composeAll(ptrs);
+    } catch (const std::exception&) {
+      return;  // not composable: MUI004 reports the cause
+    }
+    const automata::Product& prod = *composed;
+    const Automaton& pa = prod.automaton;
+    if (pa.stateCount() > opts_.stateCap) return;
+
+    std::vector<std::vector<ProductGraph::Edge>> succ(pa.stateCount());
+    for (StateId s = 0; s < pa.stateCount(); ++s) {
+      for (const auto& t : pa.transitionsFrom(s)) {
+        succ[s].push_back({t.to, t.label.idle()});
+      }
+    }
+    reportLivelocks(p.name, "pattern '" + p.name + "'", loc, succ,
+                    [&](std::size_t s) {
+                      return pa.stateName(static_cast<StateId>(s));
+                    });
+
+    // MUI104: a role transition that fires in no reachable product step,
+    // although its source state is visited.
+    for (std::size_t k = 0; k < parts.size(); ++k) {
+      if (!partIsRole[k]) continue;
+      std::set<std::string> fired;
+      std::vector<char> visited(parts[k].stateCount(), 0);
+      for (StateId ps = 0; ps < pa.stateCount(); ++ps) {
+        visited[prod.origins[ps][k]] = 1;
+        for (const auto& t : pa.transitionsFrom(ps)) {
+          fired.insert(transitionKey(parts[k], prod.origins[ps][k],
+                                     prod.projectInteraction(t.label, k),
+                                     prod.origins[t.to][k]));
+        }
+      }
+      for (StateId s = 0; s < parts[k].stateCount(); ++s) {
+        if (!visited[s]) continue;  // MUI001-style causes, not dead syncs
+        for (const auto& t : parts[k].transitionsFrom(s)) {
+          if (fired.count(transitionKey(parts[k], s, t.label, t.to))) continue;
+          emit(kDeadTransition, p.name,
+               "pattern '" + p.name + "': " + partNames[k] + " transition '" +
+                   parts[k].stateName(s) + " -" +
+                   parts[k].interactionToString(t.label) + "-> " +
+                   parts[k].stateName(t.to) +
+                   "' fires in no reachable step of the role composition",
+               loc);
+        }
+      }
+    }
+  }
+
+  static std::string transitionKey(const Automaton& a, StateId from,
+                                   const Interaction& x, StateId to) {
+    return std::to_string(from) + "|" + a.interactionToString(x) + "|" +
+           std::to_string(to);
+  }
+
+  /// MUI103 over any transition system given as silent-flagged successor
+  /// lists: reachable non-trivial SCCs whose internal steps exchange no
+  /// signals and which cannot be left.
+  template <typename NameOf>
+  void reportLivelocks(const std::string& subject, const std::string& where,
+                       const util::SourceLoc& loc,
+                       const std::vector<std::vector<ProductGraph::Edge>>& succ,
+                       NameOf&& nameOf) {
+    const std::size_t stateCount = succ.size();
+    std::size_t componentCount = 0;
+    const std::vector<std::size_t> comp =
+        stronglyConnected(succ, componentCount);
+
+    std::vector<std::size_t> compSize(componentCount, 0);
+    std::vector<char> nontrivial(componentCount, 0), exits(componentCount, 0),
+        loud(componentCount, 0);
+    for (std::size_t s = 0; s < stateCount; ++s) ++compSize[comp[s]];
+    for (std::size_t s = 0; s < stateCount; ++s) {
+      for (const auto& e : succ[s]) {
+        if (comp[e.to] != comp[s]) {
+          exits[comp[s]] = 1;
+        } else {
+          nontrivial[comp[s]] = 1;  // an internal edge: cycle exists
+          if (!e.silent) loud[comp[s]] = 1;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < componentCount; ++c) {
+      if (!nontrivial[c] || exits[c] || loud[c]) continue;
+      std::vector<RelatedNote> related;
+      std::string members;
+      std::size_t listed = 0;
+      for (std::size_t s = 0; s < stateCount && listed < opts_.maxRelated;
+           ++s) {
+        if (comp[s] != c) continue;
+        related.push_back({"cycle member '" + nameOf(s) + "'", {}});
+        if (!members.empty()) members += ", ";
+        members += "'" + nameOf(s) + "'";
+        ++listed;
+      }
+      emit(kLivelockScc, subject,
+           where + ": " + std::to_string(compSize[c]) +
+               "-state cycle through " + members +
+               (compSize[c] > listed ? " (and more)" : "") +
+               " exchanges no signals and has no exit; the composition can "
+               "diverge here",
+           loc, std::move(related));
+    }
+  }
+
+  /// Integration-level rules for every model automaton that can stand in as
+  /// `role` of `p`: MUI105 (flow coverage), MUI101/MUI102 (verdict
+  /// pre-solving), MUI103/MUI104 on the context ‖ candidate product.
+  void analyzeRoleCandidates(const muml::CoordinationPattern& p,
+                             std::size_t roleIdx) {
+    std::optional<muml::IntegrationScenario> scenario;
+    try {
+      scenario = muml::makeIntegrationScenario(p, roleIdx, model_.signals,
+                                               model_.props);
+    } catch (const std::exception&) {
+      return;
+    }
+    const std::string& roleName = p.roles[roleIdx].name;
+    const Automaton& context = scenario->context;
+
+    // Flow-sensitive context signal usage (the context automaton contains
+    // exactly the reachable composed states).
+    SignalSet ctxEmits, ctxConsumes;
+    for (StateId s = 0; s < context.stateCount(); ++s) {
+      for (const auto& t : context.transitionsFrom(s)) {
+        ctxEmits |= t.label.out;
+        ctxConsumes |= t.label.in;
+      }
+    }
+
+    for (const auto& [candName, cand] : model_.automata) {
+      Automaton stub(model_.signals, model_.props);
+      try {
+        stub = automata::withInstanceName(cand, roleName);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (!context.composableWith(stub)) continue;
+      const util::SourceLoc candLoc = locOf(model_.source.automata, candName);
+      const std::string where = "automaton '" + candName + "' as role '" +
+                                roleName + "' of pattern '" + p.name + "'";
+
+      checkInterfaceCoverage(candName, where, candLoc, context, stub,
+                             ctxEmits, ctxConsumes);
+
+      const IntegrationAnalysis a =
+          analyzeIntegration(context, stub, scenario->property, opts_);
+      if (a.outcome.verdict == PresolveVerdict::Proved) {
+        emitProof(candName, where, candLoc, a, scenario->property);
+      } else if (a.outcome.verdict == PresolveVerdict::Refuted) {
+        emitRefutation(candName, where, candLoc, a, context, stub);
+      }
+
+      if (!a.graph.capped && a.graph.size() > 0) {
+        reportLivelocks(candName, where, candLoc, a.graph.succ,
+                        [&](std::size_t n) { return a.graph.name(n); });
+        checkDeadStubTransitions(candName, where, candLoc, a.graph, stub);
+      }
+    }
+  }
+
+  void checkInterfaceCoverage(const std::string& subject,
+                              const std::string& where,
+                              const util::SourceLoc& loc,
+                              const Automaton& context, const Automaton& stub,
+                              const SignalSet& ctxEmits,
+                              const SignalSet& ctxConsumes) {
+    const std::vector<bool> reach = stub.reachableStates();
+    SignalSet stubTriggers, stubEmits;
+    for (StateId s = 0; s < stub.stateCount(); ++s) {
+      if (!reach[s]) continue;
+      for (const auto& t : stub.transitionsFrom(s)) {
+        stubTriggers |= t.label.in;
+        stubEmits |= t.label.out;
+      }
+    }
+    // Beyond MUI004 (declared-name matching): restrict to signals the
+    // context *declares* but never actually moves on a reachable transition.
+    ((stubTriggers & context.outputs()) - ctxEmits).forEach([&](std::size_t b) {
+      emit(kInterfaceGap, subject,
+           where + ": stub transitions trigger on '" + signalName(b) +
+               "' but no reachable context transition emits it; those "
+               "transitions are flow-dead in every product",
+           loc);
+    });
+    ((stubEmits & context.inputs()) - ctxConsumes).forEach([&](std::size_t b) {
+      emit(kInterfaceGap, subject,
+           where + ": stub emits '" + signalName(b) +
+               "' but no reachable context transition consumes it; the send "
+               "can never synchronize",
+           loc);
+    });
+  }
+
+  [[nodiscard]] std::string signalName(std::size_t bit) const {
+    return model_.signals->name(static_cast<util::NameId>(bit));
+  }
+
+  /// MUI104 on the stub side of context ‖ stub.
+  void checkDeadStubTransitions(const std::string& subject,
+                                const std::string& where,
+                                const util::SourceLoc& loc,
+                                const ProductGraph& g, const Automaton& stub) {
+    std::vector<char> visited(stub.stateCount(), 0);
+    for (std::size_t n = 0; n < g.size(); ++n) visited[g.stubState[n]] = 1;
+    for (StateId s = 0; s < stub.stateCount(); ++s) {
+      if (!visited[s]) continue;
+      const auto& ts = stub.transitionsFrom(s);
+      for (std::size_t j = 0; j < ts.size(); ++j) {
+        if (g.firedStub[s][j]) continue;
+        emit(kDeadTransition, subject,
+             where + ": transition '" + stub.stateName(s) + " -" +
+                 stub.interactionToString(ts[j].label) + "-> " +
+                 stub.stateName(ts[j].to) +
+                 "' fires in no reachable step of the composition",
+             loc);
+      }
+    }
+  }
+
+  void emitProof(const std::string& subject, const std::string& where,
+                 const util::SourceLoc& loc, const IntegrationAnalysis& a,
+                 const std::string& property) {
+    std::vector<RelatedNote> related;
+    for (const ctl::Formula* ag : a.fragment.agConjuncts) {
+      if (related.size() >= opts_.maxRelated) break;
+      related.push_back({"conjunct '" + ag->toString() + "': no reachable " +
+                             "state among " + std::to_string(a.graph.size()) +
+                             " can violate it",
+                         {}});
+    }
+    related.push_back({"no reachable deadlock state", {}});
+    emit(kStaticallyProven, subject,
+         where + ": " +
+             (property.empty() ? std::string("deadlock freedom holds")
+                               : "the AG-safety property and deadlock "
+                                 "freedom hold") +
+             " on all " + std::to_string(a.graph.size()) +
+             " reachable product states; the engine pre-solves this "
+             "integration to proven",
+         loc, std::move(related));
+  }
+
+  void emitRefutation(const std::string& subject, const std::string& where,
+                      const util::SourceLoc& loc, const IntegrationAnalysis& a,
+                      const Automaton& context, const Automaton& stub) {
+    std::vector<RelatedNote> related;
+    // Dominator-style must-pass chain: the states every counterexample
+    // must traverse to reach the witness.
+    const std::vector<std::size_t> idom = immediateDominators(a.graph);
+    for (const std::size_t d :
+         mustPassChain(idom, a.witness, opts_.maxRelated)) {
+      related.push_back({"every path to the violation passes through '" +
+                             a.graph.name(d) + "'",
+                         {}});
+    }
+    related.push_back(
+        {a.witnessIsDeadlock
+             ? "witness '" + a.graph.name(a.witness) + "' deadlocks"
+             : "witness '" + a.graph.name(a.witness) + "' violates '" +
+                   (a.violated ? a.violated->toString()
+                               : std::string("an initial-state conjunct")) +
+                   "'",
+         {}});
+    related.push_back({chaosNote(context, stub), {}});
+    emit(kGuaranteedViolation, subject,
+         where + ": " +
+             (a.witnessIsDeadlock
+                  ? "a deadlock is reachable"
+                  : "a property violation is reachable") +
+             " at depth " + std::to_string(a.graph.depth(a.witness)) +
+             "; the engine pre-solves this integration to real-error",
+         loc, std::move(related));
+  }
+
+  /// Iteration-0 chaos diagnosis: does the chaotic closure of the empty
+  /// behavioral model (interface + initial state only, Lemma 4) already
+  /// reach chaos when composed with the context? If so the pessimistic
+  /// product cannot prove anything before learning.
+  [[nodiscard]] std::string chaosNote(const Automaton& context,
+                                      const Automaton& stub) const {
+    try {
+      automata::IncompleteAutomaton m0(model_.signals, model_.props,
+                                       stub.name());
+      m0.declareSignals(stub.inputs(), stub.outputs());
+      for (const StateId s0 : stub.initialStates()) {
+        const StateId s = m0.ensureState(stub.stateName(s0));
+        m0.markInitial(s);
+        m0.labelWithStateName(s);
+      }
+      const automata::Closure closure = automata::chaoticClosure(
+          m0,
+          automata::makeAlphabet(stub.inputs(), stub.outputs(),
+                                 automata::InteractionMode::AtMostOneSignal),
+          automata::ClosureStyle::DeterministicTarget,
+          automata::ClosureCopies::Both);
+      const ProductGraph g =
+          explore(context, closure.automaton, opts_.stateCap);
+      for (std::size_t n = 0; n < g.size(); ++n) {
+        if (closure.isChaos(g.stubState[n])) {
+          return "the iteration-0 chaotic closure reaches chaos ('" +
+                 closure.automaton.stateName(g.stubState[n]) + "') at depth " +
+                 std::to_string(g.depth(n)) +
+                 "; the refinement loop must learn before concluding on its "
+                 "own";
+        }
+      }
+      return g.capped ? "iteration-0 chaos reachability not decided (cap)"
+                      : "the iteration-0 chaotic closure never reaches "
+                        "chaos: the pessimistic product alone decides this "
+                        "integration";
+    } catch (const std::exception& e) {
+      return std::string("iteration-0 chaos analysis unavailable: ") +
+             e.what();
+    }
+  }
+
+  const muml::Model& model_;
+  const RuleSet& rules_;
+  const SemanticOptions& opts_;
+  Report report_;
+};
+
+}  // namespace
+
+const char* presolveVerdictName(PresolveVerdict v) {
+  switch (v) {
+    case PresolveVerdict::Proved:
+      return "proved";
+    case PresolveVerdict::Refuted:
+      return "refuted";
+    case PresolveVerdict::Skipped:
+      return "skipped";
+  }
+  return "skipped";
+}
+
+PresolveOutcome presolveIntegration(const automata::Automaton& context,
+                                    const automata::Automaton& hidden,
+                                    const std::string& property,
+                                    const SemanticOptions& opts) {
+  try {
+    return analyzeIntegration(context, hidden, property, opts).outcome;
+  } catch (const std::exception& e) {
+    PresolveOutcome out;
+    out.explanation = std::string("presolve error: ") + e.what();
+    return out;
+  } catch (...) {
+    PresolveOutcome out;
+    out.explanation = "presolve error: unknown exception";
+    return out;
+  }
+}
+
+Report runSemantic(const muml::Model& model, const RuleSet& rules,
+                   const SemanticOptions& opts) {
+  return SemanticAnalyzer(model, rules, opts).run();
+}
+
+}  // namespace mui::analysis

@@ -26,6 +26,8 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
   RunnerOptions runnerOptions;
   runnerOptions.defaultTimeoutMs = options.defaultTimeoutMs;
   runnerOptions.lintPreflight = options.lintPreflight;
+  runnerOptions.semanticPresolve = options.semanticPresolve;
+  runnerOptions.semanticDiagnostics = options.semanticDiagnostics;
   runnerOptions.journal = options.journal;
 
   {

@@ -35,6 +35,12 @@ struct BatchOptions {
   /// Per-job lint pre-flight (see RunnerOptions::lintPreflight); the CLI
   /// exposes `mui batch --no-lint` to turn it off.
   bool lintPreflight = true;
+  /// Semantic verdict pre-solving (see RunnerOptions::semanticPresolve);
+  /// the CLI exposes `mui batch --no-presolve` to turn it off.
+  bool semanticPresolve = true;
+  /// Full MUI1xx diagnostic pass per model (see
+  /// RunnerOptions::semanticDiagnostics); the CLI flag is `--semantic`.
+  bool semanticDiagnostics = false;
   /// Structured run journal (obs/journal.hpp): per-iteration and per-job
   /// events from every worker plus one closing "batch" event. Must outlive
   /// the call; the CLI exposes `mui batch --journal-out`.

@@ -73,6 +73,9 @@ struct JobResult {
   std::size_t productStatesNew = 0;
   std::size_t productStatesReused = 0;
   bool cacheHit = false;
+  /// The semantic pre-solve stage (analysis::presolveIntegration) decided
+  /// the verdict statically; the refinement loop never ran.
+  bool presolved = false;
   /// Thread-pool worker that ran the job ("worker-3"); empty when the job
   /// ran off-pool (direct runJob call).
   std::string worker;

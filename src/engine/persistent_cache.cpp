@@ -5,11 +5,11 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
@@ -67,7 +67,7 @@ PersistentResultCache::PersistentResultCache(std::string path,
                0644);
   if (fd_ < 0) {
     throw std::runtime_error("cannot open result-cache log '" + path_ +
-                             "' for append: " + std::strerror(errno));
+                             "' for append: " + std::system_category().message(errno));
   }
 }
 
@@ -256,7 +256,7 @@ std::size_t PersistentResultCache::compact(const std::string& path) {
                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0) {
       throw std::runtime_error("cannot write compacted cache '" + tmp +
-                               "': " + std::strerror(errno));
+                               "': " + std::system_category().message(errno));
     }
     std::string out;
     {
@@ -275,7 +275,7 @@ std::size_t PersistentResultCache::compact(const std::string& path) {
         const int err = errno;
         ::close(fd);
         throw std::runtime_error("cannot write compacted cache '" + tmp +
-                                 "': " + std::strerror(err));
+                                 "': " + std::system_category().message(err));
       }
       written += static_cast<std::size_t>(n);
     }

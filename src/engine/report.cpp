@@ -38,7 +38,8 @@ std::string renderBatchReport(const BatchReport& report) {
                r.job.hidden, jobStatusName(r.status),
                std::to_string(r.iterations), std::to_string(r.testPeriods),
                std::to_string(r.learnedFacts), util::fmt(r.wallMs, 1), phases,
-               reuse, r.cacheHit ? "hit" : "-"});
+               reuse,
+               r.cacheHit ? "hit" : (r.presolved ? "presolved" : "-")});
   }
 
   std::string out = table.str();
@@ -80,7 +81,8 @@ std::string writeBatchSummary(const BatchReport& report) {
            ",\"productStatesNew\":" + std::to_string(r.productStatesNew) +
            ",\"productStatesReused\":" +
            std::to_string(r.productStatesReused) +
-           ",\"cacheHit\":" + (r.cacheHit ? "true" : "false") + "}\n";
+           ",\"cacheHit\":" + (r.cacheHit ? "true" : "false") +
+           ",\"presolved\":" + (r.presolved ? "true" : "false") + "}\n";
   }
   out += "{\"type\":\"batch\",\"jobs\":" +
          std::to_string(report.results.size()) +

@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "analysis/analyze.hpp"
+#include "analysis/semantic.hpp"
 #include "automata/rename.hpp"
+#include "obs/metrics.hpp"
 #include "engine/thread_pool.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
@@ -33,6 +35,29 @@ JobStatus statusOf(synthesis::Verdict v) {
       return JobStatus::Timeout;
   }
   return JobStatus::EngineError;
+}
+
+void countPresolve(analysis::PresolveVerdict v) {
+  static obs::Counter& proved = obs::Registry::global().counter(
+      "mui_presolve_proved_total",
+      "jobs pre-solved to proven by the semantic analyzer");
+  static obs::Counter& refuted = obs::Registry::global().counter(
+      "mui_presolve_refuted_total",
+      "jobs pre-solved to real-error by the semantic analyzer");
+  static obs::Counter& skipped = obs::Registry::global().counter(
+      "mui_presolve_skipped_total",
+      "jobs the semantic pre-solver passed to the refinement loop");
+  switch (v) {
+    case analysis::PresolveVerdict::Proved:
+      proved.inc();
+      break;
+    case analysis::PresolveVerdict::Refuted:
+      refuted.inc();
+      break;
+    case analysis::PresolveVerdict::Skipped:
+      skipped.inc();
+      break;
+  }
 }
 
 }  // namespace
@@ -105,6 +130,26 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
       }
     }
 
+    // Full semantic diagnostic tier (--semantic): like the lint pre-flight
+    // but flow-sensitive, gating on error-level MUI1xx findings.
+    if (options.semanticDiagnostics) {
+      const auto semantic = analysis::runSemantic(model);
+      if (options.journal != nullptr) {
+        options.journal->event(
+            "analyze",
+            obs::JsonObject()
+                .s("run", job.name)
+                .u("findings", semantic.diagnostics.size())
+                .u("errors", semantic.count(analysis::Severity::Error))
+                .u("suppressed", semantic.suppressed));
+      }
+      if (semantic.hasErrors()) {
+        out.status = JobStatus::EngineError;
+        out.explanation = "semantic: " + semantic.errorMessages().front();
+        return finish();
+      }
+    }
+
     const auto pit = model.patterns.find(job.pattern);
     if (pit == model.patterns.end()) {
       throw std::runtime_error("no pattern named '" + job.pattern + "' in " +
@@ -127,11 +172,48 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
 
     const auto scenario = muml::makeIntegrationScenario(
         pattern, roleIdx, model.signals, model.props);
-    testing::AutomatonLegacy legacy(automata::withInstanceName(
-        hit->second, pattern.roles[roleIdx].name));
+    const automata::Automaton hiddenAsRole =
+        automata::withInstanceName(hit->second, pattern.roles[roleIdx].name);
+    const std::string property =
+        job.formula.empty() ? scenario.property : job.formula;
+
+    // Semantic pre-solve: for properties inside the AG-safety fragment the
+    // verdict is decidable by plain forward reachability on the concrete
+    // composition — no closure, no learning, no testing. Definitive
+    // outcomes short-circuit the refinement loop and are cached under the
+    // same content key a loop result would use (fuzz oracle O6 checks that
+    // the two paths agree).
+    if (options.semanticPresolve) {
+      const analysis::PresolveOutcome pre =
+          analysis::presolveIntegration(scenario.context, hiddenAsRole,
+                                        property);
+      countPresolve(pre.verdict);
+      if (options.journal != nullptr) {
+        options.journal->event(
+            "presolve",
+            obs::JsonObject()
+                .s("run", job.name)
+                .s("verdict", analysis::presolveVerdictName(pre.verdict))
+                .s("rule", pre.ruleId)
+                .u("productStates", pre.productStates));
+      }
+      if (pre.verdict != analysis::PresolveVerdict::Skipped) {
+        out.status = pre.verdict == analysis::PresolveVerdict::Proved
+                         ? JobStatus::Proven
+                         : JobStatus::RealError;
+        out.explanation = pre.explanation;
+        out.presolved = true;
+        results.store(key, CachedOutcome{out.status, out.explanation,
+                                         out.iterations, out.testPeriods,
+                                         out.learnedFacts});
+        return finish();
+      }
+    }
+
+    testing::AutomatonLegacy legacy(hiddenAsRole);
 
     synthesis::IntegrationConfig cfg;
-    cfg.property = job.formula.empty() ? scenario.property : job.formula;
+    cfg.property = property;
     cfg.journal = options.journal;
     cfg.runId = job.name;
     if (job.maxIterations != 0) cfg.maxIterations = job.maxIterations;

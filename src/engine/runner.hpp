@@ -29,6 +29,16 @@ struct RunnerOptions {
   /// model with error-level findings becomes an engine-error row carrying
   /// the diagnostics instead of burning verification time.
   bool lintPreflight = true;
+  /// Semantic pre-solve (analysis::presolveIntegration): decide the job's
+  /// verdict statically on the composed product when the property falls in
+  /// the AG-safety fragment, skipping the refinement loop entirely.
+  /// Definitive outcomes are cached under the same JobKey as loop results.
+  bool semanticPresolve = true;
+  /// Run the full semantic diagnostic tier (analysis::runSemantic, rules
+  /// MUI1xx) on each loaded model and fail jobs on error-level findings —
+  /// the `--semantic` batch flag. Off by default: the tier's product
+  /// explorations cost real time and the findings are advisory.
+  bool semanticDiagnostics = false;
   /// Structured run journal: when set, the integration loop writes its
   /// per-iteration events here and the runner appends one "job" event per
   /// completed job. Shared across workers (the journal locks internally);

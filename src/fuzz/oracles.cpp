@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/semantic.hpp"
 #include "automata/chaos.hpp"
 #include "automata/compose.hpp"
 #include "automata/incomplete.hpp"
@@ -380,6 +381,35 @@ OracleResult checkO5(const Scenario& s, const OracleOptions& opts) {
   return {};
 }
 
+// ---- O6: semantic pre-solve vs ground truth --------------------------------
+
+OracleResult checkO6(const Scenario& s, const OracleOptions&) {
+  const analysis::PresolveOutcome pre =
+      analysis::presolveIntegration(s.context, s.hidden, s.property);
+  if (pre.verdict == analysis::PresolveVerdict::Skipped) return {};
+
+  const ctl::FormulaPtr phi =
+      s.property.empty() ? nullptr : ctl::parseFormula(s.property);
+  const auto truth =
+      ctl::verify(automata::compose(s.hidden, s.context).automaton, phi, {});
+
+  if (pre.verdict == analysis::PresolveVerdict::Proved && !truth.holds) {
+    return violation(
+        "O6: pre-solver proved the integration (" + pre.explanation +
+            ") but the concrete composition violates the obligation (" +
+            (truth.counterexamples.empty() ? "?" : truth.cex().note) + ")",
+        s.property);
+  }
+  if (pre.verdict == analysis::PresolveVerdict::Refuted && truth.holds) {
+    return violation(
+        "O6: pre-solver refuted the integration (" + pre.explanation +
+            ") but the concrete composition satisfies the property and "
+            "deadlock freedom",
+        s.property);
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* toString(OracleId id) {
@@ -394,6 +424,8 @@ const char* toString(OracleId id) {
       return "O4";
     case OracleId::O5VerdictInvariance:
       return "O5";
+    case OracleId::O6PresolveSound:
+      return "O6";
   }
   return "O?";
 }
@@ -408,7 +440,7 @@ std::optional<OracleId> oracleFromString(std::string_view text) {
 std::vector<OracleId> allOracles() {
   return {OracleId::O1CheckerAgreement, OracleId::O2ChaosSafety,
           OracleId::O3VerdictSound, OracleId::O4IncrementalCompose,
-          OracleId::O5VerdictInvariance};
+          OracleId::O5VerdictInvariance, OracleId::O6PresolveSound};
 }
 
 const char* describeOracle(OracleId id) {
@@ -425,6 +457,9 @@ const char* describeOracle(OracleId id) {
       return "incremental composition isomorphic to full recomposition";
     case OracleId::O5VerdictInvariance:
       return "verdicts invariant under minimization and state renaming";
+    case OracleId::O6PresolveSound:
+      return "semantic pre-solve verdicts agree with the concrete ground "
+             "truth";
   }
   return "";
 }
@@ -458,6 +493,8 @@ OracleResult checkOracle(OracleId id, const Scenario& s,
       return checkO4(s, opts);
     case OracleId::O5VerdictInvariance:
       return checkO5(s, opts);
+    case OracleId::O6PresolveSound:
+      return checkO6(s, opts);
   }
   return {};
 }

@@ -1,5 +1,5 @@
 #pragma once
-// The five metamorphic oracles of the fuzzing subsystem. Each one turns a
+// The six metamorphic oracles of the fuzzing subsystem. Each one turns a
 // guarantee of the paper — or an internal implementation equivalence — into
 // an executable check over a generated scenario:
 //
@@ -18,6 +18,10 @@
 //       across model revisions, and repeat calls reuse the whole arena.
 //   O5  CCTL verdicts are invariant under bisimulation minimization and
 //       under state renaming/reordering (automata::shuffledCopy).
+//   O6  Pre-solve soundness: when analysis::presolveIntegration returns a
+//       definitive verdict (Proved/Refuted) for the scenario, it agrees
+//       with ctl::verify on the concrete composition; Skipped is always
+//       acceptable.
 //
 // checkOracle never reports flaky results: everything derives from the
 // scenario seed. Violations carry the exposing formula so the shrinker
@@ -38,12 +42,13 @@ enum class OracleId {
   O3VerdictSound,
   O4IncrementalCompose,
   O5VerdictInvariance,
+  O6PresolveSound,
 };
 
-/// "O1" .. "O5".
+/// "O1" .. "O6".
 const char* toString(OracleId id);
 std::optional<OracleId> oracleFromString(std::string_view text);
-/// All five, in numeric order.
+/// All six, in numeric order.
 std::vector<OracleId> allOracles();
 /// One-line catalog entry (usage text and docs/FUZZING.md).
 const char* describeOracle(OracleId id);

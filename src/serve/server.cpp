@@ -313,6 +313,7 @@ void Server::handleJob(const std::shared_ptr<Conn>& conn, std::uint64_t id,
   pool_->submit([this, conn, id, job = std::move(job)] {
     engine::RunnerOptions runnerOptions;
     runnerOptions.lintPreflight = options_.lintPreflight;
+    runnerOptions.semanticPresolve = options_.semanticPresolve;
     runnerOptions.journal = options_.journal;
     const engine::JobResult result =
         engine::runJob(job, texts_, results_, runnerOptions);

@@ -73,6 +73,9 @@ struct ServeOptions {
   /// In-memory result-cache LRU entry cap.
   std::size_t cacheMaxEntries = engine::ResultCache::kDefaultMaxEntries;
   bool lintPreflight = true;
+  /// Semantic verdict pre-solving per job (RunnerOptions::semanticPresolve);
+  /// `mui serve --no-presolve` turns it off.
+  bool semanticPresolve = true;
   /// Reported in the protocol welcome line.
   std::string version = "dev";
   /// Structured run journal shared with the engine runner; must outlive

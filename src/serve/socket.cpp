@@ -8,15 +8,18 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 namespace mui::serve {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  // std::system_category().message is the thread-safe strerror: the daemon
+  // hits this from worker threads (concurrency-mt-unsafe).
+  throw std::runtime_error(
+      what + ": " + std::system_category().message(errno));
 }
 
 sockaddr_in makeAddr(const std::string& host, std::uint16_t port) {

@@ -51,9 +51,9 @@ constexpr const char* kCleanPattern = R"mm(
 
 TEST(Registry, TenRulesWithStableIdsAndLookup) {
   const auto& rules = allRules();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 15u);
   EXPECT_STREQ(rules.front().id, "MUI001");
-  EXPECT_STREQ(rules.back().id, "MUI010");
+  EXPECT_STREQ(rules.back().id, "MUI105");
   for (const auto& r : rules) {
     const RuleInfo* found = findRule(r.id);
     ASSERT_NE(found, nullptr);

@@ -1,0 +1,20 @@
+# Acceptance check for the semantic tier: every checked-in fuzz reproducer
+# must run through `mui analyze` crash-free in both output formats. Findings
+# are fine (reproducers are hostile by construction — exit 1 on rule errors
+# is acceptable); crashes and usage errors are not. Invoked as a ctest entry
+# from tools/CMakeLists.txt:
+#   cmake -DMUI=<mui-binary> -DCORPUS=<corpus-dir> -P analyze_corpus.cmake
+file(GLOB reproducers "${CORPUS}/*.muml")
+if(NOT reproducers)
+  message(FATAL_ERROR "no .muml reproducers under ${CORPUS}")
+endif()
+foreach(model IN LISTS reproducers)
+  foreach(format text json)
+    execute_process(COMMAND "${MUI}" analyze "${model}" --format ${format}
+                    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+    if(NOT rc MATCHES "^[01]$")
+      message(FATAL_ERROR
+              "mui analyze ${model} --format ${format} exited ${rc}:\n${out}\n${err}")
+    endif()
+  endforeach()
+endforeach()

@@ -72,7 +72,7 @@
 //            [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]
 //            [--inject-bug <name>] [--journal-out F] [--metrics-out F]
 //       Property-based fuzzing campaign (docs/FUZZING.md): N seeded
-//       scenarios, each checked against the metamorphic oracles O1-O5.
+//       scenarios, each checked against the metamorphic oracles O1-O6.
 //       Violations are shrunk to minimal reproducers and written to the
 //       corpus directory. Deterministic in (seed, runs, oracle selection).
 //       --inject-bug plants a known checker bug (harness self-test).
@@ -109,6 +109,7 @@
 
 #include "analysis/analyze.hpp"
 #include "analysis/render.hpp"
+#include "analysis/semantic.hpp"
 #include "automata/compose.hpp"
 #include "automata/rename.hpp"
 #include "ctl/counterexample.hpp"
@@ -154,13 +155,14 @@ void printUsage(std::FILE* out) {
       "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
       "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>] "
       "[--no-lint]\n"
-      "            [--cache <file>] [--trace-out F] [--metrics-out F] "
-      "[--journal-out F]\n"
+      "            [--no-presolve] [--semantic] [--cache <file>] "
+      "[--trace-out F]\n"
+      "            [--metrics-out F] [--journal-out F]\n"
       "  mui serve [--host H] [--port P] [--port-file F] [--threads N]\n"
       "            [--queue-limit N] [--timeout-ms T] [--max-timeout-ms T]\n"
       "            [--retry-after-ms T] [--cache <file>] [--no-fsync] "
       "[--no-lint]\n"
-      "            [--journal-out F] [--metrics-out F]\n"
+      "            [--no-presolve] [--journal-out F] [--metrics-out F]\n"
       "  mui serve --cache <file> --compact\n"
       "  mui submit <manifest> --port P [--host H] [--deadline-ms T]\n"
       "             [--retry-rounds N] [--out <file>]\n"
@@ -170,6 +172,7 @@ void printUsage(std::FILE* out) {
       "           [--inject-bug <name>] [--journal-out F] [--metrics-out F]\n"
       "  mui fuzz --replay <reproducer.muml>...\n"
       "  mui lint <model.muml> [--format text|json] [--disable MUIxxx]...\n"
+      "  mui analyze <model.muml> [--format text|json] [--disable MUIxxx]...\n"
       "  mui dot <model.muml> <automaton|rtsc>\n"
       "  mui --help | --version\n"
       "exit codes: 0 verified/proven (lint: clean), 1 violation/real error "
@@ -553,6 +556,64 @@ int cmdLint(int argc, char** argv) {
   return report.clean() ? 0 : 1;
 }
 
+/// `mui analyze` — the full static-analysis surface: the syntactic lint
+/// tier (MUI0xx) plus the semantic whole-integration tier (MUI1xx,
+/// analysis::runSemantic) in one report. Unlike `mui lint`, warnings and
+/// notes do not fail the exit code — the semantic tier is advisory; only
+/// error-level findings exit 1.
+int cmdAnalyze(int argc, char** argv) {
+  const char* modelPath = nullptr;
+  bool json = false;
+  analysis::RuleSet rules = analysis::RuleSet::all();
+  for (int i = 0; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--format") == 0) {
+      const std::string format = flagValue("--format");
+      if (format == "json") {
+        json = true;
+      } else if (format == "text") {
+        json = false;
+      } else {
+        return usageError("--format expects 'text' or 'json'");
+      }
+    } else if (std::strcmp(argv[i], "--disable") == 0) {
+      const char* id = flagValue("--disable");
+      if (analysis::findRule(id) == nullptr) {
+        return usageError(std::string("unknown lint rule '") + id + "'");
+      }
+      rules.disable(id);
+    } else if (argv[i][0] == '-') {
+      return usageError(std::string("unknown analyze flag '") + argv[i] + "'");
+    } else if (modelPath == nullptr) {
+      modelPath = argv[i];
+    } else {
+      return usageError(std::string("unexpected analyze argument '") + argv[i] +
+                        "'");
+    }
+  }
+  if (modelPath == nullptr) {
+    return usageError(
+        "analyze expects <model.muml> [--format text|json] [--disable "
+        "MUIxxx]");
+  }
+
+  const muml::Model model = loadFile(modelPath);
+  analysis::Report report = analysis::run(model, rules);
+  analysis::Report semantic = analysis::runSemantic(model, rules);
+  report.suppressed += semantic.suppressed;
+  for (auto& d : semantic.diagnostics) {
+    report.diagnostics.push_back(std::move(d));
+  }
+  std::printf("%s", json ? analysis::writeSarif(report).c_str()
+                         : analysis::renderText(report).c_str());
+  return report.hasErrors() ? 1 : 0;
+}
+
 /// Parses a non-negative integer CLI argument; returns false on garbage.
 bool parseUint(const char* text, std::uint64_t& out) {
   char* end = nullptr;
@@ -598,6 +659,10 @@ int cmdBatch(int argc, char** argv) {
       cachePath = flagValue("--cache");
     } else if (std::strcmp(argv[i], "--no-lint") == 0) {
       options.lintPreflight = false;
+    } else if (std::strcmp(argv[i], "--no-presolve") == 0) {
+      options.semanticPresolve = false;
+    } else if (std::strcmp(argv[i], "--semantic") == 0) {
+      options.semanticDiagnostics = true;
     } else {
       return usageError(std::string("unknown batch flag '") + argv[i] + "'");
     }
@@ -700,6 +765,8 @@ int cmdServe(int argc, char** argv) {
       options.fsyncCache = false;
     } else if (std::strcmp(argv[i], "--no-lint") == 0) {
       options.lintPreflight = false;
+    } else if (std::strcmp(argv[i], "--no-presolve") == 0) {
+      options.semanticPresolve = false;
     } else if (std::strcmp(argv[i], "--compact") == 0) {
       compactOnly = true;
     } else {
@@ -912,7 +979,7 @@ int cmdFuzz(int argc, char** argv) {
           const auto id = fuzz::oracleFromString(name);
           if (!id) {
             return usageError("unknown oracle '" + name +
-                              "' (expected O1..O5)");
+                              "' (expected O1..O6)");
           }
           options.oracles.push_back(*id);
         }
@@ -920,7 +987,7 @@ int cmdFuzz(int argc, char** argv) {
         pos = comma + 1;
       }
       if (options.oracles.empty()) {
-        return usageError("--oracles expects a comma-separated O1..O5 list");
+        return usageError("--oracles expects a comma-separated O1..O6 list");
       }
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
       const char* name = flagValue("--inject-bug");
@@ -1000,6 +1067,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmdStats(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmdFuzz(argc - 2, argv + 2);
     if (cmd == "lint") return cmdLint(argc - 2, argv + 2);
+    if (cmd == "analyze") return cmdAnalyze(argc - 2, argv + 2);
     if (cmd == "dot") return cmdDot(argc - 2, argv + 2);
     return usageError("unknown command '" + cmd + "'");
   } catch (const std::exception& e) {

@@ -77,6 +77,15 @@ start_daemon 1
 http_get /healthz "$WORK/healthz.txt"
 grep -q "200" "$WORK/healthz.txt" || fail "/healthz is not 200 on a fresh daemon"
 submit 1
+# The cold run must exercise the semantic pre-solve stage: the campaign's
+# guaranteed-faulty jobs are decided statically (docs/LINT_RULES.md,
+# "Verdict pre-solving") before the refinement loop ever spins up.
+http_get /metrics "$WORK/metrics-1.txt"
+PROVED=$(metric "$WORK/metrics-1.txt" mui_presolve_proved_total)
+REFUTED=$(metric "$WORK/metrics-1.txt" mui_presolve_refuted_total)
+SKIPPED=$(metric "$WORK/metrics-1.txt" mui_presolve_skipped_total)
+[ $((PROVED + REFUTED)) -ge 1 ] || \
+    fail "cold run pre-solved nothing: proved=$PROVED refuted=$REFUTED skipped=$SKIPPED"
 stop_daemon 1
 [ -s "$CACHE" ] || fail "cache log $CACHE is empty after the first run"
 
