@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
+
 namespace mui::ctl {
 
 using automata::Automaton;
@@ -335,6 +337,7 @@ void collectPropertyCexs(Checker& checker, const Automaton& m,
 
 VerifyResult verify(const Automaton& m, const FormulaPtr& phi,
                     const VerifyOptions& opts) {
+  const obs::ObsSpan span("verify", opts.traceId);
   Checker checker(m);
   VerifyResult result;
   result.stateCount = m.stateCount();

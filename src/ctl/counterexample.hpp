@@ -44,6 +44,10 @@ struct VerifyOptions {
   /// step several counterexamples per verification round).
   std::size_t maxCounterexamples = 1;
   CexSearch search = CexSearch::Shortest;
+  /// Correlation id tagging this check's trace span (obs/ulid.hpp); the
+  /// integration loop passes its job ulid so per-check time shows up under
+  /// the right job in a merged timeline. Empty = untagged.
+  std::string traceId;
 };
 
 struct VerifyResult {

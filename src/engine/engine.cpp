@@ -5,6 +5,7 @@
 #include "engine/runner.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/journal.hpp"
+#include "obs/ulid.hpp"
 
 namespace mui::engine {
 
@@ -30,14 +31,22 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
   runnerOptions.semanticDiagnostics = options.semanticDiagnostics;
   runnerOptions.journal = options.journal;
 
+  // Every job gets a correlation id before dispatch so its trace spans and
+  // journal events line up; callers (the serve daemon) may have assigned
+  // one already — keep those.
+  std::vector<Job> correlated(jobs);
+  for (Job& job : correlated) {
+    if (job.ulid.empty()) job.ulid = obs::newUlid();
+  }
+
   {
     ThreadPool pool(options.threads);
     report.threads = pool.threadCount();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t i = 0; i < correlated.size(); ++i) {
       // Each task writes only its own slot; the vector is pre-sized, so no
       // synchronization beyond the pool's completion barrier is needed.
       pool.submit([&, i] {
-        report.results[i] = runJob(jobs[i], texts, cache, runnerOptions);
+        report.results[i] = runJob(correlated[i], texts, cache, runnerOptions);
       });
     }
     pool.wait();

@@ -21,6 +21,10 @@ namespace mui::engine {
 struct Job {
   std::string name;        // display name; the manifest parser numbers
                            // unnamed jobs "job1", "job2", ...
+  std::string ulid;        // correlation id (obs/ulid.hpp) threading this
+                           // job through traces and journal events; NOT
+                           // part of the result-cache key. Assigned by
+                           // runBatch / the serve daemon when empty.
   std::string modelPath;   // .muml file (resolved by the manifest parser)
   std::string pattern;     // coordination pattern within the model
   std::string legacyRole;  // the role the hidden component plays

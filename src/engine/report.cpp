@@ -63,6 +63,7 @@ std::string writeBatchSummary(const BatchReport& report) {
   std::string out;
   for (const auto& r : report.results) {
     out += "{\"type\":\"job\",\"name\":\"" + jsonEscape(r.job.name) +
+           "\",\"ulid\":\"" + jsonEscape(r.job.ulid) +
            "\",\"model\":\"" + jsonEscape(r.job.modelPath) +
            "\",\"pattern\":\"" + jsonEscape(r.job.pattern) +
            "\",\"role\":\"" + jsonEscape(r.job.legacyRole) +

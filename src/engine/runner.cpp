@@ -11,6 +11,7 @@
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
 #include "obs/journal.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
@@ -64,10 +65,12 @@ void countPresolve(analysis::PresolveVerdict v) {
 
 JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
                  const RunnerOptions& options) {
-  const obs::ObsSpan span("job:" + job.name);
+  const obs::ObsSpan span("job:" + job.name, job.ulid);
   JobResult out;
   out.job = job;
   out.worker = ThreadPool::currentWorkerName();
+  obs::JobProgress* const progress = options.progress;
+  if (progress != nullptr) progress->setPhase("load");
   const auto start = Clock::now();
   const auto elapsedMs = [&start] {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -75,17 +78,31 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
   };
   const auto finish = [&]() -> JobResult& {
     out.wallMs = elapsedMs();
+    if (progress != nullptr) {
+      progress->setPhase("done");
+      progress->setIteration(out.iterations);
+      if (out.cacheHit) {
+        progress->setDisposition("cache-hit");
+      } else if (out.presolved) {
+        progress->setDisposition("presolved");
+      } else {
+        progress->setDisposition("loop");
+      }
+    }
     if (options.journal != nullptr) {
-      options.journal->event("job", obs::JsonObject()
-                                        .s("run", job.name)
-                                        .s("model", job.modelPath)
-                                        .s("status", jobStatusName(out.status))
-                                        .s("worker", out.worker)
-                                        .b("cacheHit", out.cacheHit)
-                                        .f("wallMs", out.wallMs)
-                                        .u("iterations", out.iterations)
-                                        .u("learnedFacts", out.learnedFacts)
-                                        .u("testPeriods", out.testPeriods));
+      obs::JsonObject fields;
+      fields.s("run", job.name);
+      if (!job.ulid.empty()) fields.s("ulid", job.ulid);
+      fields.s("model", job.modelPath)
+          .s("status", jobStatusName(out.status))
+          .s("worker", out.worker)
+          .b("cacheHit", out.cacheHit)
+          .b("presolved", out.presolved)
+          .f("wallMs", out.wallMs)
+          .u("iterations", out.iterations)
+          .u("learnedFacts", out.learnedFacts)
+          .u("testPeriods", out.testPeriods);
+      options.journal->event("job", fields);
     }
     return out;
   };
@@ -115,6 +132,7 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     // can only yield vacuous or spurious verdicts — fail the job fast with
     // the diagnostics instead of spending verification time on it.
     if (options.lintPreflight) {
+      if (progress != nullptr) progress->setPhase("lint");
       const auto lint =
           analysis::run(model, analysis::RuleSet::errorsOnly());
       if (lint.hasErrors()) {
@@ -135,13 +153,13 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     if (options.semanticDiagnostics) {
       const auto semantic = analysis::runSemantic(model);
       if (options.journal != nullptr) {
-        options.journal->event(
-            "analyze",
-            obs::JsonObject()
-                .s("run", job.name)
-                .u("findings", semantic.diagnostics.size())
-                .u("errors", semantic.count(analysis::Severity::Error))
-                .u("suppressed", semantic.suppressed));
+        obs::JsonObject fields;
+        fields.s("run", job.name);
+        if (!job.ulid.empty()) fields.s("ulid", job.ulid);
+        fields.u("findings", semantic.diagnostics.size())
+            .u("errors", semantic.count(analysis::Severity::Error))
+            .u("suppressed", semantic.suppressed);
+        options.journal->event("analyze", fields);
       }
       if (semantic.hasErrors()) {
         out.status = JobStatus::EngineError;
@@ -184,18 +202,19 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     // same content key a loop result would use (fuzz oracle O6 checks that
     // the two paths agree).
     if (options.semanticPresolve) {
+      if (progress != nullptr) progress->setPhase("presolve");
       const analysis::PresolveOutcome pre =
           analysis::presolveIntegration(scenario.context, hiddenAsRole,
                                         property);
       countPresolve(pre.verdict);
       if (options.journal != nullptr) {
-        options.journal->event(
-            "presolve",
-            obs::JsonObject()
-                .s("run", job.name)
-                .s("verdict", analysis::presolveVerdictName(pre.verdict))
-                .s("rule", pre.ruleId)
-                .u("productStates", pre.productStates));
+        obs::JsonObject fields;
+        fields.s("run", job.name);
+        if (!job.ulid.empty()) fields.s("ulid", job.ulid);
+        fields.s("verdict", analysis::presolveVerdictName(pre.verdict))
+            .s("rule", pre.ruleId)
+            .u("productStates", pre.productStates);
+        options.journal->event("presolve", fields);
       }
       if (pre.verdict != analysis::PresolveVerdict::Skipped) {
         out.status = pre.verdict == analysis::PresolveVerdict::Proved
@@ -216,6 +235,8 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     cfg.property = property;
     cfg.journal = options.journal;
     cfg.runId = job.name;
+    cfg.ulid = job.ulid;
+    cfg.progress = progress;
     if (job.maxIterations != 0) cfg.maxIterations = job.maxIterations;
     if (timeoutMs != 0) {
       const auto deadline = start + std::chrono::milliseconds(timeoutMs);

@@ -17,6 +17,7 @@
 
 namespace mui::obs {
 class Journal;
+class JobProgress;
 }  // namespace mui::obs
 
 namespace mui::engine {
@@ -44,6 +45,11 @@ struct RunnerOptions {
   /// completed job. Shared across workers (the journal locks internally);
   /// must outlive the batch.
   obs::Journal* journal = nullptr;
+  /// Live progress sink for this job (the daemon's /jobs endpoint): the
+  /// runner and the integration loop update its phase / iteration /
+  /// disposition as the job advances. Per-job, unlike the shared journal;
+  /// must outlive the runJob call. Null = no live introspection.
+  obs::JobProgress* progress = nullptr;
 };
 
 JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,

@@ -277,35 +277,59 @@ struct Parser {
     out.number = std::strtod(num.c_str(), &end);
     return end != nullptr && *end == '\0';
   }
+  bool parseObject(FlatObject& obj) {
+    if (!consume('{')) return false;
+    skipWs();
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parseValue(value)) return false;
+      obj[std::move(key)] = std::move(value);
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return false;
+    }
+  }
 };
 
 }  // namespace
 
 std::optional<FlatObject> parseFlatJson(std::string_view line) {
   Parser p{line};
-  if (!p.consume('{')) return std::nullopt;
   FlatObject obj;
+  if (!p.parseObject(obj)) return std::nullopt;
   p.skipWs();
-  if (p.consume('}')) {
+  if (!p.atEnd()) return std::nullopt;
+  return obj;
+}
+
+std::optional<std::vector<FlatObject>> parseFlatJsonArray(
+    std::string_view text) {
+  Parser p{text};
+  if (!p.consume('[')) return std::nullopt;
+  std::vector<FlatObject> out;
+  p.skipWs();
+  if (p.consume(']')) {
     p.skipWs();
-    return p.atEnd() ? std::optional<FlatObject>(std::move(obj))
+    return p.atEnd() ? std::optional<std::vector<FlatObject>>(std::move(out))
                      : std::nullopt;
   }
   while (true) {
     p.skipWs();
-    std::string key;
-    if (!p.parseString(key)) return std::nullopt;
-    if (!p.consume(':')) return std::nullopt;
-    JsonValue value;
-    if (!p.parseValue(value)) return std::nullopt;
-    obj[std::move(key)] = std::move(value);
+    FlatObject obj;
+    if (!p.parseObject(obj)) return std::nullopt;
+    out.push_back(std::move(obj));
     if (p.consume(',')) continue;
-    if (p.consume('}')) break;
+    if (p.consume(']')) break;
     return std::nullopt;
   }
   p.skipWs();
   if (!p.atEnd()) return std::nullopt;
-  return obj;
+  return out;
 }
 
 }  // namespace mui::obs

@@ -16,10 +16,17 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mui::obs {
 
-inline constexpr int kJournalSchemaVersion = 1;
+// v2 (additive over v1): every event produced on behalf of a correlated
+// job carries its "ulid", and "job" events gained "presolved". Consumers
+// accept the whole [kJournalMinSchemaVersion, kJournalSchemaVersion] range
+// — v1 and v2 lines may interleave in one journal (e.g. a daemon restarted
+// across an upgrade appending to the same file).
+inline constexpr int kJournalSchemaVersion = 2;
+inline constexpr int kJournalMinSchemaVersion = 1;
 
 /// Builder for one flat JSON object: `.s()` string, `.u()`/`.i()` integer,
 /// `.f()` fixed-point double, `.b()` bool, `.raw()` pre-serialized value.
@@ -45,7 +52,7 @@ class JsonObject {
 /// whole journal with text() once the run is quiesced.
 class Journal {
  public:
-  /// Appends `{"schema":1,"type":"<type>",<fields>}` as one line.
+  /// Appends `{"schema":N,"type":"<type>",<fields>}` as one line.
   void event(std::string_view type, const JsonObject& fields);
 
   std::string text() const;
@@ -79,5 +86,11 @@ using FlatObject = std::map<std::string, JsonValue>;
 /// on malformed input — callers count such lines as skipped rather than
 /// aborting an aggregation.
 std::optional<FlatObject> parseFlatJson(std::string_view line);
+
+/// Parses a JSON array of flat objects (same value rules as
+/// parseFlatJson). Used by consumers of the daemon's nested HTTP payloads
+/// (`mui top` reading /jobs). Returns nullopt on malformed input.
+std::optional<std::vector<FlatObject>> parseFlatJsonArray(
+    std::string_view text);
 
 }  // namespace mui::obs

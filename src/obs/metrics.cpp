@@ -36,7 +36,7 @@ void Histogram::reset() {
 
 namespace {
 
-enum class Kind { Counter, Gauge, Histogram };
+enum class Kind { Counter, Gauge, Histogram, Info };
 
 const char* kindName(Kind k) {
   switch (k) {
@@ -46,6 +46,8 @@ const char* kindName(Kind k) {
       return "gauge";
     case Kind::Histogram:
       return "histogram";
+    case Kind::Info:
+      return "info";
   }
   return "?";
 }
@@ -57,7 +59,28 @@ struct Entry {
   std::unique_ptr<Counter> counter;
   std::unique_ptr<Gauge> gauge;
   std::unique_ptr<Histogram> histogram;
+  std::vector<std::pair<std::string, std::string>> labels;  // Kind::Info
 };
+
+/// `{k="v",k2="v2"}` with backslash/quote escaping, "" with no labels.
+std::string labelSet(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"";
+    for (const char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      out += c;
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
 
 /// Smallest bucket upper bound whose cumulative count reaches
 /// `count * q`; 0 when the histogram is empty. Coarse by construction
@@ -115,6 +138,8 @@ struct Registry::Impl {
       case Kind::Histogram:
         e.histogram = std::make_unique<Histogram>();
         break;
+      case Kind::Info:
+        break;  // labels only, no instrument
     }
     return entries.emplace(name, std::move(e)).first->second;
   }
@@ -144,6 +169,14 @@ Histogram& Registry::histogram(const std::string& name,
   return *impl_->findOrCreate(name, help, unit, Kind::Histogram).histogram;
 }
 
+void Registry::setInfo(
+    const std::string& name, const std::string& help,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  Entry& e = impl_->findOrCreate(name, help, "", Kind::Info);
+  std::lock_guard lock(impl_->mu);
+  e.labels = std::move(labels);
+}
+
 std::string Registry::renderText() const {
   std::lock_guard lock(impl_->mu);
   util::TextTable table({"metric", "kind", "value", "help"});
@@ -164,6 +197,9 @@ std::string Registry::renderText() const {
                 " p95<=" + std::to_string(quantileBound(h, 0.95));
         break;
       }
+      case Kind::Info:
+        value = labelSet(e.labels);
+        break;
     }
     std::string help = e.help;
     if (!e.unit.empty()) help += " [" + e.unit + "]";
@@ -207,6 +243,17 @@ std::string Registry::renderJson() const {
                "}]";
         break;
       }
+      case Kind::Info: {
+        out += ",\"labels\":{";
+        bool firstLabel = true;
+        for (const auto& [k, v] : e.labels) {
+          if (!firstLabel) out += ",";
+          firstLabel = false;
+          out += util::jsonQuote(k) + ":" + util::jsonQuote(v);
+        }
+        out += "},\"value\":1";
+        break;
+      }
     }
     out += "}";
   }
@@ -220,7 +267,10 @@ std::string Registry::renderPrometheus() const {
   for (const auto& [name, e] : impl_->entries) {
     out += "# HELP " + name + " " + e.help;
     if (!e.unit.empty()) out += " (" + e.unit + ")";
-    out += "\n# TYPE " + name + " " + kindName(e.kind) + "\n";
+    // Exposition format 0.0.4 has no "info" type; the idiom is a constant
+    // gauge of 1 carrying the payload in labels.
+    out += "\n# TYPE " + name + " " +
+           (e.kind == Kind::Info ? "gauge" : kindName(e.kind)) + "\n";
     switch (e.kind) {
       case Kind::Counter:
         out += name + " " + std::to_string(e.counter->value()) + "\n";
@@ -244,6 +294,9 @@ std::string Registry::renderPrometheus() const {
         out += name + "_count " + std::to_string(h.count()) + "\n";
         break;
       }
+      case Kind::Info:
+        out += name + labelSet(e.labels) + " 1\n";
+        break;
     }
   }
   return out;
@@ -262,6 +315,8 @@ void Registry::resetAll() {
       case Kind::Histogram:
         e.histogram->reset();
         break;
+      case Kind::Info:
+        break;  // constant; nothing to zero
     }
   }
 }

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mui::obs {
@@ -101,6 +102,14 @@ class Registry {
                const std::string& unit = "");
   Histogram& histogram(const std::string& name, const std::string& help,
                        const std::string& unit = "");
+
+  /// Registers (or replaces) an info metric: a constant `1` carrying its
+  /// payload in labels, rendered as `name{k="v",...} 1` with gauge type —
+  /// the Prometheus build-info idiom (e.g. mui_build_info{version=...,
+  /// git_sha=...}). Unlike the instruments above this is set-once data, not
+  /// a hot-path handle, so there is nothing to return.
+  void setInfo(const std::string& name, const std::string& help,
+               std::vector<std::pair<std::string, std::string>> labels);
 
   /// Human-readable table (histograms show count/sum/p50/p95).
   std::string renderText() const;

@@ -1,0 +1,67 @@
+#include "obs/process.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+namespace mui::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point processStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+std::int64_t residentBytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  std::uint64_t totalPages = 0, residentPages = 0;
+  statm >> totalPages >> residentPages;
+  if (!statm) return 0;
+  const long pageSize = ::sysconf(_SC_PAGESIZE);
+  if (pageSize <= 0) return 0;
+  return static_cast<std::int64_t>(residentPages) * pageSize;
+}
+
+std::int64_t openFds() {
+  std::error_code ec;
+  std::filesystem::directory_iterator it("/proc/self/fd", ec);
+  if (ec) return 0;
+  std::int64_t n = 0;
+  for (const auto& entry : it) {
+    (void)entry;
+    ++n;
+  }
+  // The iterator itself holds one fd while we count.
+  return n > 0 ? n - 1 : 0;
+}
+
+}  // namespace
+
+void setBuildInfo(Registry& reg, const std::string& version,
+                  const std::string& gitSha) {
+  processStart();  // anchor the uptime gauge at startup registration
+  reg.setInfo("mui_build_info", "Build identity of this mui binary",
+              {{"version", version}, {"git_sha", gitSha}});
+}
+
+void sampleProcessGauges(Registry& reg) {
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - processStart());
+  reg.gauge("mui_process_uptime_seconds",
+            "Seconds since process gauges were first sampled", "s")
+      .set(uptime.count());
+  reg.gauge("mui_process_resident_memory_bytes",
+            "Resident set size from /proc/self/statm", "bytes")
+      .set(residentBytes());
+  reg.gauge("mui_process_open_fds", "Open file descriptors")
+      .set(openFds());
+}
+
+}  // namespace mui::obs

@@ -1,0 +1,25 @@
+#pragma once
+// Build identity and process-level gauges for /metrics (docs/SERVE.md).
+//
+// setBuildInfo() registers mui_build_info{version,git_sha} once at startup;
+// sampleProcessGauges() refreshes mui_process_uptime_seconds,
+// mui_process_resident_memory_bytes and mui_process_open_fds from /proc —
+// call it right before rendering a registry (the /metrics handler and
+// `--metrics-out` both do), not on a timer.
+
+#include <string>
+
+namespace mui::obs {
+
+class Registry;
+
+/// Registers the mui_build_info info metric on `reg`.
+void setBuildInfo(Registry& reg, const std::string& version,
+                  const std::string& gitSha);
+
+/// Samples uptime (since first call in this process), RSS bytes and open
+/// fd count into gauges on `reg`. On platforms without /proc the RSS and
+/// fd gauges stay 0.
+void sampleProcessGauges(Registry& reg);
+
+}  // namespace mui::obs

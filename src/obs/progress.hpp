@@ -1,0 +1,53 @@
+#pragma once
+// Live job progress for the daemon's /jobs endpoint (docs/SERVE.md).
+//
+// A JobProgress is owned by whoever tracks the job (the serve job registry)
+// and written by the engine runner and the integration loop as the job
+// moves through its phases. Every field is a relaxed atomic so the writers
+// stay wait-free on the hot path and a concurrent /jobs snapshot never
+// blocks a verification thread; the phase and disposition strings MUST be
+// string literals (static storage duration) — readers load the pointer and
+// keep it past the store.
+
+#include <atomic>
+#include <cstdint>
+
+namespace mui::obs {
+
+class JobProgress {
+ public:
+  /// Current pipeline phase ("queued", "load", "lint", "presolve",
+  /// "closure", "check", "test", "learn", "loop", "done", ...). The
+  /// pointer must be a string literal.
+  void setPhase(const char* phase) {
+    phase_.store(phase, std::memory_order_relaxed);
+  }
+  const char* phase() const {
+    return phase_.load(std::memory_order_relaxed);
+  }
+
+  /// Refinement iterations completed so far.
+  void setIteration(std::uint64_t i) {
+    iteration_.store(i, std::memory_order_relaxed);
+  }
+  std::uint64_t iteration() const {
+    return iteration_.load(std::memory_order_relaxed);
+  }
+
+  /// How the job was (or is being) answered: "pending" until known, then
+  /// "cache-hit", "presolved", or "loop". The pointer must be a string
+  /// literal.
+  void setDisposition(const char* d) {
+    disposition_.store(d, std::memory_order_relaxed);
+  }
+  const char* disposition() const {
+    return disposition_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<const char*> phase_{"queued"};
+  std::atomic<std::uint64_t> iteration_{0};
+  std::atomic<const char*> disposition_{"pending"};
+};
+
+}  // namespace mui::obs

@@ -64,7 +64,13 @@ StatsReport aggregateJournals(const std::vector<std::string>& journals) {
       // as malformed.
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       const auto obj = parseFlatJson(line);
-      if (!obj || getU(*obj, "schema") != kJournalSchemaVersion) {
+      // A journal may interleave lines from several schema versions (e.g.
+      // a daemon restarted across an upgrade appending to one file); every
+      // version in the supported range is additive, so aggregate them all.
+      const std::uint64_t schema = obj ? getU(*obj, "schema") : 0;
+      if (!obj ||
+          schema < static_cast<std::uint64_t>(kJournalMinSchemaVersion) ||
+          schema > static_cast<std::uint64_t>(kJournalSchemaVersion)) {
         ++report.skipped;
         continue;
       }
@@ -110,9 +116,22 @@ StatsReport aggregateJournals(const std::vector<std::string>& journals) {
         r.worker = getS(*obj, "worker");
         r.wallMs = getF(*obj, "wallMs");
         r.cacheHit = getB(*obj, "cacheHit");
+        r.presolved = getB(*obj, "presolved");
+        // A daemon journal has job events but no verdict events, so the
+        // job line is the only source of these per-run totals there.
         if (r.iterations == 0) r.iterations = getU(*obj, "iterations");
+        if (r.learnedFacts == 0) r.learnedFacts = getU(*obj, "learnedFacts");
+        if (r.testPeriods == 0) r.testPeriods = getU(*obj, "testPeriods");
+        ++report.jobs;
+        if (r.cacheHit) ++report.cacheHitJobs;
+        if (r.presolved) ++report.presolvedJobs;
+        report.jobWallMs.push_back(r.wallMs);
       }
       // Unknown event types of a known schema are ignored by design.
+      if (const std::string ulid = getS(*obj, "ulid"); !ulid.empty()) {
+        RunStat& r = findOrAddRun(report, runIndex, run);
+        if (r.ulid.empty()) r.ulid = ulid;
+      }
     }
   }
   for (const IterationStat& it : report.iterations) {
@@ -172,7 +191,13 @@ std::string renderStatsText(const StatsReport& report) {
          " checkMs=" + util::fmt(report.totalCheckMs) +
          " testMs=" + util::fmt(report.totalTestMs) +
          " events=" + std::to_string(report.events) +
-         " skipped=" + std::to_string(report.skipped) + "\n";
+         " skipped=" + std::to_string(report.skipped);
+  if (report.jobs > 0) {
+    out += " jobs=" + std::to_string(report.jobs) +
+           " presolved=" + std::to_string(report.presolvedJobs) +
+           " cacheHits=" + std::to_string(report.cacheHitJobs);
+  }
+  out += "\n";
   return out;
 }
 
@@ -209,6 +234,7 @@ std::string renderStatsJson(const StatsReport& report) {
     first = false;
     JsonObject o;
     o.s("run", r.run)
+        .s("ulid", r.ulid)
         .s("verdict", r.verdict)
         .s("worker", r.worker)
         .u("iterations", r.iterations)
@@ -219,7 +245,8 @@ std::string renderStatsJson(const StatsReport& report) {
         .f("checkMs", r.checkMs)
         .f("testMs", r.testMs)
         .f("wallMs", r.wallMs)
-        .b("cacheHit", r.cacheHit);
+        .b("cacheHit", r.cacheHit)
+        .b("presolved", r.presolved);
     out += "\n" + o.str();
   }
   JsonObject totals;
@@ -230,7 +257,10 @@ std::string renderStatsJson(const StatsReport& report) {
       .f("checkMs", report.totalCheckMs)
       .f("testMs", report.totalTestMs)
       .u("events", report.events)
-      .u("skipped", report.skipped);
+      .u("skipped", report.skipped)
+      .u("jobs", report.jobs)
+      .u("presolvedJobs", report.presolvedJobs)
+      .u("cacheHitJobs", report.cacheHitJobs);
   out += "\n],\"totals\":" + totals.str() + "}\n";
   return out;
 }

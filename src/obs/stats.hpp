@@ -31,6 +31,7 @@ struct IterationStat {
 
 struct RunStat {
   std::string run;
+  std::string ulid;           // job correlation id (schema v2), "" on v1
   std::string verdict;        // from the verdict event; "" if truncated
   std::string worker;         // from the batch job event, if any
   std::uint64_t iterations = 0;
@@ -42,6 +43,7 @@ struct RunStat {
   double testMs = 0;
   double wallMs = 0;          // batch job wall time, if any
   bool cacheHit = false;
+  bool presolved = false;     // schema v2 job events
 };
 
 struct StatsReport {
@@ -54,6 +56,10 @@ struct StatsReport {
   std::uint64_t totalTestPeriods = 0;
   double totalCheckMs = 0;
   double totalTestMs = 0;
+  std::uint64_t jobs = 0;          // runs that carried a batch job event
+  std::uint64_t presolvedJobs = 0;
+  std::uint64_t cacheHitJobs = 0;
+  std::vector<double> jobWallMs;   // per-job wall times (for latency quantiles)
 };
 
 /// Parses and merges journal texts (one string per journal file). Lines

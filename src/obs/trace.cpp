@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "util/json.hpp"
 
 namespace mui::obs {
@@ -14,15 +16,19 @@ namespace {
 
 struct TraceEvent {
   std::string name;
+  std::string cid;  // correlation id; "" = untagged
   std::int64_t startNs = 0;
   std::int64_t durNs = 0;
   std::uint64_t arg = 0;
   bool hasArg = false;
+  char ph = 'X';  // 'X' complete, 'b'/'e' async begin/end
 };
 
-/// One thread's sink. Only the owning thread appends; readers honor the
-/// quiescence contract in trace.hpp.
+/// One thread's sink. Only the owning thread appends; `mu` exists solely
+/// so snapshot readers (the live /trace endpoint) see consistent entries —
+/// the owner takes it uncontended on every record.
 struct ThreadBuf {
+  std::mutex mu;
   std::vector<TraceEvent> ring;
   std::size_t capacity = 0;
   std::uint64_t total = 0;  // events ever recorded since last reset
@@ -57,13 +63,62 @@ ThreadBuf& localBuf() {
   return *t_buf;
 }
 
+/// The process's wall-clock instant corresponding to trace timestamp 0,
+/// captured together with the steady epoch so merged traces can be shifted
+/// onto one axis.
+std::int64_t epochUnixNs() {
+  static const std::int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  return ns;
+}
+
+void serializeEvent(std::string& out, const TraceEvent& ev,
+                    std::uint32_t pid, std::uint32_t tid) {
+  char buf[96];
+  out += "{\"ph\":\"";
+  out += ev.ph;
+  out += "\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"cat\":\"mui\",\"name\":" +
+         util::jsonQuote(ev.name);
+  if (ev.ph == 'X') {
+    // Chrome trace timestamps are microseconds; keep ns precision in the
+    // fraction so sub-microsecond spans survive.
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(ev.startNs) / 1000.0,
+                  static_cast<double>(ev.durNs) / 1000.0);
+    out += buf;
+    if (ev.hasArg || !ev.cid.empty()) {
+      out += ",\"args\":{";
+      if (ev.hasArg) out += "\"i\":" + std::to_string(ev.arg);
+      if (!ev.cid.empty()) {
+        if (ev.hasArg) out += ",";
+        out += "\"cid\":" + util::jsonQuote(ev.cid);
+      }
+      out += "}";
+    }
+  } else {
+    // Async begin/end: correlated by (cat, id, name) across threads and —
+    // after a merge — across processes.
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
+                  static_cast<double>(ev.startNs) / 1000.0);
+    out += buf;
+    out += ",\"id\":" + util::jsonQuote(ev.cid) + ",\"scope\":\"mui\"";
+  }
+  out += "}";
+}
+
 }  // namespace
 
 std::atomic<bool> Tracer::enabled_{false};
 
 std::int64_t Tracer::nowNs() {
   using Clock = std::chrono::steady_clock;
-  static const Clock::time_point epoch = Clock::now();
+  static const Clock::time_point epoch = [] {
+    epochUnixNs();  // pin the wall-clock twin of the same instant
+    return Clock::now();
+  }();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                               epoch)
       .count();
@@ -75,6 +130,7 @@ void Tracer::enable(std::size_t ringCapacity) {
   std::lock_guard lock(r.mu);
   r.capacity = ringCapacity == 0 ? 1 : ringCapacity;
   for (auto& b : r.bufs) {
+    std::lock_guard bufLock(b->mu);
     b->ring.clear();
     b->capacity = r.capacity;
     b->total = 0;
@@ -88,15 +144,19 @@ void Tracer::clear() {
   BufRegistry& r = registry();
   std::lock_guard lock(r.mu);
   for (auto& b : r.bufs) {
+    std::lock_guard bufLock(b->mu);
     b->ring.clear();
     b->total = 0;
   }
 }
 
-void Tracer::record(std::string name, std::int64_t startNs, std::int64_t durNs,
-                    std::uint64_t arg, bool hasArg) {
+void Tracer::record(std::string name, char ph, std::int64_t startNs,
+                    std::int64_t durNs, std::uint64_t arg, bool hasArg,
+                    std::string cid) {
   ThreadBuf& b = localBuf();
-  TraceEvent ev{std::move(name), startNs, durNs, arg, hasArg};
+  TraceEvent ev{std::move(name), std::move(cid), startNs, durNs,
+                arg,             hasArg,         ph};
+  std::lock_guard lock(b.mu);
   if (b.ring.size() < b.capacity) {
     b.ring.push_back(std::move(ev));
   } else {
@@ -105,37 +165,46 @@ void Tracer::record(std::string name, std::int64_t startNs, std::int64_t durNs,
   ++b.total;
 }
 
-std::string Tracer::chromeTrace() {
+void Tracer::asyncBegin(std::string name, const std::string& cid) {
+  if (!enabled() || cid.empty()) return;
+  record(std::move(name), 'b', nowNs(), 0, 0, false, cid);
+}
+
+void Tracer::asyncEnd(std::string name, const std::string& cid) {
+  if (!enabled() || cid.empty()) return;
+  record(std::move(name), 'e', nowNs(), 0, 0, false, cid);
+}
+
+std::string Tracer::chromeTrace(std::uint32_t pid,
+                                const std::string& processName) {
   BufRegistry& r = registry();
   std::lock_guard lock(r.mu);
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"muiEpochUnixNs\":" +
+                    std::to_string(epochUnixNs()) + ",\"traceEvents\":[\n";
   bool first = true;
   const auto line = [&](const std::string& s) {
     if (!first) out += ",\n";
     first = false;
     out += s;
   };
-  char buf[96];
+  if (!processName.empty()) {
+    line("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":" +
+         util::jsonQuote(processName) + "}}");
+  }
   for (const auto& b : r.bufs) {
+    std::lock_guard bufLock(b->mu);
     if (!b->name.empty()) {
-      line("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(b->tid) +
+      line("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(b->tid) +
            ",\"name\":\"thread_name\",\"args\":{\"name\":" +
            util::jsonQuote(b->name) + "}}");
     }
     const std::uint64_t kept =
         std::min<std::uint64_t>(b->total, b->ring.size());
     for (std::uint64_t i = b->total - kept; i < b->total; ++i) {
-      const TraceEvent& ev = b->ring[i % b->capacity];
-      // Chrome trace timestamps are microseconds; keep ns precision in the
-      // fraction so sub-microsecond spans survive.
-      std::snprintf(buf, sizeof buf, "\"ts\":%.3f,\"dur\":%.3f",
-                    static_cast<double>(ev.startNs) / 1000.0,
-                    static_cast<double>(ev.durNs) / 1000.0);
-      std::string e = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
-                      std::to_string(b->tid) + ",\"cat\":\"mui\",\"name\":" +
-                      util::jsonQuote(ev.name) + "," + buf;
-      if (ev.hasArg) e += ",\"args\":{\"i\":" + std::to_string(ev.arg) + "}";
-      e += "}";
+      std::string e;
+      serializeEvent(e, b->ring[i % b->capacity], pid, b->tid);
       line(e);
     }
   }
@@ -148,6 +217,7 @@ std::size_t Tracer::eventCount() {
   std::lock_guard lock(r.mu);
   std::size_t n = 0;
   for (const auto& b : r.bufs) {
+    std::lock_guard bufLock(b->mu);
     n += static_cast<std::size_t>(
         std::min<std::uint64_t>(b->total, b->ring.size()));
   }
@@ -159,9 +229,121 @@ std::uint64_t Tracer::droppedEvents() {
   std::lock_guard lock(r.mu);
   std::uint64_t n = 0;
   for (const auto& b : r.bufs) {
+    std::lock_guard bufLock(b->mu);
     n += b->total - std::min<std::uint64_t>(b->total, b->ring.size());
   }
   return n;
+}
+
+namespace {
+
+/// Splits a chromeTrace() document into its epoch and its event lines.
+/// Returns false when the document does not look like ours.
+bool splitTraceDoc(const std::string& doc, std::int64_t& epochNs,
+                   std::vector<std::string>& events) {
+  const auto epochKey = doc.find("\"muiEpochUnixNs\":");
+  if (epochKey == std::string::npos) return false;
+  epochNs = std::strtoll(doc.c_str() + epochKey + 17, nullptr, 10);
+  const auto open = doc.find("\"traceEvents\":[", epochKey);
+  if (open == std::string::npos) return false;
+  const auto close = doc.rfind(']');
+  if (close == std::string::npos || close < open) return false;
+  std::size_t pos = open + 15;
+  while (pos < close) {
+    // One event per line, comma-separated; blank segments are skipped.
+    std::size_t end = doc.find(",\n", pos);
+    if (end == std::string::npos || end > close) end = close;
+    std::size_t a = pos;
+    while (a < end && (doc[a] == '\n' || doc[a] == ' ')) ++a;
+    std::size_t z = end;
+    while (z > a && (doc[z - 1] == '\n' || doc[z - 1] == ' ')) --z;
+    if (z > a) events.push_back(doc.substr(a, z - a));
+    pos = end + 2;
+  }
+  return true;
+}
+
+/// Re-serializes one parsed event with its timestamp shifted by `deltaUs`.
+/// Metadata events have no timestamp and pass through unshifted.
+bool shiftEvent(const std::string& line, double deltaUs, std::string& out) {
+  const auto obj = parseFlatJson(line);
+  if (!obj) return false;
+  out = "{";
+  bool first = true;
+  for (const auto& [key, value] : *obj) {
+    if (!first) out += ",";
+    first = false;
+    out += util::jsonQuote(key) + ":";
+    if (key == "ts" && value.kind == JsonValue::Kind::Number) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.3f", value.number + deltaUs);
+      out += buf;
+      continue;
+    }
+    switch (value.kind) {
+      case JsonValue::Kind::String:
+        out += util::jsonQuote(value.text);
+        break;
+      case JsonValue::Kind::Number: {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.3f", value.number);
+        out += buf;
+        break;
+      }
+      case JsonValue::Kind::Bool:
+        out += value.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Raw:
+        out += value.text;
+        break;
+    }
+  }
+  out += "}";
+  return true;
+}
+
+}  // namespace
+
+std::string mergeChromeTraces(const std::vector<std::string>& docs) {
+  if (docs.empty()) return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n";
+  if (docs.size() == 1) return docs.front();
+
+  std::int64_t baseEpochNs = 0;
+  std::string out;
+  bool first = true;
+  const auto line = [&](const std::string& s) {
+    if (!first) out += ",\n";
+    first = false;
+    out += s;
+  };
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    std::int64_t epochNs = 0;
+    std::vector<std::string> events;
+    if (!splitTraceDoc(docs[d], epochNs, events)) continue;
+    if (out.empty()) {
+      baseEpochNs = epochNs;
+      out = "{\"displayTimeUnit\":\"ms\",\"muiEpochUnixNs\":" +
+            std::to_string(baseEpochNs) + ",\"traceEvents\":[\n";
+    }
+    const double deltaUs =
+        static_cast<double>(epochNs - baseEpochNs) / 1000.0;
+    for (const auto& ev : events) {
+      if (d == 0 || deltaUs == 0.0) {
+        line(ev);
+        continue;
+      }
+      std::string shifted;
+      if (shiftEvent(ev, deltaUs, shifted)) line(shifted);
+    }
+  }
+  if (out.empty()) {
+    return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n";
+  }
+  out += "\n]}\n";
+  return out;
 }
 
 void setThreadName(std::string name) {
@@ -192,8 +374,8 @@ ObsSpan::ObsSpan(std::string name, std::uint64_t arg, bool hasArg) {
 
 ObsSpan::~ObsSpan() {
   if (startNs_ < 0 || !Tracer::enabled()) return;
-  Tracer::record(std::move(name_), startNs_, Tracer::nowNs() - startNs_, arg_,
-                 hasArg_);
+  Tracer::record(std::move(name_), 'X', startNs_, Tracer::nowNs() - startNs_,
+                 arg_, hasArg_, std::move(cid_));
 }
 
 }  // namespace mui::obs

@@ -4,26 +4,36 @@
 // The design goal is "free unless someone is watching": an ObsSpan guard
 // costs one relaxed atomic load when no sink is installed, and spans only
 // materialize their name and timestamps once Tracer::enable() has run.
-// Recording is wait-free per thread: every thread appends completed spans
+// Recording stays cheap per thread: every thread appends completed spans
 // to its own fixed-capacity ring buffer (oldest events are overwritten
-// once the ring is full, with a dropped-event count), so instrumented
-// worker pools never contend on a shared log.
+// once the ring is full, with a dropped-event count), guarded by a
+// per-ring mutex that is only ever contended by a snapshot reader — so
+// instrumented worker pools never contend with each other on a shared log.
 //
 // Tracer::chromeTrace() serializes everything into the Chrome trace-event
 // JSON format (load it at chrome://tracing or https://ui.perfetto.dev):
 // one track per thread — thread-pool workers name their tracks via
 // setThreadName("worker-N") — with nested "X" (complete) events for the
-// closure/compose/check/test/replay/learn phases of each iteration.
+// closure/compose/check/test/replay/learn phases of each iteration, plus
+// async "b"/"e" pairs keyed by a job's correlation id (obs/ulid.hpp) that
+// tie the per-phase spans of one job together across threads — and, via
+// mergeChromeTraces(), across processes: `mui submit --trace-out` splices
+// its own ring with the daemon's /trace snapshot into a single timeline
+// (the documents carry their process's wall-clock epoch, so the merge can
+// shift timestamps onto one axis).
 //
 // Concurrency contract: span recording is safe from any number of threads
-// concurrently, but enable/disable/clear/chromeTrace must be called while
-// no instrumented work is running (e.g. after ThreadPool::wait()). The
-// CLI obeys this by writing traces only after the verb finishes.
+// concurrently, and enable/disable/clear/chromeTrace may run concurrently
+// with recording — chromeTrace takes a per-thread-consistent snapshot (the
+// daemon serves /trace from a live ring). For a *complete* trace of a
+// finished workload, still quiesce first (e.g. ThreadPool::wait()); spans
+// open during a snapshot are simply not in it.
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mui::obs {
 
@@ -48,9 +58,21 @@ class Tracer {
   /// Drops all recorded events (thread registrations and names survive).
   static void clear();
 
+  /// Opens/closes an async event pair keyed by `cid` (a job ULID): the
+  /// "b"/"e" events render as one horizontal bar per job in the trace UI,
+  /// spanning threads (begin may be recorded on a different thread than
+  /// end). No-ops with tracing disabled or an empty cid.
+  static void asyncBegin(std::string name, const std::string& cid);
+  static void asyncEnd(std::string name, const std::string& cid);
+
   /// All recorded events as a Chrome trace-event JSON document, one event
-  /// per line, with thread_name metadata for every named track.
-  static std::string chromeTrace();
+  /// per line, with thread_name metadata for every named track. `pid`
+  /// distinguishes processes once documents are merged; a non-empty
+  /// `processName` adds process_name metadata. The document also carries
+  /// this process's trace epoch as wall-clock nanoseconds
+  /// ("muiEpochUnixNs"), which mergeChromeTraces uses to align timelines.
+  static std::string chromeTrace(std::uint32_t pid = 1,
+                                 const std::string& processName = "");
 
   /// Events currently held across all ring buffers.
   static std::size_t eventCount();
@@ -61,13 +83,22 @@ class Tracer {
  private:
   friend class ObsSpan;
 
-  static void record(std::string name, std::int64_t startNs,
-                     std::int64_t durNs, std::uint64_t arg, bool hasArg);
+  static void record(std::string name, char ph, std::int64_t startNs,
+                     std::int64_t durNs, std::uint64_t arg, bool hasArg,
+                     std::string cid);
   /// Monotonic nanoseconds since the process's tracing epoch.
   static std::int64_t nowNs();
 
   static std::atomic<bool> enabled_;
 };
+
+/// Merges Chrome trace documents produced by chromeTrace() in different
+/// processes into one: the first document's timeline is the reference,
+/// every other document's timestamps are shifted by the difference of the
+/// embedded wall-clock epochs. Documents must come from this tracer (the
+/// splice relies on its one-event-per-line layout); events that fail to
+/// parse are dropped. With fewer than two documents this is the identity.
+std::string mergeChromeTraces(const std::vector<std::string>& docs);
 
 /// Names the calling thread's trace track (and its worker identity for
 /// crash messages; see engine::ThreadPool). Safe to call before or after
@@ -81,15 +112,28 @@ const std::string& currentThreadName();
 /// The const char* overloads are for hot paths (no allocation when
 /// disabled, at most one small-string copy when enabled); the std::string
 /// overloads are for per-job/per-run spans with dynamic names. The
-/// optional `arg` lands in the event's args (e.g. the iteration index).
+/// optional `arg` lands in the event's args (e.g. the iteration index),
+/// and the optional `cid` tags the event with a job correlation id (empty
+/// = untagged; see docs/OBSERVABILITY.md, "Correlation IDs").
 class ObsSpan {
  public:
   explicit ObsSpan(const char* name) noexcept : ObsSpan(name, 0, false) {}
   ObsSpan(const char* name, std::uint64_t arg) noexcept
       : ObsSpan(name, arg, true) {}
+  ObsSpan(const char* name, const std::string& cid) : ObsSpan(name, 0, false) {
+    if (startNs_ >= 0) cid_ = cid;
+  }
+  ObsSpan(const char* name, std::uint64_t arg, const std::string& cid)
+      : ObsSpan(name, arg, true) {
+    if (startNs_ >= 0) cid_ = cid;
+  }
   explicit ObsSpan(std::string name) : ObsSpan(std::move(name), 0, false) {}
   ObsSpan(std::string name, std::uint64_t arg)
       : ObsSpan(std::move(name), arg, true) {}
+  ObsSpan(std::string name, const std::string& cid)
+      : ObsSpan(std::move(name), 0, false) {
+    if (startNs_ >= 0) cid_ = cid;
+  }
   ~ObsSpan();
 
   ObsSpan(const ObsSpan&) = delete;
@@ -100,6 +144,7 @@ class ObsSpan {
   ObsSpan(std::string name, std::uint64_t arg, bool hasArg);
 
   std::string name_;
+  std::string cid_;
   std::int64_t startNs_ = -1;  // -1: tracing was off at construction
   std::uint64_t arg_ = 0;
   bool hasArg_ = false;

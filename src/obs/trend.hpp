@@ -1,0 +1,64 @@
+#pragma once
+// Benchmark trend gating for `mui stats --baseline` (docs/OBSERVABILITY.md):
+// compares an aggregated journal (obs/stats.hpp) against a checked-in
+// baseline journal and decides, per metric, whether the change is within
+// the allowed regression threshold. The verdict is machine-readable so CI
+// can fail a perf-smoke job on a real regression without flaking on noise.
+//
+// Gating policy:
+//  - Work metrics (iterations, testPeriods) regress when they GROW by more
+//    than thresholdPct relative to the baseline; a baseline of zero with a
+//    non-zero current value counts as a regression (there is no meaningful
+//    relative delta).
+//  - Rate metrics (presolveRate, cacheHitRate, in percent) regress when
+//    they DROP by more than thresholdPct percentage points — rates are
+//    compared absolutely, not relatively, so a 2% → 1% wobble on a tiny
+//    campaign does not read as a 50% collapse.
+//  - Latency metrics (p50WallMs, p99WallMs, nearest-rank quantiles over
+//    per-job wall times) are advisory by default because baselines usually
+//    come from a different machine; they gate only when latencyThresholdPct
+//    is set > 0.
+
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace mui::obs {
+
+struct TrendOptions {
+  /// Allowed growth (work metrics, relative %) or drop (rate metrics,
+  /// percentage points) before a metric counts as regressed.
+  double thresholdPct = 10.0;
+  /// Latency gate in relative %; 0 keeps p50/p99 advisory (reported, never
+  /// failing the verdict).
+  double latencyThresholdPct = 0.0;
+};
+
+struct TrendMetric {
+  std::string name;
+  double baseline = 0;
+  double current = 0;
+  double delta = 0;     // current - baseline
+  double deltaPct = 0;  // relative % for work/latency, pct points for rates
+  bool gated = false;   // participates in the verdict
+  bool regressed = false;
+};
+
+struct TrendReport {
+  std::vector<TrendMetric> metrics;
+  bool regressed = false;  // any gated metric regressed
+};
+
+/// Compares the current report against the baseline under `opts`.
+TrendReport compareTrend(const StatsReport& baseline,
+                         const StatsReport& current,
+                         const TrendOptions& opts = {});
+
+/// One row per metric plus a VERDICT line.
+std::string renderTrendText(const TrendReport& report);
+
+/// The same data as one JSON document with "verdict":"ok"|"regressed".
+std::string renderTrendJson(const TrendReport& report);
+
+}  // namespace mui::obs

@@ -1,0 +1,68 @@
+#include "obs/ulid.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+
+namespace mui::obs {
+
+namespace {
+
+// Crockford base32: no I, L, O, U — unambiguous when read back by humans.
+constexpr char kAlphabet[] = "0123456789ABCDEFGHJKMNPQRSTVWXYZ";
+
+std::uint64_t randomBits() {
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    const auto tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    std::seed_seq seq{static_cast<std::uint64_t>(rd()),
+                      static_cast<std::uint64_t>(rd()),
+                      static_cast<std::uint64_t>(tid)};
+    return std::mt19937_64(seq);
+  }();
+  return rng();
+}
+
+}  // namespace
+
+std::string newUlid() {
+  const auto nowMs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const auto ts = static_cast<std::uint64_t>(nowMs) & ((1ull << 48) - 1);
+
+  std::string out(26, '0');
+  // 48-bit timestamp → 10 characters, most significant first.
+  for (int i = 9; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kAlphabet[(ts >> ((9 - i) * 5)) & 31];
+  }
+  // 80 bits of randomness → 16 characters, 5 bits each.
+  std::uint64_t bits = randomBits();
+  int avail = 64;
+  for (int i = 10; i < 26; ++i) {
+    if (avail < 5) {
+      bits = randomBits();
+      avail = 64;
+    }
+    out[static_cast<std::size_t>(i)] = kAlphabet[bits & 31];
+    bits >>= 5;
+    avail -= 5;
+  }
+  return out;
+}
+
+bool looksLikeUlid(const std::string& s) {
+  if (s.size() != 26) return false;
+  for (const char c : s) {
+    const bool digit = c >= '0' && c <= '9';
+    const bool upper = c >= 'A' && c <= 'Z' && c != 'I' && c != 'L' &&
+                       c != 'O' && c != 'U';
+    if (!digit && !upper) return false;
+  }
+  return true;
+}
+
+}  // namespace mui::obs

@@ -1,0 +1,23 @@
+#pragma once
+// ULID generation for job correlation (docs/OBSERVABILITY.md, "Correlation
+// IDs"). A ULID is 26 characters of Crockford base32: a 48-bit millisecond
+// timestamp followed by 80 bits of randomness — sortable by creation time,
+// collision-free for any realistic job rate, and safe to embed in JSON
+// without quoting concerns. `mui submit` mints one per job before the job
+// line leaves the client; the daemon adopts it (or mints its own for
+// clients that send none) and threads it through every journal event and
+// trace span the job produces.
+
+#include <string>
+
+namespace mui::obs {
+
+/// A fresh 26-character ULID. Thread-safe; each thread keeps its own
+/// generator state.
+std::string newUlid();
+
+/// True iff `s` is 26 characters of Crockford base32 (the shape check
+/// consumers apply before trusting a client-supplied id).
+bool looksLikeUlid(const std::string& s);
+
+}  // namespace mui::obs

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "obs/ulid.hpp"
 #include "serve/protocol.hpp"
 #include "serve/socket.hpp"
 
@@ -13,27 +15,42 @@ namespace mui::serve {
 SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
                          const SubmitOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  const obs::ObsSpan submitSpan("submit");
   Fd fd = connectTcp(options.host, options.port);
   LineReader reader(fd.get());
-  writeAll(fd.get(),
-           writeHelloLine(options.clientName, options.deadlineMs) + "\n");
+  writeAll(fd.get(), writeHelloLine(options.clientName, options.deadlineMs,
+                                    options.trace) +
+                         "\n");
+
+  // Mint the correlation ids client-side so both rings of a merged trace
+  // (this process and the daemon) key the job's spans identically.
+  std::vector<engine::Job> correlated(jobs);
+  for (engine::Job& job : correlated) {
+    if (job.ulid.empty()) job.ulid = obs::newUlid();
+  }
 
   SubmitOutcome out;
-  out.report.results.resize(jobs.size());
+  out.report.results.resize(correlated.size());
   out.report.threads = 1;
 
   // Wave loop: submit everything, collect results/sheds, re-submit the
   // shed wave after the daemon's retry-after, until every job has a
   // result or its retries are spent. Job id = submission index + 1.
-  std::vector<std::size_t> toSend(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) toSend[i] = i;
+  std::vector<std::size_t> toSend(correlated.size());
+  for (std::size_t i = 0; i < correlated.size(); ++i) toSend[i] = i;
   std::size_t round = 0;
   std::uint64_t retryAfterMs = 50;
 
   while (!toSend.empty()) {
     std::string wave;
     for (const std::size_t idx : toSend) {
-      wave += writeJobLine(idx + 1, jobs[idx]) + "\n";
+      wave += writeJobLine(idx + 1, correlated[idx]) + "\n";
+      if (round == 0) {
+        // Client-side async bracket: submission to result, spanning the
+        // wire. Opened once per job, not per retry wave.
+        obs::Tracer::asyncBegin("submit:" + correlated[idx].name,
+                                correlated[idx].ulid);
+      }
     }
     writeAll(fd.get(), wave);
 
@@ -51,18 +68,20 @@ SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
         case Response::Type::Stats:
           break;  // informational
         case Response::Type::Result: {
-          if (res.id == 0 || res.id > jobs.size()) {
+          if (res.id == 0 || res.id > correlated.size()) {
             throw std::runtime_error("daemon sent a result with unknown id " +
                                      std::to_string(res.id));
           }
           const std::size_t idx = res.id - 1;
           out.report.results[idx] = res.result;
-          out.report.results[idx].job = jobs[idx];
+          out.report.results[idx].job = correlated[idx];
+          obs::Tracer::asyncEnd("submit:" + correlated[idx].name,
+                                correlated[idx].ulid);
           --awaiting;
           break;
         }
         case Response::Type::Shed: {
-          if (res.id == 0 || res.id > jobs.size()) {
+          if (res.id == 0 || res.id > correlated.size()) {
             throw std::runtime_error("daemon shed an unknown job id " +
                                      std::to_string(res.id));
           }
@@ -85,10 +104,12 @@ SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
     if (round >= options.maxRetryRounds) {
       for (const std::size_t idx : shedNow) {
         auto& r = out.report.results[idx];
-        r.job = jobs[idx];
+        r.job = correlated[idx];
         r.status = engine::JobStatus::EngineError;
         r.explanation = "load-shed by daemon (queue full after " +
                         std::to_string(round) + " retry round(s))";
+        obs::Tracer::asyncEnd("submit:" + correlated[idx].name,
+                              correlated[idx].ulid);
       }
       break;
     }
@@ -113,6 +134,30 @@ SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
                           std::chrono::steady_clock::now() - start)
                           .count();
   return out;
+}
+
+std::string httpGet(const std::string& host, std::uint16_t port,
+                    const std::string& path) {
+  Fd fd = connectTcp(host, port);
+  writeAll(fd.get(), "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                         "\r\nConnection: close\r\n\r\n");
+  LineReader reader(fd.get());
+  const auto status = reader.next();
+  if (!status) throw std::runtime_error("empty HTTP response from daemon");
+  // "HTTP/1.1 200 OK" — the code is the second token.
+  const std::size_t sp = status->find(' ');
+  if (sp == std::string::npos || status->compare(sp + 1, 3, "200") != 0) {
+    throw std::runtime_error("HTTP GET " + path + " failed: " + *status);
+  }
+  while (const auto header = reader.next()) {
+    if (header->empty()) break;  // end of header block
+  }
+  std::string body;
+  while (const auto line = reader.next()) {
+    body += *line;
+    body += '\n';
+  }
+  return body;
 }
 
 }  // namespace mui::serve

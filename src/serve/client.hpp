@@ -24,6 +24,9 @@ struct SubmitOptions {
   /// immediately (engine-error rows marked "load-shed").
   std::size_t maxRetryRounds = 8;
   std::string clientName = "mui-submit";
+  /// Trace context label sent in the hello (`mui submit --trace-context`);
+  /// the daemon attaches it to the /jobs rows of this connection's jobs.
+  std::string trace;
 };
 
 struct SubmitOutcome {
@@ -40,7 +43,18 @@ struct SubmitOutcome {
 /// Submits `jobs` and blocks until every one has a result (or exhausted
 /// its shed retries). Throws std::runtime_error when the daemon is
 /// unreachable or the connection breaks mid-protocol.
+///
+/// Correlation: every job without a ulid gets one minted here, *before*
+/// the wire — the daemon adopts it (server.hpp), so the client's spans and
+/// the daemon's spans of one job share an id. The returned results carry
+/// the correlated jobs.
 SubmitOutcome submitJobs(const std::vector<engine::Job>& jobs,
                          const SubmitOptions& options);
+
+/// Minimal HTTP GET against the daemon's introspection endpoints (/jobs,
+/// /trace, /metrics, /stats): returns the response body on 200, throws
+/// std::runtime_error on connection failure or any other status.
+std::string httpGet(const std::string& host, std::uint16_t port,
+                    const std::string& path);
 
 }  // namespace mui::serve

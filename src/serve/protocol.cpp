@@ -50,6 +50,7 @@ Request parseRequest(std::string_view line) {
   if (type == "hello") {
     req.type = Request::Type::Hello;
     req.client = str(*obj, "client");
+    req.trace = str(*obj, "trace");
     req.deadlineMs = uns(*obj, "deadline-ms");
     return req;
   }
@@ -67,6 +68,7 @@ Request parseRequest(std::string_view line) {
   }
   req.id = uns(*obj, "id");
   req.job.name = str(*obj, "name");
+  req.job.ulid = str(*obj, "ulid");
   req.job.modelPath = str(*obj, "model");
   req.job.pattern = str(*obj, "pattern");
   req.job.legacyRole = str(*obj, "role");
@@ -88,19 +90,20 @@ Request parseRequest(std::string_view line) {
   return req;
 }
 
-std::string writeHelloLine(const std::string& client,
-                           std::uint64_t deadlineMs) {
+std::string writeHelloLine(const std::string& client, std::uint64_t deadlineMs,
+                           const std::string& trace) {
   auto o = header("hello");
   o.s("client", client);
+  if (!trace.empty()) o.s("trace", trace);
   if (deadlineMs != 0) o.u("deadline-ms", deadlineMs);
   return o.str();
 }
 
 std::string writeJobLine(std::uint64_t id, const engine::Job& job) {
   auto o = header("job");
-  o.u("id", id)
-      .s("name", job.name)
-      .s("model", job.modelPath)
+  o.u("id", id).s("name", job.name);
+  if (!job.ulid.empty()) o.s("ulid", job.ulid);
+  o.s("model", job.modelPath)
       .s("pattern", job.pattern)
       .s("role", job.legacyRole)
       .s("hidden", job.hidden);
@@ -160,6 +163,7 @@ Response parseResponse(std::string_view line) {
   }
   res.id = uns(*obj, "id");
   res.result.job.name = str(*obj, "name");
+  res.result.job.ulid = str(*obj, "ulid");
   const auto status = engine::jobStatusFromName(str(*obj, "status"));
   if (!status) {
     res.error = "result with unknown status '" + str(*obj, "status") + "'";
@@ -175,6 +179,9 @@ Response parseResponse(std::string_view line) {
   if (const auto* v = field(*obj, "cacheHit")) {
     res.result.cacheHit = v->boolean;
   }
+  if (const auto* v = field(*obj, "presolved")) {
+    res.result.presolved = v->boolean;
+  }
   res.type = Response::Type::Result;
   return res;
 }
@@ -187,11 +194,12 @@ std::string writeWelcomeLine(const std::string& version, std::size_t threads) {
 
 std::string writeResultLine(std::uint64_t id, const engine::JobResult& r) {
   auto o = header("result");
-  o.u("id", id)
-      .s("name", r.job.name)
-      .s("status", engine::jobStatusName(r.status))
+  o.u("id", id).s("name", r.job.name);
+  if (!r.job.ulid.empty()) o.s("ulid", r.job.ulid);
+  o.s("status", engine::jobStatusName(r.status))
       .s("explanation", r.explanation)
       .b("cacheHit", r.cacheHit)
+      .b("presolved", r.presolved)
       .u("iterations", r.iterations)
       .u("testPeriods", r.testPeriods)
       .u("learnedFacts", r.learnedFacts)

@@ -6,10 +6,11 @@
 // drive the daemon.
 //
 // Client → server, one object per line:
-//   {"schema":1,"type":"hello","client":"ci","deadline-ms":5000}
+//   {"schema":1,"type":"hello","client":"ci","deadline-ms":5000,
+//    "trace":"ci-run-42"}
 //   {"schema":1,"type":"job","id":1,"name":"wd-compliant",
-//    "model":"/abs/path/watchdog.muml","pattern":"Watchdog",
-//    "role":"device","hidden":"deviceCompliant",
+//    "ulid":"01JGV...","model":"/abs/path/watchdog.muml",
+//    "pattern":"Watchdog","role":"device","hidden":"deviceCompliant",
 //    "formula":"","timeout-ms":0,"max-iterations":0}
 //   {"schema":1,"type":"stats"}
 //   {"schema":1,"type":"end"}
@@ -17,9 +18,9 @@
 // Server → client:
 //   {"schema":1,"type":"welcome","version":"...","threads":8}
 //   {"schema":1,"type":"result","id":1,"name":"wd-compliant",
-//    "status":"proven","explanation":"...","cacheHit":false,
-//    "iterations":3,"testPeriods":9,"learnedFacts":2,"wallMs":12.5,
-//    "worker":"worker-0"}
+//    "ulid":"01JGV...","status":"proven","explanation":"...",
+//    "cacheHit":false,"presolved":false,"iterations":3,"testPeriods":9,
+//    "learnedFacts":2,"wallMs":12.5,"worker":"worker-0"}
 //   {"schema":1,"type":"shed","id":2,"retry-after-ms":250}
 //   {"schema":1,"type":"stats", ...ServeStats fields...}
 //   {"schema":1,"type":"error","message":"..."}
@@ -28,6 +29,11 @@
 //
 // Results stream back in completion order, correlated by `id`; `done` is
 // sent after `end` (or client EOF) once every accepted job has finished.
+//
+// Schema note: "trace" on hello (a client-supplied trace context label),
+// "ulid" on job (the client-minted correlation id, obs/ulid.hpp) and
+// "ulid"/"presolved" on result are additive fields within schema 1 —
+// absent on old peers, never required.
 // HTTP GETs on the same port (the first line starts with "GET ") bypass
 // this protocol entirely — see server.hpp.
 
@@ -49,6 +55,7 @@ struct Request {
 
   // Hello
   std::string client;
+  std::string trace;  // client-supplied trace context, "" = none
   std::uint64_t deadlineMs = 0;
 
   // Job
@@ -60,8 +67,8 @@ struct Request {
 /// Type::Invalid with a diagnostic.
 Request parseRequest(std::string_view line);
 
-std::string writeHelloLine(const std::string& client,
-                           std::uint64_t deadlineMs);
+std::string writeHelloLine(const std::string& client, std::uint64_t deadlineMs,
+                           const std::string& trace = "");
 std::string writeJobLine(std::uint64_t id, const engine::Job& job);
 std::string writeStatsRequestLine();
 std::string writeEndLine();

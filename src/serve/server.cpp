@@ -8,6 +8,9 @@
 #include "engine/thread_pool.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
+#include "obs/trace.hpp"
+#include "obs/ulid.hpp"
 #include "serve/protocol.hpp"
 
 namespace mui::serve {
@@ -74,6 +77,8 @@ struct Server::Conn {
 
   std::uint64_t deadlineMs = 0;  // session thread only (set by hello)
   std::uint64_t nextId = 0;      // session thread only
+  std::string client;            // session thread only (set by hello)
+  std::string trace;             // session thread only (set by hello)
 
   std::atomic<std::uint64_t> jobs{0};
   std::atomic<std::uint64_t> shed{0};
@@ -238,6 +243,8 @@ void Server::jsonlSession(LineReader& reader,
       switch (req.type) {
         case Request::Type::Hello:
           conn->deadlineMs = req.deadlineMs;
+          conn->client = req.client;
+          conn->trace = req.trace;
           writeLine(*conn,
                     writeWelcomeLine(options_.version, pool_->threadCount()));
           break;
@@ -299,6 +306,11 @@ void Server::handleJob(const std::shared_ptr<Conn>& conn, std::uint64_t id,
   }
 
   if (job.name.empty()) job.name = "job" + std::to_string(id);
+  // Correlation: adopt the client's ULID when it sent a well-formed one —
+  // then the client-side spans and the daemon-side spans of this job share
+  // an id in a merged timeline — otherwise mint one here. Either way every
+  // downstream journal event and trace span of this job carries it.
+  if (!obs::looksLikeUlid(job.ulid)) job.ulid = obs::newUlid();
   // Effective deadline: the job's own, else the client's, else the server
   // default — always clipped to the server-wide cap.
   std::uint64_t timeoutMs = job.timeoutMs != 0 ? job.timeoutMs
@@ -310,13 +322,36 @@ void Server::handleJob(const std::shared_ptr<Conn>& conn, std::uint64_t id,
   }
   job.timeoutMs = timeoutMs;
 
-  pool_->submit([this, conn, id, job = std::move(job)] {
+  auto inflight = std::make_shared<InflightJob>();
+  inflight->ulid = job.ulid;
+  inflight->name = job.name;
+  inflight->client = conn->client;
+  inflight->trace = conn->trace;
+  inflight->accepted = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lock(inflightMu_);
+    inflight_.push_back(inflight);
+  }
+  // The async pair brackets queue wait plus execution; its begin and end
+  // may land on different threads (session vs. worker), which is exactly
+  // what b/e events are for.
+  obs::Tracer::asyncBegin("job:" + job.name, job.ulid);
+
+  pool_->submit([this, conn, id, inflight, job = std::move(job)] {
+    inflight->startedNs.store(
+        std::chrono::steady_clock::now().time_since_epoch().count());
     engine::RunnerOptions runnerOptions;
     runnerOptions.lintPreflight = options_.lintPreflight;
     runnerOptions.semanticPresolve = options_.semanticPresolve;
     runnerOptions.journal = options_.journal;
+    runnerOptions.progress = &inflight->progress;
     const engine::JobResult result =
         engine::runJob(job, texts_, results_, runnerOptions);
+    obs::Tracer::asyncEnd("job:" + job.name, job.ulid);
+    {
+      std::unique_lock lock(inflightMu_);
+      inflight_.remove(inflight);
+    }
     auto& m = ServeMetrics::get();
     m.jobWallMs.observe(static_cast<std::uint64_t>(result.wallMs));
     (result.cacheHit ? conn->cacheHits : conn->cacheMisses).fetch_add(1);
@@ -350,9 +385,19 @@ void Server::handleHttp(LineReader& reader, Conn& conn,
 
   std::string response;
   if (path == "/metrics") {
+    obs::sampleProcessGauges(obs::Registry::global());
     response = httpResponse(
         200, "OK", "text/plain; version=0.0.4; charset=utf-8",
         obs::Registry::global().renderPrometheus(), headOnly);
+  } else if (path == "/jobs") {
+    response = httpResponse(200, "OK", "application/json", jobsJson() + "\n",
+                            headOnly);
+  } else if (path == "/trace") {
+    // Live snapshot of this process's rings: pid 2 / "mui-serve" so a
+    // client document (pid 1) merges into a two-process timeline.
+    response = httpResponse(200, "OK", "application/json",
+                            obs::Tracer::chromeTrace(2, "mui-serve"),
+                            headOnly);
   } else if (path == "/healthz") {
     response = draining_.load()
                    ? httpResponse(503, "Service Unavailable", "text/plain",
@@ -395,6 +440,46 @@ ServeStats Server::stats() const {
     s.persistentCollisions = persistent_->replayStats().collisions;
   }
   return s;
+}
+
+std::string Server::jobsJson() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::string jobs;
+  std::size_t count = 0;
+  {
+    std::unique_lock lock(inflightMu_);
+    for (const auto& j : inflight_) {
+      const std::int64_t startedNs = j->startedNs.load();
+      const auto queuedUntil =
+          startedNs < 0
+              ? now
+              : std::chrono::steady_clock::time_point(
+                    std::chrono::steady_clock::duration(startedNs));
+      const double queuedMs =
+          std::chrono::duration<double, std::milli>(queuedUntil - j->accepted)
+              .count();
+      const double runMs =
+          startedNs < 0 ? 0
+                        : std::chrono::duration<double, std::milli>(
+                              now - queuedUntil)
+                              .count();
+      obs::JsonObject o;
+      o.s("ulid", j->ulid)
+          .s("name", j->name)
+          .s("client", j->client)
+          .s("trace", j->trace)
+          .s("phase", j->progress.phase())
+          .s("disposition", j->progress.disposition())
+          .u("iteration", j->progress.iteration())
+          .f("queuedMs", queuedMs)
+          .f("runMs", runMs);
+      if (count > 0) jobs += ",";
+      jobs += "\n" + o.str();
+      ++count;
+    }
+  }
+  return "{\"inflight\":" + std::to_string(count) + ",\"jobs\":[" + jobs +
+         "\n]}";
 }
 
 std::string Server::statsJson() const {

@@ -22,8 +22,14 @@
 //     unfinished; beyond that the daemon sheds load with a retry-after
 //     reply instead of queueing without bound;
 //   * the same port answers HTTP GETs — /metrics (Prometheus exposition
-//     of obs::Registry::global()), /healthz, /stats — distinguished by
+//     of obs::Registry::global()), /healthz, /stats, /jobs (live in-flight
+//     job table with phase and correlation id; `mui top` polls it), and
+//     /trace (the daemon's ring buffers as a Chrome trace document, ready
+//     for mergeChromeTraces with a client ring) — distinguished by
 //     first-line sniffing;
+//   * correlation: every accepted job gets a ULID (the client's, when it
+//     sent a well-formed one, so client and daemon spans share the id) and
+//     an async b/e trace pair spanning queue wait plus execution;
 //   * graceful drain: requestDrain() (the CLI wires SIGTERM/SIGINT to it)
 //     stops accepting connections and new jobs, finishes in-flight work,
 //     flushes replies, and wait() returns.
@@ -40,6 +46,7 @@
 #include <thread>
 
 #include "engine/cache.hpp"
+#include "obs/progress.hpp"
 #include "serve/socket.hpp"
 
 namespace mui::obs {
@@ -139,6 +146,21 @@ class Server {
  private:
   struct Conn;
 
+  /// One accepted-but-unfinished job as seen by /jobs: identity (ulid,
+  /// name, submitting client and its trace context), queue/run timing, and
+  /// the live JobProgress the runner writes through. Kept by shared_ptr so
+  /// a snapshot renders safely while the worker finishes the job.
+  struct InflightJob {
+    std::string ulid;
+    std::string name;
+    std::string client;
+    std::string trace;
+    std::chrono::steady_clock::time_point accepted;
+    /// steady_clock time_since_epoch ns of execution start; -1 = queued.
+    std::atomic<std::int64_t> startedNs{-1};
+    obs::JobProgress progress;
+  };
+
   void acceptLoop();
   void reapFinishedConnections();  // callers hold connsMu_
   void serveConnection(const std::shared_ptr<Conn>& conn);
@@ -150,6 +172,7 @@ class Server {
   void handleHttp(LineReader& reader, Conn& conn,
                   const std::string& requestLine);
   std::string statsJson() const;
+  std::string jobsJson() const;
   static void writeLine(Conn& conn, const std::string& line);
 
   ServeOptions options_;
@@ -170,6 +193,9 @@ class Server {
   };
   mutable std::mutex connsMu_;
   std::list<ConnHandle> conns_;
+
+  mutable std::mutex inflightMu_;
+  std::list<std::shared_ptr<InflightJob>> inflight_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

@@ -9,6 +9,7 @@
 #include "ctl/parser.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "synthesis/initial.hpp"
 #include "synthesis/report.hpp"
@@ -52,12 +53,20 @@ IntegrationResult IntegrationVerifier::run() {
 
   const std::string runId =
       config_.runId.empty() ? context_.name() : config_.runId;
-  const obs::ObsSpan runSpan("integration:" + runId);
+  const obs::ObsSpan runSpan("integration:" + runId, config_.ulid);
   obs::Journal* const journal = config_.journal;
+  obs::JobProgress* const progress = config_.progress;
+  // Every event of this run opens with the run label and, when the run is
+  // correlated, its job ulid (journal schema v2).
+  const auto baseFields = [&] {
+    obs::JsonObject o;
+    o.s("run", runId);
+    if (!config_.ulid.empty()) o.s("ulid", config_.ulid);
+    return o;
+  };
   if (journal != nullptr) {
     journal->event("run_start",
-                   obs::JsonObject()
-                       .s("run", runId)
+                   baseFields()
                        .u("legacies", legacies_.size())
                        .s("property", config_.property)
                        .u("maxIterations", config_.maxIterations)
@@ -110,8 +119,7 @@ IntegrationResult IntegrationVerifier::run() {
       cexKind = rec.cexWasDeadlock ? "deadlock" : "property";
     }
     journal->event("iteration",
-                   obs::JsonObject()
-                       .s("run", runId)
+                   baseFields()
                        .u("iter", rec.iteration)
                        .u("modelStates", rec.modelStates)
                        .u("modelTransitions", rec.modelTransitions)
@@ -133,7 +141,8 @@ IntegrationResult IntegrationVerifier::run() {
 
   for (std::size_t iter = 0; iter < config_.maxIterations && !cancelled();
        ++iter) {
-    const obs::ObsSpan iterSpan("iteration", iter);
+    const obs::ObsSpan iterSpan("iteration", iter, config_.ulid);
+    if (progress != nullptr) progress->setIteration(iter + 1);
     IterationRecord rec;
     rec.iteration = iter;
     for (const auto& m : models_) {
@@ -165,7 +174,8 @@ IntegrationResult IntegrationVerifier::run() {
     //    ACTL properties transfer through the optimistic abstraction.
     std::vector<automata::Closure> closuresPess, closuresOpt;
     {
-      const obs::ObsSpan span("closure");
+      const obs::ObsSpan span("closure", config_.ulid);
+      if (progress != nullptr) progress->setPhase("closure");
       for (std::size_t k = 0; k < models_.size(); ++k) {
         if (needPess) {
           closuresPess.push_back(
@@ -225,7 +235,8 @@ IntegrationResult IntegrationVerifier::run() {
         };
     std::optional<automata::Product> productPess, productOpt;
     {
-      const obs::ObsSpan span("compose");
+      const obs::ObsSpan span("compose", config_.ulid);
+      if (progress != nullptr) progress->setPhase("compose");
       if (needPess) productPess = composeWith(closuresPess, composerPess_);
       if (needOpt) productOpt = composeWith(closuresOpt, composerOpt_);
     }
@@ -238,10 +249,12 @@ IntegrationResult IntegrationVerifier::run() {
     ctl::VerifyResult propRes{true, {}, 0, {}};
     ctl::VerifyResult dlRes{true, {}, 0, {}};
     {
-      const obs::ObsSpan span("check");
+      const obs::ObsSpan span("check", config_.ulid);
+      if (progress != nullptr) progress->setPhase("check");
       ctl::VerifyOptions vo;
       vo.maxCounterexamples = config_.counterexamplesPerCheck;
       vo.search = config_.search;
+      vo.traceId = config_.ulid;
       vo.requireDeadlockFree = false;
       if (needOpt) propRes = ctl::verify(productOpt->automaton, phi, vo);
       vo.requireDeadlockFree = true;
@@ -303,7 +316,8 @@ IntegrationResult IntegrationVerifier::run() {
       }
     };
     {
-      const obs::ObsSpan span("test");
+      const obs::ObsSpan span("test", config_.ulid);
+      if (progress != nullptr) progress->setPhase("test");
       if (!propRes.holds) process(propRes, *productOpt, closuresOpt);
       if (!realError && !dlRes.holds) {
         process(dlRes, *productPess, closuresPess);
@@ -356,8 +370,7 @@ IntegrationResult IntegrationVerifier::run() {
 
   if (journal != nullptr) {
     journal->event("verdict",
-                   obs::JsonObject()
-                       .s("run", runId)
+                   baseFields()
                        .s("verdict", verdictName(res.verdict))
                        .s("explanation", res.explanation)
                        .u("iterations", res.iterations)
@@ -563,7 +576,7 @@ std::vector<automata::Interaction> IntegrationVerifier::jointOffers(
 
 bool IntegrationVerifier::applyOutcome(std::size_t legacyIdx,
                                        const testing::TestOutcome& outcome) {
-  const obs::ObsSpan span("learn");
+  const obs::ObsSpan span("learn", config_.ulid);
   bool any = models_[legacyIdx].learn(outcome.observed).any();
   if (outcome.refusalRun) {
     any = models_[legacyIdx].learn(*outcome.refusalRun).any() || any;

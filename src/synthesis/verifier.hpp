@@ -41,6 +41,7 @@
 
 namespace mui::obs {
 class Journal;
+class JobProgress;
 }  // namespace mui::obs
 
 namespace mui::synthesis {
@@ -93,6 +94,14 @@ struct IntegrationConfig {
   /// Label for journal events and the run's trace span (e.g. the job name);
   /// defaults to the context automaton's name when empty.
   std::string runId;
+  /// Job correlation id (obs/ulid.hpp): tags every journal event and trace
+  /// span of this run so a merged client+daemon timeline can attribute them
+  /// to one job. Empty = untagged (journal events then omit "ulid").
+  std::string ulid;
+  /// Live progress sink (obs/progress.hpp): the loop publishes its current
+  /// phase and iteration count for the daemon's /jobs endpoint. Null = no
+  /// live introspection. Must outlive run().
+  obs::JobProgress* progress = nullptr;
 };
 
 enum class Verdict {

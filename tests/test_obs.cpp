@@ -1,12 +1,15 @@
 // Unit tests for the observability subsystem (src/obs/): span tracing
 // (nesting, per-thread tracks, ring overwrite, disabled-guard), the
-// metrics registry (bucket boundaries, renderer goldens), the run journal
-// (schema round-trip through the flat JSON parser), and journal
-// aggregation for `mui stats` — including a real integration run.
+// metrics registry (bucket boundaries, renderer goldens, info metrics),
+// the run journal (schema round-trip through the flat JSON parser,
+// v1/v2 interleave), correlation ULIDs, live job progress, journal
+// aggregation for `mui stats` — including a real integration run — and
+// the `--baseline` trend gate.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -14,8 +17,12 @@
 #include "muml/shuttle.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
+#include "obs/progress.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "obs/trend.hpp"
+#include "obs/ulid.hpp"
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
 #include "util/json.hpp"
@@ -200,7 +207,8 @@ TEST(Journal, EventRoundTripsThroughFlatParser) {
       journal.text().substr(0, journal.text().size() - 1);  // drop '\n'
   const auto obj = parseFlatJson(line);
   ASSERT_TRUE(obj.has_value());
-  EXPECT_EQ(obj->at("schema").asUint(), 1u);
+  EXPECT_EQ(obj->at("schema").asUint(),
+            static_cast<std::uint64_t>(kJournalSchemaVersion));
   EXPECT_EQ(obj->at("type").text, "iteration");
   EXPECT_EQ(obj->at("run").text, "p/r/h");
   EXPECT_EQ(obj->at("iter").asUint(), 3u);
@@ -347,6 +355,209 @@ TEST(Stats, RealIntegrationRunProducesAggregatableJournal) {
   // The final iteration passes the check; earlier ones report their
   // counterexample kind.
   EXPECT_TRUE(report.iterations.back().checkPassed);
+}
+
+TEST(Ulid, FormatAndUniqueness) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 256; ++i) {
+    const std::string id = newUlid();
+    ASSERT_EQ(id.size(), 26u);
+    EXPECT_TRUE(looksLikeUlid(id)) << id;
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 256u);  // monotonic entropy: no collisions
+  EXPECT_FALSE(looksLikeUlid(""));
+  EXPECT_FALSE(looksLikeUlid("not-a-ulid"));
+  EXPECT_FALSE(looksLikeUlid("01ARZ3NDEKTSV4RRFFQ69G5FA"));    // 25 chars
+  EXPECT_FALSE(looksLikeUlid("01ARZ3NDEKTSV4RRFFQ69G5FAIL"));  // I/L excluded
+}
+
+TEST(Ulid, ConcurrentMintingStaysUnique) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<std::vector<std::string>> minted(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &minted] {
+      for (int i = 0; i < kPerThread; ++i) minted[t].push_back(newUlid());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::string> all;
+  for (const auto& batch : minted) all.insert(batch.begin(), batch.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(Journal, ParseFlatJsonArray) {
+  const auto rows = parseFlatJsonArray(
+      "[\n{\"a\":1,\"s\":\"x\"},\n{\"a\":2,\"b\":true}\n]");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(rows->at(0).at("a").asUint(), 1u);
+  EXPECT_EQ(rows->at(0).at("s").text, "x");
+  EXPECT_TRUE(rows->at(1).at("b").boolean);
+
+  const auto empty = parseFlatJsonArray("[\n]");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(parseFlatJsonArray("").has_value());
+  EXPECT_FALSE(parseFlatJsonArray("{\"a\":1}").has_value());
+  EXPECT_FALSE(parseFlatJsonArray("[{\"a\":1},]").has_value());
+  EXPECT_FALSE(parseFlatJsonArray("[{\"a\":1}] trailing").has_value());
+}
+
+TEST(Progress, PhaseDispositionIterationAreLiveAcrossThreads) {
+  JobProgress progress;
+  EXPECT_STREQ(progress.phase(), "queued");
+  EXPECT_STREQ(progress.disposition(), "pending");
+  EXPECT_EQ(progress.iteration(), 0u);
+  std::thread writer([&progress] {
+    progress.setPhase("check");
+    progress.setDisposition("cache-hit");
+    progress.setIteration(7);
+  });
+  writer.join();
+  EXPECT_STREQ(progress.phase(), "check");
+  EXPECT_STREQ(progress.disposition(), "cache-hit");
+  EXPECT_EQ(progress.iteration(), 7u);
+}
+
+TEST(Metrics, InfoMetricRendersAsConstantOneWithLabels) {
+  Registry reg;
+  reg.setInfo("mui_build_info", "Build identity",
+              {{"version", "1.2.3"}, {"git_sha", "abc\"def"}});
+  const std::string prom = reg.renderPrometheus();
+  // Format 0.0.4 has no info type, so the conventional gauge-valued-1
+  // idiom is used; label values are escaped.
+  EXPECT_NE(prom.find("# TYPE mui_build_info gauge"), std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "mui_build_info{version=\"1.2.3\",git_sha=\"abc\\\"def\"} 1\n"),
+      std::string::npos);
+  const std::string json = reg.renderJson();
+  EXPECT_NE(json.find("\"kind\":\"info\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\":\"1.2.3\""), std::string::npos);
+}
+
+TEST(Metrics, ProcessGaugesSampleFromProc) {
+  Registry reg;
+  setBuildInfo(reg, "9.9.9", "deadbee");
+  sampleProcessGauges(reg);
+  const std::string prom = reg.renderPrometheus();
+  EXPECT_NE(prom.find("mui_build_info{version=\"9.9.9\",git_sha=\"deadbee\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mui_process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("mui_process_resident_memory_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("mui_process_open_fds"), std::string::npos);
+}
+
+TEST(Stats, InterleavedSchemaVersionsAllAggregate) {
+  // One file mixing a v1 verdict, a v2 job (with ulid and presolved), and a
+  // future-schema line: both supported versions count, only the unknown one
+  // is skipped (a daemon restarted across an upgrade appends v2 after v1).
+  const std::string mixed =
+      "{\"schema\":1,\"type\":\"verdict\",\"run\":\"old\","
+      "\"verdict\":\"proven\",\"iterations\":2}\n"
+      "{\"schema\":2,\"type\":\"job\",\"run\":\"new\","
+      "\"ulid\":\"01ARZ3NDEKTSV4RRFFQ69G5FAV\",\"status\":\"proven\","
+      "\"cacheHit\":true,\"presolved\":false,\"wallMs\":3.5,"
+      "\"iterations\":1}\n"
+      "{\"schema\":99,\"type\":\"job\",\"run\":\"future\"}\n";
+  const auto report = aggregateJournals({mixed});
+  EXPECT_EQ(report.events, 2u);
+  EXPECT_EQ(report.skipped, 1u);
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_EQ(report.runs[0].run, "old");
+  EXPECT_TRUE(report.runs[0].ulid.empty());
+  EXPECT_EQ(report.runs[1].run, "new");
+  EXPECT_EQ(report.runs[1].ulid, "01ARZ3NDEKTSV4RRFFQ69G5FAV");
+  EXPECT_TRUE(report.runs[1].cacheHit);
+  EXPECT_EQ(report.jobs, 1u);
+  EXPECT_EQ(report.cacheHitJobs, 1u);
+  EXPECT_EQ(report.presolvedJobs, 0u);
+  ASSERT_EQ(report.jobWallMs.size(), 1u);
+  EXPECT_EQ(report.jobWallMs[0], 3.5);
+  // The ulid lands in the JSON rendering for downstream correlation.
+  EXPECT_NE(renderStatsJson(report).find("01ARZ3NDEKTSV4RRFFQ69G5FAV"),
+            std::string::npos);
+}
+
+/// Builds a StatsReport the way a daemon journal would: job events only.
+StatsReport jobReport(std::uint64_t iterations, std::uint64_t presolved,
+                      std::uint64_t cacheHits, std::uint64_t jobs,
+                      double wallMs) {
+  StatsReport r;
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    RunStat run;
+    run.run = "job-" + std::to_string(i);
+    run.iterations = iterations / jobs;
+    r.runs.push_back(std::move(run));
+    r.jobWallMs.push_back(wallMs);
+  }
+  r.jobs = jobs;
+  r.presolvedJobs = presolved;
+  r.cacheHitJobs = cacheHits;
+  return r;
+}
+
+TEST(Trend, IdenticalReportsAreClean) {
+  const StatsReport base = jobReport(40, 2, 3, 4, 25.0);
+  const TrendReport trend = compareTrend(base, base);
+  EXPECT_FALSE(trend.regressed);
+  ASSERT_EQ(trend.metrics.size(), 6u);
+  for (const TrendMetric& m : trend.metrics) {
+    EXPECT_FALSE(m.regressed) << m.name;
+    EXPECT_EQ(m.delta, 0.0) << m.name;
+  }
+  EXPECT_NE(renderTrendText(trend).find("VERDICT: ok"), std::string::npos);
+  EXPECT_NE(renderTrendJson(trend).find("\"verdict\":\"ok\""),
+            std::string::npos);
+}
+
+TEST(Trend, IterationGrowthBeyondThresholdRegresses) {
+  const StatsReport base = jobReport(40, 2, 3, 4, 25.0);
+  StatsReport current = jobReport(40, 2, 3, 4, 25.0);
+  current.runs[0].iterations += 5;  // 40 -> 45: 12.5% > 10%
+  const TrendReport trend = compareTrend(base, current);
+  EXPECT_TRUE(trend.regressed);
+  EXPECT_EQ(trend.metrics[0].name, "iterations");
+  EXPECT_TRUE(trend.metrics[0].regressed);
+  EXPECT_NE(renderTrendText(trend).find("REGRESSED"), std::string::npos);
+  // A 20% allowance clears the same delta.
+  TrendOptions loose;
+  loose.thresholdPct = 20.0;
+  EXPECT_FALSE(compareTrend(base, current, loose).regressed);
+}
+
+TEST(Trend, RateDropGatesAbsolutelyAndLatencyIsAdvisory) {
+  const StatsReport base = jobReport(40, 4, 4, 8, 25.0);   // rates 50%
+  StatsReport current = jobReport(40, 1, 1, 8, 250.0);     // rates 12.5%
+  const TrendReport trend = compareTrend(base, current);
+  EXPECT_TRUE(trend.regressed);
+  EXPECT_EQ(trend.metrics[2].name, "presolveRate");
+  EXPECT_TRUE(trend.metrics[2].regressed);   // dropped 37.5 pct points
+  EXPECT_TRUE(trend.metrics[3].regressed);   // cacheHitRate likewise
+  // p50 latency grew 10x but stays advisory without a latency threshold.
+  EXPECT_EQ(trend.metrics[4].name, "p50WallMs");
+  EXPECT_FALSE(trend.metrics[4].gated);
+  EXPECT_FALSE(trend.metrics[4].regressed);
+  // Opting in to latency gating flips it.
+  TrendOptions gated;
+  gated.latencyThresholdPct = 50.0;
+  const TrendReport latencyTrend = compareTrend(base, current, gated);
+  EXPECT_TRUE(latencyTrend.metrics[4].gated);
+  EXPECT_TRUE(latencyTrend.metrics[4].regressed);
+}
+
+TEST(Trend, ZeroBaselineWithWorkCountsAsRegression) {
+  const StatsReport base;  // empty: no runs, no jobs
+  const StatsReport current = jobReport(10, 0, 0, 2, 5.0);
+  const TrendReport trend = compareTrend(base, current);
+  EXPECT_TRUE(trend.metrics[0].regressed);  // iterations 0 -> 10
+  // Rates compare 0% to 0%-of-nothing sensibly: no division blowup.
+  EXPECT_FALSE(trend.metrics[2].regressed);
 }
 
 }  // namespace

@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/job.hpp"
+#include "obs/journal.hpp"
+#include "obs/ulid.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -137,6 +141,37 @@ TEST(ServeProtocol, ResultAndControlRepliesRoundTrip) {
 
   EXPECT_EQ(serve::parseResponse("garbage").type,
             serve::Response::Type::Invalid);
+}
+
+TEST(ServeProtocol, CorrelationFieldsRoundTrip) {
+  // The ulid travels on the job line and comes back on the result line;
+  // hello carries the client's trace context. All additive within schema 1.
+  Job job = watchdogJob("wd", "deviceCompliant");
+  job.ulid = "01ARZ3NDEKTSV4RRFFQ69G5FAV";
+  const serve::Request req = serve::parseRequest(serve::writeJobLine(7, job));
+  ASSERT_EQ(req.type, serve::Request::Type::Job);
+  EXPECT_EQ(req.job.ulid, "01ARZ3NDEKTSV4RRFFQ69G5FAV");
+
+  engine::JobResult result;
+  result.job = job;
+  result.status = JobStatus::Proven;
+  result.presolved = true;
+  const serve::Response res =
+      serve::parseResponse(serve::writeResultLine(7, result));
+  ASSERT_EQ(res.type, serve::Response::Type::Result);
+  EXPECT_EQ(res.result.job.ulid, "01ARZ3NDEKTSV4RRFFQ69G5FAV");
+  EXPECT_TRUE(res.result.presolved);
+
+  const serve::Request hello =
+      serve::parseRequest(serve::writeHelloLine("ci", 0, "nightly-42"));
+  ASSERT_EQ(hello.type, serve::Request::Type::Hello);
+  EXPECT_EQ(hello.trace, "nightly-42");
+
+  // A ulid-less job line still parses (v1 clients).
+  Job bare = watchdogJob("wd", "deviceCompliant");
+  const serve::Request old = serve::parseRequest(serve::writeJobLine(8, bare));
+  ASSERT_EQ(old.type, serve::Request::Type::Job);
+  EXPECT_TRUE(old.job.ulid.empty());
 }
 
 // ----------------------------------------------------------- daemon basics
@@ -318,6 +353,108 @@ TEST(ServeServer, HttpEndpointsShareThePort) {
 
   const std::string missing = httpGet(server.port(), "/no-such-endpoint");
   EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST(ServeServer, DaemonAdoptsClientUlidOrMintsItsOwn) {
+  serve::Server server(localOptions());
+  server.start();
+  serve::Fd fd = serve::connectTcp("127.0.0.1", server.port());
+  serve::LineReader reader(fd.get());
+  serve::writeAll(fd.get(), serve::writeHelloLine("gtest", 0) + "\n");
+  ASSERT_TRUE(reader.next().has_value());  // welcome
+
+  // A well-formed client ulid is echoed back on the result line...
+  Job withUlid = watchdogJob("wd-ulid", "deviceCompliant");
+  withUlid.ulid = obs::newUlid();
+  // ...a malformed one is replaced by a daemon-minted ULID.
+  Job withGarbage = watchdogJob("wd-garbage", "deviceSlow");
+  withGarbage.ulid = "not-a-ulid";
+  serve::writeAll(fd.get(), serve::writeJobLine(1, withUlid) + "\n" +
+                                serve::writeJobLine(2, withGarbage) + "\n" +
+                                serve::writeEndLine() + "\n");
+  std::string echoed;
+  std::string minted;
+  while (const auto line = reader.next()) {
+    const serve::Response res = serve::parseResponse(*line);
+    if (res.type == serve::Response::Type::Result) {
+      (res.id == 1 ? echoed : minted) = res.result.job.ulid;
+    }
+    if (res.type == serve::Response::Type::Done) break;
+  }
+  EXPECT_EQ(echoed, withUlid.ulid);
+  EXPECT_NE(minted, "not-a-ulid");
+  EXPECT_TRUE(obs::looksLikeUlid(minted)) << minted;
+}
+
+TEST(ServeServer, JobsEndpointReportsInflightJobsWithPhase) {
+  serve::ServeOptions options = localOptions();
+  options.threads = 1;  // one worker: later jobs are visibly queued
+  serve::Server server(options);
+  server.start();
+
+  // Idle daemon: a parseable payload with an empty jobs array. (The raw
+  // helper keeps the headers; the JSON body starts at the first brace.)
+  const std::string idle = httpGet(server.port(), "/jobs");
+  const auto idleObj = obs::parseFlatJson(idle.substr(idle.find('{')));
+  ASSERT_TRUE(idleObj.has_value()) << idle;
+  EXPECT_EQ(idleObj->at("inflight").asUint(), 0u);
+  const auto idleRows = obs::parseFlatJsonArray(idleObj->at("jobs").text);
+  ASSERT_TRUE(idleRows.has_value());
+  EXPECT_TRUE(idleRows->empty());
+
+  // Pipeline several distinct jobs (distinct maxIterations defeats the
+  // result cache) through one worker, then catch them on /jobs while the
+  // first ones still run. The submitter runs in the background because
+  // submitJobs blocks until every result arrived.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Job job = railcabJob("inflight-" + std::to_string(i));
+    job.maxIterations = 1000 + i;
+    jobs.push_back(std::move(job));
+  }
+  std::thread submitter(
+      [&] { serve::submitJobs(jobs, clientFor(server)); });
+
+  bool sawRow = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!sawRow && std::chrono::steady_clock::now() < deadline) {
+    const std::string live = httpGet(server.port(), "/jobs");
+    const auto obj = obs::parseFlatJson(live.substr(live.find('{')));
+    ASSERT_TRUE(obj.has_value()) << live;
+    const auto rows = obs::parseFlatJsonArray(obj->at("jobs").text);
+    ASSERT_TRUE(rows.has_value()) << live;
+    for (const auto& row : *rows) {
+      EXPECT_TRUE(obs::looksLikeUlid(row.at("ulid").text));
+      EXPECT_EQ(row.at("name").text.rfind("inflight-", 0), 0u);
+      EXPECT_EQ(row.at("client").text, "gtest");
+      EXPECT_FALSE(row.at("phase").text.empty());
+      EXPECT_FALSE(row.at("disposition").text.empty());
+      ASSERT_NE(row.find("queuedMs"), row.end());
+      ASSERT_NE(row.find("runMs"), row.end());
+      sawRow = true;
+    }
+    if (!sawRow) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  submitter.join();
+  EXPECT_TRUE(sawRow) << "no in-flight job ever appeared on /jobs";
+  // After the batch drained, the registry is empty again.
+  const std::string after = httpGet(server.port(), "/jobs");
+  const auto afterObj = obs::parseFlatJson(after.substr(after.find('{')));
+  ASSERT_TRUE(afterObj.has_value());
+  EXPECT_EQ(afterObj->at("inflight").asUint(), 0u);
+}
+
+TEST(ServeServer, TraceEndpointServesTheDaemonRing) {
+  serve::Server server(localOptions());
+  server.start();
+  serve::submitJobs({watchdogJob("wd", "deviceCompliant")},
+                    clientFor(server));
+  const std::string trace = httpGet(server.port(), "/trace");
+  EXPECT_NE(trace.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"muiEpochUnixNs\":"), std::string::npos);
+  EXPECT_NE(trace.find("mui-serve"), std::string::npos);
 }
 
 TEST(ServeServer, MalformedLinesGetAnErrorReplyAndTheSessionSurvives) {

@@ -1,0 +1,210 @@
+// Trace document validity (docs/OBSERVABILITY.md): every event line a
+// chromeTrace() document emits must parse as JSON, carry the fields the
+// Chrome trace-event format requires for its phase, and the async "b"/"e"
+// pairs that bracket a job (client submit ring and daemon execution ring)
+// must pair up per (name, id) — including after mergeChromeTraces() splices
+// the rings of two processes into one document.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+#include "obs/ulid.hpp"
+
+namespace mui::obs {
+namespace {
+
+struct TracerGuard {
+  TracerGuard() { Tracer::enable(); }
+  ~TracerGuard() {
+    Tracer::disable();
+    Tracer::clear();
+  }
+};
+
+/// Extracts the event lines of a chromeTrace()/mergeChromeTraces document
+/// (one event per line, trailing commas stripped) and asserts every one of
+/// them parses as a flat JSON object.
+std::vector<FlatObject> parsedEvents(const std::string& doc) {
+  std::vector<FlatObject> events;
+  std::istringstream in(doc);
+  std::string line;
+  bool inEvents = false;
+  while (std::getline(in, line)) {
+    if (!inEvents) {
+      // The header line carries displayTimeUnit/epoch and opens the array.
+      inEvents = line.find("\"traceEvents\":[") != std::string::npos;
+      continue;
+    }
+    if (line == "]}" || line.empty()) continue;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    const auto obj = parseFlatJson(line);
+    EXPECT_TRUE(obj.has_value()) << "unparseable event line: " << line;
+    if (obj) events.push_back(*obj);
+  }
+  return events;
+}
+
+std::string fieldText(const FlatObject& o, const char* key) {
+  const auto it = o.find(key);
+  return it == o.end() ? std::string() : it->second.text;
+}
+
+/// Asserts every "b" has exactly one matching "e" (same name and id) and
+/// that no "e" arrives without its "b". Begin and end may sit on different
+/// threads — and, in a merged doc, different pids — by design.
+void expectAsyncPairsBalanced(const std::vector<FlatObject>& events) {
+  std::map<std::string, int> open;
+  for (const FlatObject& ev : events) {
+    const std::string ph = fieldText(ev, "ph");
+    if (ph != "b" && ph != "e") continue;
+    const std::string key = fieldText(ev, "name") + "\x1f" +
+                            fieldText(ev, "id");
+    EXPECT_FALSE(fieldText(ev, "id").empty())
+        << "async event without an id: " << fieldText(ev, "name");
+    open[key] += ph == "b" ? 1 : -1;
+    EXPECT_GE(open[key], 0) << "async end before begin for " << key;
+  }
+  for (const auto& [key, count] : open) {
+    EXPECT_EQ(count, 0) << "unbalanced async pair: " << key;
+  }
+}
+
+TEST(TraceValidity, EveryEmittedEventLineIsWellFormed) {
+  TracerGuard guard;
+  setThreadName("main");
+  const std::string ulid = newUlid();
+  Tracer::asyncBegin("job:demo", ulid);
+  {
+    const ObsSpan outer("job:demo", ulid);
+    const ObsSpan iter("iteration", 3, ulid);
+    const ObsSpan plain("closure");
+  }
+  Tracer::asyncEnd("job:demo", ulid);
+  Tracer::disable();
+
+  const auto events = parsedEvents(Tracer::chromeTrace(1, "mui-test"));
+  // b + 3 X + e; metadata lines vary with threads other tests registered.
+  std::size_t nonMeta = 0;
+  for (const FlatObject& ev : events) {
+    if (fieldText(ev, "ph") != "M") ++nonMeta;
+  }
+  ASSERT_EQ(nonMeta, 5u);
+  std::set<std::string> phases;
+  for (const FlatObject& ev : events) {
+    const std::string ph = fieldText(ev, "ph");
+    phases.insert(ph);
+    EXPECT_TRUE(ph == "X" || ph == "M" || ph == "b" || ph == "e") << ph;
+    ASSERT_NE(ev.find("pid"), ev.end());
+    ASSERT_NE(ev.find("tid"), ev.end());
+    if (ph == "X") {
+      // Complete events need a numeric timestamp and duration.
+      ASSERT_NE(ev.find("ts"), ev.end());
+      ASSERT_NE(ev.find("dur"), ev.end());
+      EXPECT_EQ(ev.at("ts").kind, JsonValue::Kind::Number);
+      EXPECT_EQ(ev.at("dur").kind, JsonValue::Kind::Number);
+      EXPECT_GE(ev.at("dur").number, 0.0);
+    }
+    if (ph == "b" || ph == "e") {
+      EXPECT_EQ(fieldText(ev, "id"), ulid);
+      ASSERT_NE(ev.find("ts"), ev.end());
+    }
+  }
+  EXPECT_EQ(phases, (std::set<std::string>{"M", "X", "b", "e"}));
+  expectAsyncPairsBalanced(events);
+}
+
+TEST(TraceValidity, AsyncPairsBalancePerIdAcrossManyJobs) {
+  TracerGuard guard;
+  std::vector<std::string> ulids;
+  for (int i = 0; i < 8; ++i) ulids.push_back(newUlid());
+  // Interleaved begins and ends, as a pipelined daemon produces them.
+  for (const std::string& u : ulids) Tracer::asyncBegin("job:batch", u);
+  for (const std::string& u : ulids) Tracer::asyncEnd("job:batch", u);
+  Tracer::disable();
+  const auto events = parsedEvents(Tracer::chromeTrace());
+  std::size_t asyncEvents = 0;
+  for (const FlatObject& ev : events) {
+    const std::string ph = fieldText(ev, "ph");
+    if (ph == "b" || ph == "e") ++asyncEvents;
+  }
+  ASSERT_EQ(asyncEvents, 16u);
+  expectAsyncPairsBalanced(events);
+}
+
+TEST(TraceValidity, MergedClientAndDaemonRingsShareTheJobUlid) {
+  // Simulate `mui submit --trace-out`: the client rings (pid 1) and the
+  // daemon's /trace snapshot (pid 2) carry the same job ULID; the merged
+  // document must contain both processes and still balance the pairs.
+  const std::string ulid = newUlid();
+
+  Tracer::enable();
+  Tracer::asyncBegin("submit:j1", ulid);
+  { const ObsSpan wire("submit", ulid); }
+  Tracer::asyncEnd("submit:j1", ulid);
+  Tracer::disable();
+  const std::string clientDoc = Tracer::chromeTrace(1, "mui-submit");
+
+  Tracer::enable();  // resets the rings: this is "the other process"
+  Tracer::asyncBegin("job:j1", ulid);
+  { const ObsSpan run("job:j1", ulid); }
+  Tracer::asyncEnd("job:j1", ulid);
+  Tracer::disable();
+  const std::string daemonDoc = Tracer::chromeTrace(2, "mui-serve");
+  Tracer::clear();
+
+  const std::string merged = mergeChromeTraces({clientDoc, daemonDoc});
+  const auto events = parsedEvents(merged);
+  ASSERT_GE(events.size(), 8u);
+  expectAsyncPairsBalanced(events);
+
+  std::set<double> pids;
+  std::size_t taggedWithUlid = 0;
+  for (const FlatObject& ev : events) {
+    const auto pid = ev.find("pid");
+    ASSERT_NE(pid, ev.end());
+    pids.insert(pid->second.number);
+    if (fieldText(ev, "id") == ulid) ++taggedWithUlid;
+  }
+  EXPECT_EQ(pids, (std::set<double>{1.0, 2.0}));
+  // Both rings contributed their async bracket for the same job.
+  EXPECT_EQ(taggedWithUlid, 4u);
+  // Both process_name metadata lines survived the merge.
+  EXPECT_NE(merged.find("mui-submit"), std::string::npos);
+  EXPECT_NE(merged.find("mui-serve"), std::string::npos);
+}
+
+TEST(TraceValidity, MergeShiftsTheLaterDocumentOntoTheBaseTimeline) {
+  // Hand-crafted documents 5ms apart: after the merge the second event
+  // must be shifted by the epoch delta (5000us) onto the first timeline.
+  const std::string docA =
+      "{\"displayTimeUnit\":\"ms\",\"muiEpochUnixNs\":1000000000,"
+      "\"traceEvents\":[\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"cat\":\"mui\",\"name\":\"a\","
+      "\"ts\":100.000,\"dur\":1.000}\n]}\n";
+  const std::string docB =
+      "{\"displayTimeUnit\":\"ms\",\"muiEpochUnixNs\":1005000000,"
+      "\"traceEvents\":[\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"cat\":\"mui\",\"name\":\"b\","
+      "\"ts\":100.000,\"dur\":1.000}\n]}\n";
+  const auto events = parsedEvents(mergeChromeTraces({docA, docB}));
+  ASSERT_EQ(events.size(), 2u);
+  double tsA = 0;
+  double tsB = 0;
+  for (const FlatObject& ev : events) {
+    if (fieldText(ev, "name") == "a") tsA = ev.at("ts").number;
+    if (fieldText(ev, "name") == "b") tsB = ev.at("ts").number;
+  }
+  EXPECT_DOUBLE_EQ(tsA, 100.0);
+  EXPECT_DOUBLE_EQ(tsB, 5100.0);
+}
+
+}  // namespace
+}  // namespace mui::obs

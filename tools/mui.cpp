@@ -39,9 +39,16 @@
 //       flags work as for `mui integrate`, with one trace track per
 //       worker thread.
 //
-//   mui stats <journal.jsonl>... [--format text|json]
+//   mui stats <journal.jsonl>... [--format text|json] [--baseline F]
+//             [--threshold PCT] [--latency-threshold PCT]
 //       Aggregate one or more run journals (written by --journal-out)
-//       into per-iteration and per-run tables plus totals.
+//       into per-iteration and per-run tables plus totals. --baseline
+//       additionally aggregates an older journal and gates the current
+//       one against it (obs/trend.hpp): work metrics may grow and rate
+//       metrics may drop by at most --threshold (default 10) before the
+//       verdict flips to "regressed" and the exit code to 1; p50/p99 job
+//       latency stays advisory unless --latency-threshold is set. CI runs
+//       this as a perf gate over a checked-in baseline journal.
 //
 //   mui serve [--host H] [--port P] [--port-file F] [--threads N]
 //             [--queue-limit N] [--timeout-ms T] [--max-timeout-ms T]
@@ -62,11 +69,24 @@
 //       records), then exit.
 //
 //   mui submit <manifest> --port P [--host H] [--deadline-ms T]
-//              [--retry-rounds N] [--out <file>]
+//              [--retry-rounds N] [--out <file>] [--trace-out F]
+//              [--trace-context S]
 //       Submit a job manifest (docs/BATCH_FORMAT.md) to a running daemon
 //       and render the streamed results exactly like `mui batch`. Shed
 //       jobs are retried after the daemon's retry-after hint for up to
-//       --retry-rounds rounds (0 reports them immediately).
+//       --retry-rounds rounds (0 reports them immediately). --trace-out
+//       records this client's spans, fetches the daemon's /trace snapshot,
+//       and writes both rings merged into one Chrome trace document — the
+//       client and daemon spans of each job share its correlation ULID.
+//       --trace-context sends a free-form label the daemon attaches to
+//       this connection's rows in /jobs.
+//
+//   mui top --port P [--host H] [--interval-ms T] [--count N] [--once]
+//       Live view of the daemon's in-flight jobs (HTTP /jobs): one row per
+//       accepted-but-unfinished job with its correlation ULID, phase,
+//       disposition, iteration count, queue wait and run time. Refreshes
+//       every --interval-ms (default 1000) until interrupted; --once (or
+//       --count N) bounds the number of frames.
 //
 //   mui fuzz [--seed N] [--runs N] [--jobs N] [--time-budget SEC]
 //            [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]
@@ -98,6 +118,9 @@
 // oracle violations found / replay still reproduces), 2 on usage or model
 // errors.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +129,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "analysis/analyze.hpp"
 #include "analysis/render.hpp"
@@ -125,8 +149,10 @@
 #include "muml/verify.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "obs/trend.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "synthesis/report.hpp"
@@ -136,6 +162,10 @@
 
 #ifndef MUI_VERSION
 #define MUI_VERSION "0.0.0-dev"
+#endif
+
+#ifndef MUI_GIT_SHA
+#define MUI_GIT_SHA "unknown"
 #endif
 
 namespace {
@@ -165,8 +195,11 @@ void printUsage(std::FILE* out) {
       "            [--no-presolve] [--journal-out F] [--metrics-out F]\n"
       "  mui serve --cache <file> --compact\n"
       "  mui submit <manifest> --port P [--host H] [--deadline-ms T]\n"
-      "             [--retry-rounds N] [--out <file>]\n"
-      "  mui stats <journal.jsonl>... [--format text|json]\n"
+      "             [--retry-rounds N] [--out <file>] [--trace-out F]\n"
+      "             [--trace-context S]\n"
+      "  mui top --port P [--host H] [--interval-ms T] [--count N] [--once]\n"
+      "  mui stats <journal.jsonl>... [--format text|json] [--baseline F]\n"
+      "            [--threshold PCT] [--latency-threshold PCT]\n"
       "  mui fuzz [--seed N] [--runs N] [--jobs N] [--time-budget SEC]\n"
       "           [--out <corpus-dir>] [--oracles O1,O3,...] [--no-shrink]\n"
       "           [--inject-bug <name>] [--journal-out F] [--metrics-out F]\n"
@@ -266,6 +299,7 @@ struct ObsOptions {
                         metricsOut.compare(metricsOut.size() - 5, 5,
                                            ".json") == 0;
       auto& registry = obs::Registry::global();
+      obs::sampleProcessGauges(registry);
       writeFileOrThrow(metricsOut, json ? registry.renderJson()
                                         : registry.renderPrometheus());
     }
@@ -623,6 +657,15 @@ bool parseUint(const char* text, std::uint64_t& out) {
   return true;
 }
 
+/// Parses a non-negative decimal CLI argument (threshold percentages).
+bool parseNonNegDouble(const char* text, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < 0) return false;
+  out = v;
+  return true;
+}
+
 int cmdBatch(int argc, char** argv) {
   if (argc < 1) {
     return usageError(
@@ -796,6 +839,10 @@ int cmdServe(int argc, char** argv) {
 
   options.journal = obsOpts.journalPtr();
   obsOpts.beforeRun();
+  // The in-memory trace ring is bounded and cheap, and /trace serves it
+  // live to `mui submit --trace-out` clients, so the daemon records spans
+  // unconditionally; --trace-out only adds a file written on drain.
+  obs::Tracer::enable();
   serve::Server server(options);
   server.start();
   if (!portFile.empty()) {
@@ -833,6 +880,7 @@ int cmdSubmit(int argc, char** argv) {
   const char* manifestPath = argv[0];
   serve::SubmitOptions options;
   std::string outPath;
+  std::string traceOut;
   bool portSet = false;
   for (int i = 1; i < argc; ++i) {
     const auto flagValue = [&](const char* flag) -> const char* {
@@ -862,6 +910,10 @@ int cmdSubmit(int argc, char** argv) {
       options.maxRetryRounds = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       outPath = flagValue("--out");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      traceOut = flagValue("--trace-out");
+    } else if (std::strcmp(argv[i], "--trace-context") == 0) {
+      options.trace = flagValue("--trace-context");
     } else {
       return usageError(std::string("unknown submit flag '") + argv[i] + "'");
     }
@@ -882,7 +934,27 @@ int cmdSubmit(int argc, char** argv) {
                         .string();
   }
 
+  if (!traceOut.empty()) {
+    obs::setThreadName("main");
+    obs::Tracer::enable();
+  }
   const serve::SubmitOutcome outcome = serve::submitJobs(jobs, options);
+  if (!traceOut.empty()) {
+    obs::Tracer::disable();
+    // Merge this client's ring with the daemon's /trace snapshot: one
+    // document, two pids, the per-job async bars keyed by shared ULIDs.
+    std::vector<std::string> docs;
+    docs.push_back(obs::Tracer::chromeTrace(1, "mui-submit"));
+    try {
+      docs.push_back(serve::httpGet(options.host, options.port, "/trace"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "submit: daemon trace unavailable, writing the client "
+                   "ring only (%s)\n",
+                   e.what());
+    }
+    writeFileOrThrow(traceOut, obs::mergeChromeTraces(docs));
+  }
   std::printf("%s", engine::renderBatchReport(outcome.report).c_str());
   if (outcome.shedRetries > 0) {
     std::printf("submit: %llu shed job submission(s) retried\n",
@@ -897,18 +969,36 @@ int cmdSubmit(int argc, char** argv) {
 int cmdStats(int argc, char** argv) {
   bool json = false;
   std::vector<std::string> paths;
+  std::vector<std::string> baselinePaths;
+  obs::TrendOptions trendOpts;
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--format") == 0) {
+    const auto flagValue = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        throw std::runtime_error("--format needs a value");
+        throw std::runtime_error(std::string(flag) + " needs a value");
       }
-      const std::string format = argv[++i];
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--format") == 0) {
+      const std::string format = flagValue("--format");
       if (format == "json") {
         json = true;
       } else if (format == "text") {
         json = false;
       } else {
         return usageError("--format expects 'text' or 'json'");
+      }
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baselinePaths.emplace_back(flagValue("--baseline"));
+    } else if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (!parseNonNegDouble(flagValue("--threshold"),
+                             trendOpts.thresholdPct)) {
+        return usageError("--threshold expects a non-negative percentage");
+      }
+    } else if (std::strcmp(argv[i], "--latency-threshold") == 0) {
+      if (!parseNonNegDouble(flagValue("--latency-threshold"),
+                             trendOpts.latencyThresholdPct)) {
+        return usageError(
+            "--latency-threshold expects a non-negative percentage");
       }
     } else if (argv[i][0] == '-') {
       return usageError(std::string("unknown stats flag '") + argv[i] + "'");
@@ -917,14 +1007,136 @@ int cmdStats(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    return usageError("stats expects <journal.jsonl>... [--format text|json]");
+    return usageError(
+        "stats expects <journal.jsonl>... [--format text|json] "
+        "[--baseline F] [--threshold PCT] [--latency-threshold PCT]");
   }
   std::vector<std::string> journals;
   journals.reserve(paths.size());
   for (const auto& path : paths) journals.push_back(readFileOrThrow(path));
   const auto report = obs::aggregateJournals(journals);
-  std::printf("%s", json ? obs::renderStatsJson(report).c_str()
-                         : obs::renderStatsText(report).c_str());
+  if (baselinePaths.empty()) {
+    std::printf("%s", json ? obs::renderStatsJson(report).c_str()
+                           : obs::renderStatsText(report).c_str());
+    return 0;
+  }
+
+  // Trend gate: aggregate the baseline journal(s) the same way and compare.
+  // JSON mode emits only the trend document (the machine-readable verdict
+  // CI consumes); text mode prints the current stats first for context.
+  std::vector<std::string> baseJournals;
+  baseJournals.reserve(baselinePaths.size());
+  for (const auto& path : baselinePaths) {
+    baseJournals.push_back(readFileOrThrow(path));
+  }
+  const auto baseline = obs::aggregateJournals(baseJournals);
+  const auto trend = obs::compareTrend(baseline, report, trendOpts);
+  if (json) {
+    std::printf("%s", obs::renderTrendJson(trend).c_str());
+  } else {
+    std::printf("%s\n%s", obs::renderStatsText(report).c_str(),
+                obs::renderTrendText(trend).c_str());
+  }
+  return trend.regressed ? 1 : 0;
+}
+
+/// `mui top` — poll the daemon's /jobs endpoint and render the in-flight
+/// job table. On a TTY each frame repaints in place; piped output appends
+/// frames, so `mui top --once` is also a script-friendly snapshot.
+int cmdTop(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t intervalMs = 1000;
+  std::uint64_t frames = 0;  // 0 = until interrupted
+  for (int i = 0; i < argc; ++i) {
+    const auto flagValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = flagValue("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (!parseUint(flagValue("--port"), v) || v == 0 || v > 65535) {
+        return usageError("--port expects the daemon's port number");
+      }
+      port = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0) {
+      if (!parseUint(flagValue("--interval-ms"), v) || v == 0) {
+        return usageError("--interval-ms expects a positive integer");
+      }
+      intervalMs = v;
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      if (!parseUint(flagValue("--count"), v) || v == 0) {
+        return usageError("--count expects a positive integer");
+      }
+      frames = v;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      frames = 1;
+    } else {
+      return usageError(std::string("unknown top flag '") + argv[i] + "'");
+    }
+  }
+  if (port == 0) {
+    return usageError("top needs --port <port> (start one with `mui serve`)");
+  }
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (std::uint64_t frame = 0; frames == 0 || frame < frames; ++frame) {
+    if (frame != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+    }
+    std::string body;
+    try {
+      body = serve::httpGet(host, port, "/jobs");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mui top: %s\n", e.what());
+      return 1;
+    }
+    const auto obj = obs::parseFlatJson(body);
+    if (!obj) {
+      std::fprintf(stderr, "mui top: unparseable /jobs payload\n");
+      return 1;
+    }
+    std::vector<obs::FlatObject> rows;
+    if (const auto it = obj->find("jobs"); it != obj->end()) {
+      if (auto parsed = obs::parseFlatJsonArray(it->second.text)) {
+        rows = std::move(*parsed);
+      }
+    }
+    const auto str = [](const obs::FlatObject& o, const char* key) {
+      const auto it = o.find(key);
+      return it == o.end() ? std::string() : it->second.text;
+    };
+    const auto num = [](const obs::FlatObject& o, const char* key) {
+      const auto it = o.find(key);
+      return it == o.end() ? 0.0 : it->second.number;
+    };
+
+    if (tty && frames != 1) std::printf("\x1b[H\x1b[2J");
+    const auto inflight = obj->find("inflight");
+    std::printf("mui top — %s:%u — %llu job(s) in flight\n", host.c_str(),
+                port,
+                static_cast<unsigned long long>(
+                    inflight == obj->end() ? rows.size()
+                                           : inflight->second.asUint()));
+    std::printf("%-26s  %-16s  %-8s  %-9s  %5s  %9s  %9s  %s\n", "ULID",
+                "NAME", "PHASE", "DISP", "ITER", "QUEUED-MS", "RUN-MS",
+                "CLIENT");
+    for (const auto& row : rows) {
+      const std::string trace = str(row, "trace");
+      std::printf("%-26s  %-16s  %-8s  %-9s  %5llu  %9.0f  %9.0f  %s%s%s\n",
+                  str(row, "ulid").c_str(), str(row, "name").c_str(),
+                  str(row, "phase").c_str(), str(row, "disposition").c_str(),
+                  static_cast<unsigned long long>(num(row, "iteration")),
+                  num(row, "queuedMs"), num(row, "runMs"),
+                  str(row, "client").c_str(),
+                  trace.empty() ? "" : " · ", trace.c_str());
+    }
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -1046,13 +1258,14 @@ int cmdFuzz(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
+    obs::setBuildInfo(obs::Registry::global(), MUI_VERSION, MUI_GIT_SHA);
     const std::string cmd = argv[1];
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       printUsage(stdout);
       return 0;
     }
     if (cmd == "--version" || cmd == "version") {
-      std::printf("mui %s\n", MUI_VERSION);
+      std::printf("mui %s (%s)\n", MUI_VERSION, MUI_GIT_SHA);
       return 0;
     }
     if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
@@ -1065,6 +1278,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmdServe(argc - 2, argv + 2);
     if (cmd == "submit") return cmdSubmit(argc - 2, argv + 2);
     if (cmd == "stats") return cmdStats(argc - 2, argv + 2);
+    if (cmd == "top") return cmdTop(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmdFuzz(argc - 2, argv + 2);
     if (cmd == "lint") return cmdLint(argc - 2, argv + 2);
     if (cmd == "analyze") return cmdAnalyze(argc - 2, argv + 2);

@@ -5,7 +5,11 @@
 # that the second run is answered almost entirely from the replayed cache
 # (>= 90% hits — everything except the uncacheable timeout job) using the
 # daemon's own /metrics endpoint. Both daemons must drain and exit 0 on
-# SIGTERM.
+# SIGTERM. A third round demonstrates the observability path end to end:
+# a traced submit produces one merged Chrome trace with the job ULID in
+# both process rings, /jobs reports in-flight phases, and the daemon
+# journal passes (then, synthetically regressed, trips) the
+# `mui stats --baseline` trend gate.
 #
 # usage: serve_smoke.sh <mui-binary> <manifest> <work-dir>
 set -euo pipefail
@@ -29,17 +33,19 @@ fail() {
   exit 1
 }
 
-start_daemon() { # $1: label
+start_daemon() { # $1: label, $2...: extra serve flags
+  local label=$1
+  shift
   rm -f "$WORK/port"
   "$MUI" serve --port 0 --port-file "$WORK/port" --cache "$CACHE" \
-      --threads 4 --queue-limit 64 >"$WORK/serve-$1.log" 2>&1 &
+      --threads 4 --queue-limit 64 "$@" >"$WORK/serve-$label.log" 2>&1 &
   DAEMON_PID=$!
   for _ in $(seq 1 150); do
     [ -s "$WORK/port" ] && break
-    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon $1 died on startup"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon $label died on startup"
     sleep 0.1
   done
-  [ -s "$WORK/port" ] || fail "daemon $1 never wrote its port file"
+  [ -s "$WORK/port" ] || fail "daemon $label never wrote its port file"
   PORT=$(cat "$WORK/port")
 }
 
@@ -112,4 +118,81 @@ stop_daemon 2
     fail "compaction failed: $(cat "$WORK/compact.log")"
 grep -q "live record" "$WORK/compact.log" || fail "compaction printed no summary"
 
-echo "serve_smoke: OK ($HITS/$TOTAL cache hits on the post-restart run)"
+# Round 3: end-to-end observability (docs/OBSERVABILITY.md). A submit with
+# --trace-out must produce ONE merged Chrome trace whose client ring and
+# daemon ring share the job ULID, /jobs must report an in-flight job's
+# phase while the queue drains, and the daemon journal must gate cleanly
+# through `mui stats --baseline` (and trip the gate once synthetically
+# regressed).
+MODELS_DIR=$(cd "$(dirname "$MANIFEST")/../models" && pwd)
+SPIN="$WORK/spin.manifest"
+{
+  echo "default model=$MODELS_DIR/watchdog.muml pattern=Watchdog role=device"
+  # Distinct max-iterations values give every job a distinct cache key, so
+  # each one really runs the refinement loop and /jobs has time to observe
+  # the queue.
+  for i in $(seq 1 40); do
+    echo "job name=spin-$i hidden=deviceCompliant max-iterations=$((1000 + i))"
+  done
+} >"$SPIN"
+
+JOURNAL="$WORK/daemon-journal.jsonl"
+TRACE="$WORK/merged_trace.json"
+start_daemon 3 --threads 2 --journal-out "$JOURNAL"
+"$MUI" submit "$SPIN" --port "$PORT" --trace-out "$TRACE" \
+    --trace-context smoke >"$WORK/submit-3.log" 2>&1 &
+SUBMIT_PID=$!
+
+# While the batch drains, /jobs must expose at least one in-flight job with
+# a live phase and its ULID.
+SAW_INFLIGHT=0
+for _ in $(seq 1 200); do
+  http_get /jobs "$WORK/jobs.txt" || true
+  if grep -q '"phase":"' "$WORK/jobs.txt" && \
+     grep -q '"ulid":"' "$WORK/jobs.txt"; then
+    SAW_INFLIGHT=1
+    break
+  fi
+  kill -0 "$SUBMIT_PID" 2>/dev/null || break
+  sleep 0.02
+done
+SUBMIT_RC=0
+wait "$SUBMIT_PID" || SUBMIT_RC=$?
+[ "$SUBMIT_RC" -eq 0 ] || \
+    fail "traced submit exited $SUBMIT_RC; log: $(cat "$WORK/submit-3.log")"
+[ "$SAW_INFLIGHT" -eq 1 ] || fail "/jobs never reported an in-flight job"
+stop_daemon 3
+
+# The merged trace holds both process rings...
+[ -s "$TRACE" ] || fail "submit --trace-out wrote no trace"
+grep -q '"mui-submit"' "$TRACE" || fail "merged trace lacks the client ring"
+grep -q '"mui-serve"' "$TRACE" || fail "merged trace lacks the daemon ring"
+# ...and at least one job ULID appears in events of BOTH pids, i.e. the
+# correlation ID survived the wire protocol round trip.
+SHARED=0
+for id in $(grep -o '"id":"[0-9A-HJKMNP-TV-Z]\{26\}"' "$TRACE" | sort -u |
+            cut -d'"' -f4); do
+  PIDS=$(grep "\"id\":\"$id\"" "$TRACE" | grep -o '"pid":[0-9]*' | sort -u |
+         wc -l)
+  [ "$PIDS" -ge 2 ] && { SHARED=1; break; }
+done
+[ "$SHARED" -eq 1 ] || \
+    fail "no job ULID is shared between the client and daemon trace rings"
+
+# The daemon journal carries the correlation IDs and gates cleanly against
+# itself...
+[ -s "$JOURNAL" ] || fail "daemon 3 wrote no journal"
+grep -q '"ulid":"' "$JOURNAL" || fail "daemon journal events carry no ulid"
+"$MUI" stats "$JOURNAL" --baseline "$JOURNAL" >"$WORK/trend-ok.log" 2>&1 || \
+    fail "clean trend gate tripped: $(cat "$WORK/trend-ok.log")"
+grep -q "VERDICT: ok" "$WORK/trend-ok.log" || fail "clean trend gate lacks an ok verdict"
+# ...while a synthetically regressed journal must trip the gate (exit 1).
+sed 's/"iterations":[0-9]*/"iterations":9999/' "$JOURNAL" >"$WORK/regressed.jsonl"
+RC=0
+"$MUI" stats "$WORK/regressed.jsonl" --baseline "$JOURNAL" \
+    >"$WORK/trend-bad.log" 2>&1 || RC=$?
+[ "$RC" -eq 1 ] || fail "regressed trend gate exited $RC (want 1)"
+grep -q "VERDICT: regressed" "$WORK/trend-bad.log" || \
+    fail "regressed trend gate lacks a regressed verdict"
+
+echo "serve_smoke: OK ($HITS/$TOTAL cache hits on the post-restart run; traced round saw in-flight jobs and a shared ULID)"
