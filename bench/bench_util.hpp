@@ -33,6 +33,8 @@ inline const char* verdictName(synthesis::Verdict v) {
       return "unsupported";
     case synthesis::Verdict::Cancelled:
       return "cancelled";
+    case synthesis::Verdict::AdapterFailure:
+      return "adapter-failure";
   }
   return "?";
 }

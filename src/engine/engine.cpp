@@ -66,8 +66,8 @@ BatchReport runBatch(const std::vector<Job>& jobs, const BatchOptions& options,
         .u("cacheMisses", report.cacheMisses);
     for (const JobStatus s :
          {JobStatus::Proven, JobStatus::RealError, JobStatus::IterationLimit,
-          JobStatus::Unsupported, JobStatus::Timeout,
-          JobStatus::EngineError}) {
+          JobStatus::Unsupported, JobStatus::AdapterFailure,
+          JobStatus::Timeout, JobStatus::EngineError}) {
       if (const std::size_t n = report.count(s)) {
         fields.u(jobStatusName(s), n);
       }

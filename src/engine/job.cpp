@@ -14,6 +14,8 @@ const char* jobStatusName(JobStatus s) {
       return "iter-limit";
     case JobStatus::Unsupported:
       return "unsupported";
+    case JobStatus::AdapterFailure:
+      return "adapter-failure";
     case JobStatus::Timeout:
       return "timeout";
     case JobStatus::EngineError:
@@ -25,7 +27,8 @@ const char* jobStatusName(JobStatus s) {
 std::optional<JobStatus> jobStatusFromName(std::string_view name) {
   for (const JobStatus s :
        {JobStatus::Proven, JobStatus::RealError, JobStatus::IterationLimit,
-        JobStatus::Unsupported, JobStatus::Timeout, JobStatus::EngineError}) {
+        JobStatus::Unsupported, JobStatus::AdapterFailure, JobStatus::Timeout,
+        JobStatus::EngineError}) {
     if (name == jobStatusName(s)) return s;
   }
   return std::nullopt;

@@ -36,8 +36,10 @@ struct Job {
   std::size_t maxIterations = 0;  // iteration budget; 0 = verifier default
 };
 
-/// Terminal state of a job. The first four mirror synthesis::Verdict; the
-/// last two are engine-level: a deadline hit maps Verdict::Cancelled to
+/// Terminal state of a job. The first four mirror synthesis::Verdict;
+/// AdapterFailure surfaces an out-of-process legacy that crashed, hung, or
+/// broke protocol beyond its recovery budget (docs/ADAPTERS.md); the last
+/// two are engine-level: a deadline hit maps Verdict::Cancelled to
 /// Timeout, and any exception escaping the job (unreadable file, unknown
 /// pattern/role/automaton, model errors) is folded into EngineError so one
 /// broken job never takes down the batch.
@@ -46,6 +48,7 @@ enum class JobStatus {
   RealError,
   IterationLimit,
   Unsupported,
+  AdapterFailure,
   Timeout,
   EngineError,
 };

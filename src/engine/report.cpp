@@ -10,8 +10,10 @@ namespace {
 using util::jsonEscape;
 
 constexpr JobStatus kAllStatuses[] = {
-    JobStatus::Proven,       JobStatus::RealError, JobStatus::IterationLimit,
-    JobStatus::Unsupported,  JobStatus::Timeout,   JobStatus::EngineError,
+    JobStatus::Proven,         JobStatus::RealError,
+    JobStatus::IterationLimit, JobStatus::Unsupported,
+    JobStatus::AdapterFailure, JobStatus::Timeout,
+    JobStatus::EngineError,
 };
 
 }  // namespace

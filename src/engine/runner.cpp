@@ -3,9 +3,12 @@
 #include <chrono>
 #include <stdexcept>
 
+#include <memory>
+
 #include "analysis/analyze.hpp"
 #include "analysis/semantic.hpp"
 #include "automata/rename.hpp"
+#include "muml/external.hpp"
 #include "obs/metrics.hpp"
 #include "engine/thread_pool.hpp"
 #include "muml/integration.hpp"
@@ -15,6 +18,7 @@
 #include "obs/trace.hpp"
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
+#include "testing/subprocess.hpp"
 
 namespace mui::engine {
 
@@ -34,6 +38,8 @@ JobStatus statusOf(synthesis::Verdict v) {
       return JobStatus::Unsupported;
     case synthesis::Verdict::Cancelled:
       return JobStatus::Timeout;
+    case synthesis::Verdict::AdapterFailure:
+      return JobStatus::AdapterFailure;
   }
   return JobStatus::EngineError;
 }
@@ -183,53 +189,72 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
                                job.legacyRole + "'");
     }
     const auto hit = model.automata.find(job.hidden);
-    if (hit == model.automata.end()) {
-      throw std::runtime_error("no automaton named '" + job.hidden + "' in " +
-                               job.modelPath);
+    const auto eit = model.externals.find(job.hidden);
+    const bool external = eit != model.externals.end();
+    if (hit == model.automata.end() && !external) {
+      throw std::runtime_error("no automaton or legacy external named '" +
+                               job.hidden + "' in " + job.modelPath);
     }
 
     const auto scenario = muml::makeIntegrationScenario(
         pattern, roleIdx, model.signals, model.props);
-    const automata::Automaton hiddenAsRole =
-        automata::withInstanceName(hit->second, pattern.roles[roleIdx].name);
     const std::string property =
         job.formula.empty() ? scenario.property : job.formula;
 
-    // Semantic pre-solve: for properties inside the AG-safety fragment the
-    // verdict is decidable by plain forward reachability on the concrete
-    // composition — no closure, no learning, no testing. Definitive
-    // outcomes short-circuit the refinement loop and are cached under the
-    // same content key a loop result would use (fuzz oracle O6 checks that
-    // the two paths agree).
-    if (options.semanticPresolve) {
-      if (progress != nullptr) progress->setPhase("presolve");
-      const analysis::PresolveOutcome pre =
-          analysis::presolveIntegration(scenario.context, hiddenAsRole,
-                                        property);
-      countPresolve(pre.verdict);
-      if (options.journal != nullptr) {
-        obs::JsonObject fields;
-        fields.s("run", job.name);
-        if (!job.ulid.empty()) fields.s("ulid", job.ulid);
-        fields.s("verdict", analysis::presolveVerdictName(pre.verdict))
-            .s("rule", pre.ruleId)
-            .u("productStates", pre.productStates);
-        options.journal->event("presolve", fields);
-      }
-      if (pre.verdict != analysis::PresolveVerdict::Skipped) {
-        out.status = pre.verdict == analysis::PresolveVerdict::Proved
-                         ? JobStatus::Proven
-                         : JobStatus::RealError;
-        out.explanation = pre.explanation;
-        out.presolved = true;
-        results.store(key, CachedOutcome{out.status, out.explanation,
-                                         out.iterations, out.testPeriods,
-                                         out.learnedFacts});
-        return finish();
-      }
-    }
+    std::unique_ptr<testing::LegacyComponent> legacy;
+    if (external) {
+      // An out-of-process legacy: the hidden behavior lives in an adapter
+      // binary (docs/ADAPTERS.md). The semantic pre-solve needs a concrete
+      // hidden automaton, so the job always goes through the refinement
+      // loop; results are never cached because the binary's content is not
+      // part of the JobKey (see the ResultCache contract in cache.hpp).
+      muml::checkExternalInterface(eit->second, pattern.roles[roleIdx],
+                                   model.source, model.signals);
+      testing::SubprocessConfig scfg =
+          testing::configFromExternal(model, eit->second);
+      scfg.journal = options.journal;
+      scfg.ulid = job.ulid;
+      legacy = std::make_unique<testing::SubprocessLegacy>(std::move(scfg));
+    } else {
+      const automata::Automaton hiddenAsRole = automata::withInstanceName(
+          hit->second, pattern.roles[roleIdx].name);
 
-    testing::AutomatonLegacy legacy(hiddenAsRole);
+      // Semantic pre-solve: for properties inside the AG-safety fragment
+      // the verdict is decidable by plain forward reachability on the
+      // concrete composition — no closure, no learning, no testing.
+      // Definitive outcomes short-circuit the refinement loop and are
+      // cached under the same content key a loop result would use (fuzz
+      // oracle O6 checks that the two paths agree).
+      if (options.semanticPresolve) {
+        if (progress != nullptr) progress->setPhase("presolve");
+        const analysis::PresolveOutcome pre =
+            analysis::presolveIntegration(scenario.context, hiddenAsRole,
+                                          property);
+        countPresolve(pre.verdict);
+        if (options.journal != nullptr) {
+          obs::JsonObject fields;
+          fields.s("run", job.name);
+          if (!job.ulid.empty()) fields.s("ulid", job.ulid);
+          fields.s("verdict", analysis::presolveVerdictName(pre.verdict))
+              .s("rule", pre.ruleId)
+              .u("productStates", pre.productStates);
+          options.journal->event("presolve", fields);
+        }
+        if (pre.verdict != analysis::PresolveVerdict::Skipped) {
+          out.status = pre.verdict == analysis::PresolveVerdict::Proved
+                           ? JobStatus::Proven
+                           : JobStatus::RealError;
+          out.explanation = pre.explanation;
+          out.presolved = true;
+          results.store(key, CachedOutcome{out.status, out.explanation,
+                                           out.iterations, out.testPeriods,
+                                           out.learnedFacts});
+          return finish();
+        }
+      }
+
+      legacy = std::make_unique<testing::AutomatonLegacy>(hiddenAsRole);
+    }
 
     synthesis::IntegrationConfig cfg;
     cfg.property = property;
@@ -244,7 +269,7 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     }
 
     const auto res =
-        synthesis::runIntegration(scenario.context, legacy, std::move(cfg));
+        synthesis::runIntegration(scenario.context, *legacy, std::move(cfg));
     out.status = statusOf(res.verdict);
     out.explanation = res.verdict == synthesis::Verdict::Cancelled
                           ? "deadline of " + std::to_string(timeoutMs) +
@@ -261,11 +286,17 @@ JobResult runJob(const Job& job, TextCache& texts, ResultCache& results,
     out.productStatesReused = res.totalProductStatesReused;
 
     if (out.status != JobStatus::Timeout &&
-        out.status != JobStatus::EngineError) {
+        out.status != JobStatus::EngineError && !external) {
       results.store(key, CachedOutcome{out.status, out.explanation,
                                        out.iterations, out.testPeriods,
                                        out.learnedFacts});
     }
+  } catch (const testing::AdapterFailure& e) {
+    // Adapter death before the loop even starts (spawn failure, broken
+    // handshake during the initial reset/probe) carries the same distinct
+    // status as an in-loop containment abort.
+    out.status = JobStatus::AdapterFailure;
+    out.explanation = e.what();
   } catch (const std::exception& e) {
     out.status = JobStatus::EngineError;
     out.explanation = e.what();

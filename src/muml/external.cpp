@@ -1,0 +1,114 @@
+#include "muml/external.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "util/parse.hpp"
+
+namespace mui::muml {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+util::SourceLoc locOf(const ExternalLegacy& ext, const ModelSource& source) {
+  const auto it = source.externals.find(ext.name);
+  return it != source.externals.end() ? it->second : util::SourceLoc{};
+}
+
+[[noreturn]] void failAt(const util::SourceLoc& loc, const std::string& msg) {
+  throw util::SemanticError(msg, loc.file, loc.line, loc.col);
+}
+
+bool isExecutableFile(const fs::path& p) {
+  std::error_code ec;
+  return fs::is_regular_file(p, ec) && ::access(p.c_str(), X_OK) == 0;
+}
+
+std::string renderNames(const automata::SignalSet& set,
+                        const automata::SignalTable& table) {
+  std::string out;
+  set.forEach([&](std::size_t bit) {
+    if (!out.empty()) out += ' ';
+    out += table.name(static_cast<util::NameId>(bit));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string resolveExternalBinary(const ExternalLegacy& ext,
+                                  const ModelSource& source) {
+  const util::SourceLoc loc = locOf(ext, source);
+  std::vector<fs::path> tried;
+  const auto candidate = [&](const fs::path& p) -> std::string {
+    tried.push_back(p);
+    std::error_code ec;
+    if (!fs::exists(p, ec)) return {};
+    if (!isExecutableFile(p)) {
+      failAt(loc, "legacy external '" + ext.name + "': '" + p.string() +
+                      "' exists but is not an executable file");
+    }
+    return p.string();
+  };
+
+  const fs::path declared(ext.path);
+  if (declared.is_absolute()) {
+    if (auto hit = candidate(declared); !hit.empty()) return hit;
+  } else {
+    // Relative to the declaring model file's directory first: models ship
+    // next to their adapters.
+    if (!loc.file.empty()) {
+      const fs::path dir = fs::path(loc.file).parent_path();
+      if (auto hit = candidate(dir / declared); !hit.empty()) return hit;
+    }
+    // Then every directory of MUI_ADAPTER_PATH (colon separated).
+    if (const char* env = std::getenv("MUI_ADAPTER_PATH")) {
+      std::istringstream dirs(env);
+      std::string dir;
+      while (std::getline(dirs, dir, ':')) {
+        if (dir.empty()) continue;
+        if (auto hit = candidate(fs::path(dir) / declared); !hit.empty()) {
+          return hit;
+        }
+      }
+    }
+  }
+
+  std::string msg = "legacy external '" + ext.name +
+                    "': adapter binary not found; tried";
+  for (const auto& p : tried) msg += " '" + p.string() + "'";
+  msg += " (relative paths resolve against the model's directory and "
+         "MUI_ADAPTER_PATH)";
+  failAt(loc, msg);
+}
+
+void checkExternalInterface(const ExternalLegacy& ext, const Role& role,
+                            const ModelSource& source,
+                            const automata::SignalTableRef& signals) {
+  const util::SourceLoc loc = locOf(ext, source);
+  // Role inputs are what the role *receives*; the legacy component plays
+  // the role, so the sets must coincide side by side.
+  automata::SignalSet roleIn, roleOut;
+  for (const auto& s : role.behavior.inputs()) roleIn.set(signals->intern(s));
+  for (const auto& s : role.behavior.outputs()) {
+    roleOut.set(signals->intern(s));
+  }
+  if (!(ext.inputs == roleIn)) {
+    failAt(loc, "legacy external '" + ext.name + "' declares inputs {" +
+                    renderNames(ext.inputs, *signals) + "} but role '" +
+                    role.name + "' requires {" +
+                    renderNames(roleIn, *signals) + "}");
+  }
+  if (!(ext.outputs == roleOut)) {
+    failAt(loc, "legacy external '" + ext.name + "' declares outputs {" +
+                    renderNames(ext.outputs, *signals) + "} but role '" +
+                    role.name + "' requires {" +
+                    renderNames(roleOut, *signals) + "}");
+  }
+}
+
+}  // namespace mui::muml

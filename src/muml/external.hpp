@@ -1,0 +1,35 @@
+#pragma once
+// Resolution and validation of `legacy ... external` declarations — the
+// filesystem-facing half the loader deliberately defers so that parsing a
+// model never touches the disk. Both helpers throw util::SemanticError
+// carrying the clause's recorded file:line:col, so a missing binary or a
+// mis-declared interface reads like any other model diagnostic.
+
+#include <string>
+
+#include "muml/model.hpp"
+
+namespace mui::muml {
+
+/// Resolves the adapter binary of `ext` to an executable path:
+///   1. an absolute path is taken as-is;
+///   2. a relative path is tried against the declaring .muml file's
+///      directory (models ship next to their adapters);
+///   3. each directory of the colon-separated MUI_ADAPTER_PATH environment
+///      variable (how tests and CI point models at the build tree).
+/// Throws util::SemanticError (located at the clause) when no candidate
+/// exists, or when the found file is not executable.
+std::string resolveExternalBinary(const ExternalLegacy& ext,
+                                  const ModelSource& source);
+
+/// Checks the declared I/O interface of `ext` against the role it is about
+/// to play: the external's inputs must equal the role behavior's inputs and
+/// likewise for outputs (paper Sec. 3 — the interface is the one part of a
+/// black box that is always known, so a mismatch is a model error, not
+/// something to discover through refusals). Throws util::SemanticError
+/// located at the clause.
+void checkExternalInterface(const ExternalLegacy& ext, const Role& role,
+                            const ModelSource& source,
+                            const automata::SignalTableRef& signals);
+
+}  // namespace mui::muml

@@ -56,8 +56,10 @@ class Loader {
         parseRtsc();
       } else if (cur_.tryKeyword("pattern")) {
         parsePattern();
+      } else if (cur_.tryKeyword("legacy")) {
+        parseLegacy();
       } else {
-        cur_.fail("expected 'automaton', 'rtsc', or 'pattern'");
+        cur_.fail("expected 'automaton', 'rtsc', 'pattern', or 'legacy'");
       }
     }
   }
@@ -70,6 +72,11 @@ class Loader {
     if (model_.automata.count(name)) {
       cur_.failSemantic("duplicate automaton '" + name +
                         "' (an automaton with this name is already defined)");
+    }
+    if (model_.externals.count(name)) {
+      cur_.failSemantic("automaton '" + name +
+                        "' clashes with a legacy external of the same name "
+                        "(hidden-component names must be unambiguous)");
     }
     model_.source.automata.emplace(name, loc);
     automata::Automaton a(model_.signals, model_.props, name);
@@ -320,6 +327,67 @@ class Loader {
       }
     }
     model_.patterns.emplace(name, std::move(p));
+  }
+
+  // ---- legacy external -----------------------------------------------------
+
+  /// `legacy <name> external "<binary>" { input ...; output ...; arg "...";
+  /// deadline-ms N; max-respawns N; allow ...; }` — an out-of-process
+  /// legacy component (docs/ADAPTERS.md). Parsing records the clause; the
+  /// binary is resolved and validated lazily (muml/external.hpp) so loading
+  /// a model never touches the filesystem.
+  void parseLegacy() {
+    const util::SourceLoc loc = here();
+    const std::string name = cur_.identifier();
+    if (model_.externals.count(name)) {
+      cur_.failSemantic("duplicate legacy external '" + name +
+                        "' (an external with this name is already defined)");
+    }
+    if (model_.automata.count(name)) {
+      cur_.failSemantic("legacy external '" + name +
+                        "' clashes with an automaton of the same name "
+                        "(hidden-component names must be unambiguous)");
+    }
+    if (!cur_.tryKeyword("external")) cur_.fail("expected 'external'");
+    model_.source.externals.emplace(name, loc);
+    ExternalLegacy ext;
+    ext.name = name;
+    ext.path = cur_.quotedString();
+    if (ext.path.empty()) {
+      cur_.failSemantic("legacy external '" + name +
+                        "': the adapter binary path must not be empty");
+    }
+    cur_.expect("{");
+    while (!cur_.tryConsume("}")) {
+      if (cur_.tryKeyword("input")) {
+        signalList(
+            [&](const std::string& s) { ext.inputs.set(model_.signals->intern(s)); });
+      } else if (cur_.tryKeyword("output")) {
+        signalList([&](const std::string& s) {
+          ext.outputs.set(model_.signals->intern(s));
+        });
+      } else if (cur_.tryKeyword("arg")) {
+        ext.args.push_back(cur_.quotedString());
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("deadline-ms")) {
+        ext.stepDeadlineMs = static_cast<std::uint64_t>(cur_.integer());
+        if (ext.stepDeadlineMs == 0) {
+          cur_.failSemantic("legacy external '" + name +
+                            "': deadline-ms must be positive");
+        }
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("max-respawns")) {
+        ext.maxRespawns = cur_.integer();
+        cur_.expect(";");
+      } else if (cur_.tryKeyword("allow")) {
+        parseAllow(name);
+      } else {
+        cur_.fail(
+            "expected 'input', 'output', 'arg', 'deadline-ms', "
+            "'max-respawns', or 'allow'");
+      }
+    }
+    model_.externals.emplace(name, std::move(ext));
   }
 
   // ---- shared helpers ------------------------------------------------------

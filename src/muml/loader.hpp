@@ -26,6 +26,13 @@
 //     constraint "AG !(p && q)";
 //   }
 //
+//   legacy Name external "path/to/adapter" {   # out-of-process component
+//     input a b; output x;                     # declared I/O interface
+//     arg "--flag"; arg "%model%";             # extra argv (%model% = this file)
+//     deadline-ms 2000;                        # per-step containment budget
+//     max-respawns 3;                          # crash recovery budget
+//   }
+//
 // Any block body may carry `allow MUI003 ...;` statements suppressing the
 // named lint rules (see mui::analysis and docs/LINT_RULES.md) for that
 // entity; the loader records them in Model::source.

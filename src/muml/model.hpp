@@ -3,6 +3,7 @@
 // coordination patterns with roles, connectors, constraints and role
 // invariants; components with ports refining roles.
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -55,6 +56,28 @@ struct Component {
   std::vector<Port> ports;
 };
 
+/// An out-of-process legacy component declared by a `legacy <name> external
+/// "<binary>" { ... }` clause: an adapter binary speaking the JSONL stdio
+/// protocol of docs/ADAPTERS.md, plus its declared I/O interface (always
+/// known from the architectural model, paper Sec. 3). The path is kept as
+/// written; resolution against the declaring file's directory and
+/// MUI_ADAPTER_PATH happens in resolveExternalBinary (external.hpp), not at
+/// parse time.
+struct ExternalLegacy {
+  static constexpr std::size_t kDefaultRespawns =
+      static_cast<std::size_t>(-1);  // sentinel: harness default
+
+  std::string name;
+  std::string path;
+  /// Extra argv entries (`arg "...";` clauses). The literal `%model%`
+  /// expands to the declaring .muml file's path when the process is built.
+  std::vector<std::string> args;
+  std::uint64_t stepDeadlineMs = 0;  // 0 = harness default
+  std::size_t maxRespawns = kDefaultRespawns;
+  automata::SignalSet inputs;
+  automata::SignalSet outputs;
+};
+
 /// Side information the loader records about where each definition came
 /// from — consumed by the static analysis layer (mui::analysis) to attach
 /// file:line:col locations to its diagnostics, to surface transitions that
@@ -73,6 +96,7 @@ struct ModelSource {
   std::map<std::string, util::SourceLoc> automata;     // by automaton name
   std::map<std::string, util::SourceLoc> statecharts;  // by rtsc name
   std::map<std::string, util::SourceLoc> patterns;     // by pattern name
+  std::map<std::string, util::SourceLoc> externals;    // by external name
   /// Pattern constraint locations by pattern name; role invariant locations
   /// by "pattern.role".
   std::map<std::string, util::SourceLoc> constraints;
@@ -97,6 +121,10 @@ struct Model {
   std::map<std::string, automata::Automaton> automata;
   std::map<std::string, rtsc::RealTimeStatechart> statecharts;
   std::map<std::string, CoordinationPattern> patterns;
+  /// Out-of-process legacy declarations. Disjoint from `automata` by
+  /// construction (the loader rejects name clashes) so a job's `hidden`
+  /// name picks exactly one of the two worlds.
+  std::map<std::string, ExternalLegacy> externals;
   ModelSource source;
 };
 

@@ -16,6 +16,8 @@ const char* verdictName(Verdict v) {
       return "unsupported";
     case Verdict::Cancelled:
       return "cancelled";
+    case Verdict::AdapterFailure:
+      return "adapter-failure";
   }
   return "?";
 }

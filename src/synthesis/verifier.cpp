@@ -13,6 +13,7 @@
 #include "obs/trace.hpp"
 #include "synthesis/initial.hpp"
 #include "synthesis/report.hpp"
+#include "testing/subprocess.hpp"
 
 namespace mui::synthesis {
 
@@ -315,12 +316,24 @@ IntegrationResult IntegrationVerifier::run() {
         }
       }
     };
+    bool adapterFailed = false;
     {
       const obs::ObsSpan span("test", config_.ulid);
       if (progress != nullptr) progress->setPhase("test");
-      if (!propRes.holds) process(propRes, *productOpt, closuresOpt);
-      if (!realError && !dlRes.holds) {
-        process(dlRes, *productPess, closuresPess);
+      // Containment boundary for out-of-process legacies: a subprocess
+      // adapter that crashes, hangs, or garbles beyond its recovery budget
+      // aborts the run with the distinct AdapterFailure verdict instead of
+      // tearing down the harness (the component could not be observed, so
+      // neither Lemma 5 nor Lemma 6 applies).
+      try {
+        if (!propRes.holds) process(propRes, *productOpt, closuresOpt);
+        if (!realError && !dlRes.holds) {
+          process(dlRes, *productPess, closuresPess);
+        }
+      } catch (const testing::AdapterFailure& e) {
+        res.verdict = Verdict::AdapterFailure;
+        res.explanation = e.what();
+        adapterFailed = true;
       }
     }
     rec.testMs = lapMs();
@@ -331,6 +344,7 @@ IntegrationResult IntegrationVerifier::run() {
     accumulate(rec);
     emitIteration(rec);
     res.journal.push_back(std::move(rec));
+    if (adapterFailed) break;
     if (realError) break;
     if (wasCancelled) break;
     if (!progressed) {
@@ -348,7 +362,8 @@ IntegrationResult IntegrationVerifier::run() {
   res.learnedModels = models_;
   if (config_.recordTests) res.recordedTests = suites_;
   if (wasCancelled && res.verdict != Verdict::RealError &&
-      res.verdict != Verdict::ProvenCorrect) {
+      res.verdict != Verdict::ProvenCorrect &&
+      res.verdict != Verdict::AdapterFailure) {
     res.verdict = Verdict::Cancelled;
     res.explanation =
         "stopped by the cancellation hook before reaching a verdict";

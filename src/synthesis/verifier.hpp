@@ -112,6 +112,11 @@ enum class Verdict {
   Unsupported,     // property shape outside the counterexample fragment, or
                    // no learning progress (possible with PaperExact style)
   Cancelled,       // config.cancelRequested fired (deadline or external stop)
+  AdapterFailure,  // an out-of-process legacy (testing::SubprocessLegacy)
+                   // crashed, hung, or broke protocol beyond its recovery
+                   // budget — the component could not be observed, so no
+                   // integration verdict exists (distinct from EngineError:
+                   // the harness itself is fine)
 };
 
 struct IterationRecord {

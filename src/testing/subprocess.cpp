@@ -1,0 +1,508 @@
+#include "testing/subprocess.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "muml/external.hpp"
+#include "muml/model.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace mui::testing {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A dying adapter closes its stdin pipe; the next write must come back as
+// EPIPE (handled as a crash), not as a process-killing SIGPIPE.
+void ignoreSigpipeOnce() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+obs::Counter& spawnsCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mui_adapter_spawns_total", "Adapter subprocesses spawned");
+  return c;
+}
+
+obs::Counter& crashesCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mui_adapter_crashes_total",
+      "Adapter subprocesses that died unexpectedly (EOF/EPIPE mid-protocol)");
+  return c;
+}
+
+obs::Counter& timeoutsCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mui_adapter_timeouts_total",
+      "Adapter exchanges killed by the per-step deadline");
+  return c;
+}
+
+obs::Counter& respawnsCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "mui_adapter_respawns_total",
+      "Adapter crash recoveries (respawn + accepted-step-log replay)");
+  return c;
+}
+
+/// Splits a space-separated signal-name list (the wire format keeps signal
+/// sets inside one flat JSON string so responses stay parseFlatJson-able).
+std::vector<std::string> splitNames(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+std::string truncated(std::string_view line) {
+  constexpr std::size_t kMax = 160;
+  std::string s(line.substr(0, kMax));
+  if (line.size() > kMax) s += "...";
+  return s;
+}
+
+}  // namespace
+
+const char* adapterFailureKindName(AdapterFailure::Kind kind) {
+  switch (kind) {
+    case AdapterFailure::Kind::Spawn:
+      return "spawn";
+    case AdapterFailure::Kind::Crash:
+      return "crash";
+    case AdapterFailure::Kind::Timeout:
+      return "timeout";
+    case AdapterFailure::Kind::Protocol:
+      return "protocol";
+    case AdapterFailure::Kind::Replay:
+      return "replay";
+  }
+  return "?";
+}
+
+SubprocessLegacy::SubprocessLegacy(SubprocessConfig config)
+    : config_(std::move(config)) {
+  if (config_.binary.empty()) {
+    throw std::invalid_argument("SubprocessLegacy: empty adapter binary path");
+  }
+  if (!config_.signals) {
+    throw std::invalid_argument("SubprocessLegacy: no signal table");
+  }
+  if (config_.name.empty()) config_.name = config_.binary;
+  ignoreSigpipeOnce();
+}
+
+SubprocessLegacy::~SubprocessLegacy() {
+  if (pid_ < 0) return;
+  // Best effort polite shutdown: quit + stdin EOF, then a bounded wait
+  // before SIGKILL — a hung adapter must not hang the harness destructor.
+  const std::string quit = "{\"cmd\":\"quit\"}\n";
+  if (toChild_ >= 0) {
+    (void)!::write(toChild_, quit.data(), quit.size());
+    ::close(toChild_);
+    toChild_ = -1;
+  }
+  for (int i = 0; i < 20; ++i) {
+    if (::waitpid(pid_, nullptr, WNOHANG) == pid_) {
+      pid_ = -1;
+      break;
+    }
+    ::usleep(10 * 1000);
+  }
+  if (pid_ >= 0) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+  if (fromChild_ >= 0) ::close(fromChild_);
+  fromChild_ = -1;
+  journalEvent("exit");
+}
+
+void SubprocessLegacy::journalEvent(const char* event,
+                                    const char* detail) const {
+  if (config_.journal == nullptr) return;
+  obs::JsonObject fields;
+  fields.s("adapter", config_.name);
+  if (!config_.ulid.empty()) fields.s("ulid", config_.ulid);
+  fields.s("event", event);
+  if (pid_ >= 0) fields.i("pid", pid_);
+  if (detail != nullptr) fields.s("detail", detail);
+  config_.journal->event("adapter", fields);
+}
+
+void SubprocessLegacy::spawnProcess() {
+  int inPipe[2];   // harness -> child stdin
+  int outPipe[2];  // child stdout -> harness
+  if (::pipe(inPipe) != 0) {
+    throw AdapterFailure(AdapterFailure::Kind::Spawn,
+                         "adapter '" + config_.name +
+                             "': pipe() failed: " + std::strerror(errno));
+  }
+  if (::pipe(outPipe) != 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    throw AdapterFailure(AdapterFailure::Kind::Spawn,
+                         "adapter '" + config_.name +
+                             "': pipe() failed: " + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) {
+      ::close(fd);
+    }
+    throw AdapterFailure(AdapterFailure::Kind::Spawn,
+                         "adapter '" + config_.name +
+                             "': fork() failed: " + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdio, drop every other inherited fd (the
+    // serve daemon's sockets must not leak into adapters), exec.
+    ::dup2(inPipe[0], STDIN_FILENO);
+    ::dup2(outPipe[1], STDOUT_FILENO);
+    for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(config_.binary.c_str()));
+    for (const auto& a : config_.args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(config_.binary.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(inPipe[0]);
+  ::close(outPipe[1]);
+  pid_ = pid;
+  toChild_ = inPipe[1];
+  fromChild_ = outPipe[0];
+  readBuf_.clear();
+  spawnsCounter().inc();
+  journalEvent("spawn");
+}
+
+void SubprocessLegacy::killProcess() {
+  if (pid_ >= 0) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+  if (toChild_ >= 0) ::close(toChild_);
+  if (fromChild_ >= 0) ::close(fromChild_);
+  toChild_ = -1;
+  fromChild_ = -1;
+  readBuf_.clear();
+}
+
+void SubprocessLegacy::reapProcess() {
+  if (pid_ >= 0) {
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+  if (toChild_ >= 0) ::close(toChild_);
+  if (fromChild_ >= 0) ::close(fromChild_);
+  toChild_ = -1;
+  fromChild_ = -1;
+  readBuf_.clear();
+}
+
+obs::FlatObject SubprocessLegacy::exchangeChecked(const std::string& line) {
+  // Write the request. EPIPE means the child died under us.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(toChild_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      reapProcess();
+      throw AdapterFailure(AdapterFailure::Kind::Crash,
+                           "adapter '" + config_.name +
+                               "' died (write failed: " +
+                               std::strerror(errno) + ")");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Read one response line under the deadline.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.stepDeadlineMs);
+  std::string response;
+  while (true) {
+    const std::size_t nl = readBuf_.find('\n');
+    if (nl != std::string::npos) {
+      response = readBuf_.substr(0, nl);
+      readBuf_.erase(0, nl + 1);
+      break;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      timeoutsCounter().inc();
+      journalEvent("timeout");
+      killProcess();
+      throw AdapterFailure(
+          AdapterFailure::Kind::Timeout,
+          "adapter '" + config_.name + "' exceeded the step deadline of " +
+              std::to_string(config_.stepDeadlineMs) + " ms (killed)");
+    }
+    struct pollfd pfd {};
+    pfd.fd = fromChild_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      reapProcess();
+      throw AdapterFailure(AdapterFailure::Kind::Crash,
+                           "adapter '" + config_.name +
+                               "': poll() failed: " + std::strerror(errno));
+    }
+    if (rc == 0) continue;  // deadline re-checked at the top of the loop
+    char chunk[4096];
+    const ssize_t n = ::read(fromChild_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      reapProcess();
+      throw AdapterFailure(AdapterFailure::Kind::Crash,
+                           "adapter '" + config_.name +
+                               "': read() failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      reapProcess();
+      throw AdapterFailure(AdapterFailure::Kind::Crash,
+                           "adapter '" + config_.name +
+                               "' died (EOF before a response)");
+    }
+    readBuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const auto parsed = obs::parseFlatJson(response);
+  if (!parsed) {
+    throw AdapterFailure(AdapterFailure::Kind::Protocol,
+                         "adapter '" + config_.name +
+                             "' answered garbage (not a JSON object): " +
+                             truncated(response));
+  }
+  const auto ok = parsed->find("ok");
+  if (ok == parsed->end() || ok->second.kind != obs::JsonValue::Kind::Bool ||
+      !ok->second.boolean) {
+    std::string what = "adapter '" + config_.name + "' reported an error";
+    const auto err = parsed->find("error");
+    if (err != parsed->end()) what += ": " + err->second.text;
+    throw AdapterFailure(AdapterFailure::Kind::Protocol, what);
+  }
+  return *parsed;
+}
+
+void SubprocessLegacy::handshake() {
+  obs::FlatObject hello;
+  try {
+    hello = exchangeChecked("{\"cmd\":\"hello\"}\n");
+  } catch (const AdapterFailure& e) {
+    if (e.kind() != AdapterFailure::Kind::Crash) throw;
+    // A binary that exits before greeting never started as an adapter —
+    // that is a spawn failure, not a crash worth a respawn.
+    throw AdapterFailure(AdapterFailure::Kind::Spawn,
+                         "adapter '" + config_.name +
+                             "' failed to start: " + e.what());
+  }
+  // The adapter's self-described interface must match the declared one —
+  // integrating against the wrong binary should fail in the handshake, not
+  // as a confusing refusal pattern deep inside the loop.
+  const auto checkSide = [&](const char* key, const SignalSet& declared) {
+    const auto it = hello.find(key);
+    if (it == hello.end()) return;  // self-description is optional
+    SignalSet reported;
+    for (const auto& name : splitNames(it->second.text)) {
+      const auto id = config_.signals->lookup(name);
+      if (!id) {
+        throw AdapterFailure(AdapterFailure::Kind::Protocol,
+                             "adapter '" + config_.name + "' declares " +
+                                 std::string(key) + " signal '" + name +
+                                 "' which is not in the model's alphabet");
+      }
+      reported.set(*id);
+    }
+    if (!(reported == declared)) {
+      throw AdapterFailure(
+          AdapterFailure::Kind::Protocol,
+          "adapter '" + config_.name + "' declares " + std::string(key) +
+              " {" + renderSignals(reported) + "} but the model declares {" +
+              renderSignals(declared) + "}");
+    }
+  };
+  checkSide("inputs", config_.inputs);
+  checkSide("outputs", config_.outputs);
+}
+
+void SubprocessLegacy::replayLog() {
+  // Sound by input-determinism (paper Sec. 3): the accepted-step log is a
+  // function of the inputs only, so a fresh process fed the same inputs
+  // lands in the same hidden state. Divergence disproves the premise.
+  for (const LoggedStep& step : log_) {
+    const std::string line = "{\"cmd\":\"step\",\"inputs\":" +
+                             util::jsonQuote(renderSignals(step.inputs)) +
+                             "}\n";
+    const obs::FlatObject resp = exchangeChecked(line);
+    const auto refused = resp.find("refused");
+    if (refused != resp.end() && refused->second.boolean) {
+      throw AdapterFailure(AdapterFailure::Kind::Replay,
+                           "adapter '" + config_.name +
+                               "' refused a previously accepted step during "
+                               "replay — not input-deterministic");
+    }
+    const auto out = resp.find("outputs");
+    const SignalSet produced =
+        out != resp.end() ? parseOutputs(out->second.text) : SignalSet{};
+    if (!(produced == step.outputs)) {
+      throw AdapterFailure(AdapterFailure::Kind::Replay,
+                           "adapter '" + config_.name +
+                               "' produced {" + renderSignals(produced) +
+                               "} instead of {" +
+                               renderSignals(step.outputs) +
+                               "} during replay — not input-deterministic");
+    }
+  }
+}
+
+void SubprocessLegacy::ensureProcess() {
+  if (pid_ >= 0) return;
+  spawnProcess();
+  handshake();
+  replayLog();
+}
+
+obs::FlatObject SubprocessLegacy::command(const std::string& line) {
+  while (true) {
+    try {
+      ensureProcess();
+      return exchangeChecked(line);
+    } catch (const AdapterFailure& e) {
+      if (e.kind() != AdapterFailure::Kind::Crash) throw;
+      crashesCounter().inc();
+      journalEvent("crash", e.what());
+      if (respawnsUsed_ >= config_.maxRespawns) {
+        throw AdapterFailure(
+            AdapterFailure::Kind::Crash,
+            std::string(e.what()) + "; respawn budget of " +
+                std::to_string(config_.maxRespawns) + " exhausted");
+      }
+      ++respawnsUsed_;
+      respawnsCounter().inc();
+      journalEvent("respawn");
+      // Loop: ensureProcess() respawns and replays the accepted-step log,
+      // then the pending command is retried.
+    }
+  }
+}
+
+void SubprocessLegacy::reset() {
+  log_.clear();
+  if (pid_ < 0) return;  // a lazily spawned fresh process starts reset
+  command("{\"cmd\":\"reset\"}\n");
+}
+
+std::optional<SignalSet> SubprocessLegacy::step(const SignalSet& inputs) {
+  const std::string line = "{\"cmd\":\"step\",\"inputs\":" +
+                           util::jsonQuote(renderSignals(inputs)) + "}\n";
+  const obs::FlatObject resp = command(line);
+  const auto refused = resp.find("refused");
+  if (refused != resp.end() &&
+      refused->second.kind == obs::JsonValue::Kind::Bool &&
+      refused->second.boolean) {
+    return std::nullopt;  // refusals do not advance state: nothing to log
+  }
+  const auto out = resp.find("outputs");
+  SignalSet produced =
+      out != resp.end() ? parseOutputs(out->second.text) : SignalSet{};
+  log_.push_back({inputs, produced});
+  return produced;
+}
+
+std::string SubprocessLegacy::currentStateName() const {
+  auto* self = const_cast<SubprocessLegacy*>(this);
+  const obs::FlatObject resp = self->command("{\"cmd\":\"probe\"}\n");
+  const auto state = resp.find("state");
+  if (state == resp.end() ||
+      state->second.kind != obs::JsonValue::Kind::String) {
+    throw AdapterFailure(AdapterFailure::Kind::Protocol,
+                         "adapter '" + config_.name +
+                             "' answered a probe without a \"state\" string");
+  }
+  return state->second.text;
+}
+
+const SignalSet& SubprocessLegacy::inputs() const { return config_.inputs; }
+
+const SignalSet& SubprocessLegacy::outputs() const { return config_.outputs; }
+
+std::string SubprocessLegacy::name() const { return config_.name; }
+
+std::unique_ptr<LegacyComponent> SubprocessLegacy::clone() const {
+  // A clone is a fresh process with the same accepted-step log: it lazily
+  // spawns and replays into the current hidden state on first use (sound by
+  // input-determinism, same argument as crash recovery).
+  auto copy = std::make_unique<SubprocessLegacy>(config_);
+  copy->log_ = log_;
+  return copy;
+}
+
+std::string SubprocessLegacy::renderSignals(const SignalSet& set) const {
+  std::string out;
+  set.forEach([&](std::size_t bit) {
+    if (!out.empty()) out += ' ';
+    out += config_.signals->name(static_cast<util::NameId>(bit));
+  });
+  return out;
+}
+
+SignalSet SubprocessLegacy::parseOutputs(const std::string& text) const {
+  SignalSet set;
+  for (const auto& name : splitNames(text)) {
+    const auto id = config_.signals->lookup(name);
+    if (!id || !config_.outputs.test(*id)) {
+      throw AdapterFailure(AdapterFailure::Kind::Protocol,
+                           "adapter '" + config_.name +
+                               "' produced undeclared output signal '" +
+                               name + "'");
+    }
+    set.set(*id);
+  }
+  return set;
+}
+
+SubprocessConfig configFromExternal(const muml::Model& model,
+                                    const muml::ExternalLegacy& ext) {
+  SubprocessConfig cfg;
+  cfg.binary = muml::resolveExternalBinary(ext, model.source);
+  cfg.name = ext.name;
+  cfg.signals = model.signals;
+  cfg.inputs = ext.inputs;
+  cfg.outputs = ext.outputs;
+  if (ext.stepDeadlineMs != 0) cfg.stepDeadlineMs = ext.stepDeadlineMs;
+  if (ext.maxRespawns != muml::ExternalLegacy::kDefaultRespawns) {
+    cfg.maxRespawns = ext.maxRespawns;
+  }
+  const std::string modelPath = [&] {
+    const auto it = model.source.externals.find(ext.name);
+    return it != model.source.externals.end() ? it->second.file
+                                              : std::string();
+  }();
+  for (const auto& arg : ext.args) {
+    cfg.args.push_back(arg == "%model%" ? modelPath : arg);
+  }
+  return cfg;
+}
+
+}  // namespace mui::testing

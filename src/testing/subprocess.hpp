@@ -1,0 +1,164 @@
+#pragma once
+// Out-of-process legacy components (the paper's actual premise: a black box
+// you do *not* control and cannot link). SubprocessLegacy spawns an adapter
+// binary and speaks a line-oriented JSONL protocol over the child's
+// stdin/stdout — one flat JSON object per line, written through the
+// centralized UTF-8-validating escaper (util/json.hpp) and read back with
+// obs::parseFlatJson:
+//
+//   -> {"cmd":"hello"}
+//   <- {"ok":true,"name":"bci","inputs":"hello cmd","outputs":"ack done"}
+//   -> {"cmd":"step","inputs":"hello"}
+//   <- {"ok":true,"outputs":""}          accepted; empty output set
+//   <- {"ok":true,"refused":true}        refusal (state unchanged)
+//   -> {"cmd":"probe"}
+//   <- {"ok":true,"state":"acking"}
+//   -> {"cmd":"reset"}   <- {"ok":true}
+//   -> {"cmd":"quit"}    (no response; the adapter exits)
+//
+// docs/ADAPTERS.md is the normative protocol spec.
+//
+// Containment contract: a dead, hung, or garbling adapter NEVER hangs or
+// crashes the harness. Every exchange runs under a poll(2) deadline; a
+// deadline hit SIGKILLs the child and raises AdapterFailure(Timeout).
+// Unexpected death (EOF/EPIPE) is retried by a bounded respawn: because
+// legacy components are input-deterministic (paper Sec. 3), replaying the
+// accepted-step log against a fresh process reconstructs the hidden state
+// exactly, so the pending command can be retried soundly. When the respawn
+// budget runs out — or the adapter answers garbage — AdapterFailure
+// propagates to the verifier, which surfaces it as the distinct
+// Verdict::AdapterFailure (never an ordinary engine error).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "testing/legacy.hpp"
+
+namespace mui::muml {
+struct ExternalLegacy;
+struct Model;
+}  // namespace mui::muml
+
+namespace mui::testing {
+
+/// Raised when an adapter subprocess cannot deliver a sound answer. The
+/// kind distinguishes the failure classes the fault-injection matrix tests:
+/// Spawn (binary would not start / no hello), Crash (died, respawn budget
+/// exhausted), Timeout (step deadline fired, child SIGKILLed), Protocol
+/// (unparseable or out-of-spec response — garbage is an error, not a parse
+/// abort), Replay (the respawned process diverged from the accepted-step
+/// log, i.e. the binary is not input-deterministic).
+class AdapterFailure : public std::runtime_error {
+ public:
+  enum class Kind { Spawn, Crash, Timeout, Protocol, Replay };
+
+  AdapterFailure(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// One-word kind name ("spawn", "crash", "timeout", "protocol", "replay").
+const char* adapterFailureKindName(AdapterFailure::Kind kind);
+
+struct SubprocessConfig {
+  /// Resolved path of the adapter binary (see muml::resolveExternalBinary).
+  std::string binary;
+  /// Extra argv entries after the binary path.
+  std::vector<std::string> args;
+  /// Component name (reported by name()); defaults to the binary path.
+  std::string name;
+  /// Shared signal universe and the declared I/O interface (paper Sec. 3:
+  /// the interface is always known from the architectural model).
+  automata::SignalTableRef signals;
+  automata::SignalSet inputs;
+  automata::SignalSet outputs;
+  /// Per-exchange deadline. A slower adapter is indistinguishable from a
+  /// hung one; the deadline is the containment budget the fault-injection
+  /// tests gate on.
+  std::uint64_t stepDeadlineMs = 2000;
+  /// Crash recoveries allowed over the component's lifetime (clones start
+  /// with a fresh budget). Timeouts are never retried: replaying the same
+  /// deterministic input into a binary that just hung would only burn
+  /// another full deadline.
+  std::size_t maxRespawns = 3;
+  /// Optional lifecycle journal ("adapter" events: spawn/crash/timeout/
+  /// respawn/exit), ULID-correlated like every other event of a job.
+  obs::Journal* journal = nullptr;
+  std::string ulid;
+};
+
+/// LegacyComponent implementation backed by an adapter subprocess. Not
+/// thread-safe (like every LegacyComponent); safe to destroy at any time —
+/// the destructor asks the child to quit and SIGKILLs it if it lingers.
+class SubprocessLegacy final : public LegacyComponent {
+ public:
+  explicit SubprocessLegacy(SubprocessConfig config);
+  ~SubprocessLegacy() override;
+
+  SubprocessLegacy(const SubprocessLegacy&) = delete;
+  SubprocessLegacy& operator=(const SubprocessLegacy&) = delete;
+
+  void reset() override;
+  std::optional<SignalSet> step(const SignalSet& inputs) override;
+  [[nodiscard]] std::string currentStateName() const override;
+  [[nodiscard]] const SignalSet& inputs() const override;
+  [[nodiscard]] const SignalSet& outputs() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LegacyComponent> clone() const override;
+
+  /// Lifecycle introspection for tests: crash recoveries performed so far,
+  /// and the live child pid (-1 when no process is running — the process
+  /// is spawned lazily on the first exchange).
+  [[nodiscard]] std::size_t respawns() const { return respawnsUsed_; }
+  [[nodiscard]] int pid() const { return pid_; }
+
+ private:
+  struct LoggedStep {
+    SignalSet inputs;
+    SignalSet outputs;
+  };
+
+  // All process state is mutable: the const white-box probe
+  // currentStateName() may need to (re)spawn and replay.
+  void ensureProcess();
+  void spawnProcess();
+  void killProcess();
+  void reapProcess();
+  void handshake();
+  void replayLog();
+  /// One request/response exchange against the live process. Throws
+  /// AdapterFailure(Crash/Timeout/Protocol); never respawns.
+  obs::FlatObject exchangeChecked(const std::string& line);
+  /// exchangeChecked plus the bounded crash-respawn-replay-retry loop.
+  obs::FlatObject command(const std::string& line);
+  void journalEvent(const char* event, const char* detail = nullptr) const;
+
+  [[nodiscard]] std::string renderSignals(const SignalSet& set) const;
+  [[nodiscard]] SignalSet parseOutputs(const std::string& text) const;
+
+  SubprocessConfig config_;
+  mutable int pid_ = -1;
+  mutable int toChild_ = -1;    // write end of the child's stdin
+  mutable int fromChild_ = -1;  // read end of the child's stdout
+  mutable std::string readBuf_;
+  mutable std::vector<LoggedStep> log_;
+  mutable std::size_t respawnsUsed_ = 0;
+};
+
+/// Builds the SubprocessConfig for a `legacy ... external` model clause:
+/// resolves the binary (muml::resolveExternalBinary — throws a located
+/// SemanticError when missing or not executable), expands the `%model%`
+/// argument placeholder to the declaring .muml file's path, and copies the
+/// declared I/O interface. journal/ulid are left for the caller.
+SubprocessConfig configFromExternal(const muml::Model& model,
+                                    const muml::ExternalLegacy& ext);
+
+}  // namespace mui::testing

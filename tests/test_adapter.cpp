@@ -1,0 +1,696 @@
+// Out-of-process legacy adapters (testing/subprocess.hpp): the JSONL
+// protocol against real spawned binaries, differential conformance between
+// in-process and out-of-process incarnations of the same hidden component,
+// the fault-injection containment matrix (crash / hang / garbage / early
+// exit), the `legacy ... external` loader surface and its located
+// diagnostics, and the engine/serve plumbing of the distinct
+// adapter-failure verdict. The adapter binaries are built by tools/
+// (adapter_automaton, adapter_bci) and found via MUI_ADAPTER_PATH, which
+// this suite points at MUI_ADAPTER_DIR.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <stdlib.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automata/rename.hpp"
+#include "engine/engine.hpp"
+#include "muml/external.hpp"
+#include "muml/integration.hpp"
+#include "muml/loader.hpp"
+#include "muml/writer.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "synthesis/verifier.hpp"
+#include "testing/legacy.hpp"
+#include "testing/subprocess.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using namespace mui;
+using mui::testing::AdapterFailure;
+
+const std::string kBciModel = std::string(MUI_MODELS_DIR) + "/bci.muml";
+const std::string kFixture =
+    std::string(MUI_FIXTURES_DIR) + "/hang_external.muml";
+
+// The adapter binaries live in the build's tools directory; every binary
+// resolution in this suite goes through the MUI_ADAPTER_PATH fallback.
+const bool kEnvReady = [] {
+  ::setenv("MUI_ADAPTER_PATH", MUI_ADAPTER_DIR, 1);
+  return true;
+}();
+
+muml::Model loadBci() { return muml::loadModelFile(kBciModel); }
+muml::Model loadFixture() { return muml::loadModelFile(kFixture); }
+
+mui::testing::SubprocessConfig cfgFor(const muml::Model& model,
+                                 const std::string& name) {
+  return mui::testing::configFromExternal(model, model.externals.at(name));
+}
+
+automata::SignalSet sset(const muml::Model& model,
+                         std::initializer_list<const char*> names) {
+  automata::SignalSet out;
+  for (const char* n : names) {
+    const auto id = model.signals->lookup(n);
+    EXPECT_TRUE(id.has_value()) << n;
+    if (id) out.set(*id);
+  }
+  return out;
+}
+
+struct RunStats {
+  synthesis::Verdict verdict;
+  std::size_t iterations;
+  std::uint64_t testPeriods;
+  std::size_t learnedFacts;
+  std::string explanation;
+};
+
+RunStats runScenario(const muml::Model& model, const std::string& patternName,
+                     const std::string& roleName,
+                     mui::testing::LegacyComponent& legacy) {
+  const auto& pattern = model.patterns.at(patternName);
+  std::size_t roleIdx = pattern.roles.size();
+  for (std::size_t i = 0; i < pattern.roles.size(); ++i) {
+    if (pattern.roles[i].name == roleName) roleIdx = i;
+  }
+  EXPECT_LT(roleIdx, pattern.roles.size()) << "no role " << roleName;
+  const auto scenario = muml::makeIntegrationScenario(
+      pattern, roleIdx, model.signals, model.props);
+  synthesis::IntegrationConfig cfg;
+  cfg.property = scenario.property;
+  cfg.runId = "adapter-test";
+  const auto res =
+      synthesis::runIntegration(scenario.context, legacy, std::move(cfg));
+  return {res.verdict, res.iterations, res.totalTestPeriods,
+          res.totalLearnedFacts, res.explanation};
+}
+
+std::filesystem::path testDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mui_adapter_tests" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+engine::Job externalJob(std::string name, std::string modelPath,
+                        std::string pattern, std::string role,
+                        std::string hidden) {
+  engine::Job job;
+  job.name = std::move(name);
+  job.modelPath = std::move(modelPath);
+  job.pattern = std::move(pattern);
+  job.legacyRole = std::move(role);
+  job.hidden = std::move(hidden);
+  return job;
+}
+
+// ------------------------------------------------------------------ loader
+
+TEST(ExternalLoader, ParsesTheLegacyExternalClause) {
+  const muml::Model m = muml::loadModel(R"mm(
+legacy fw external "adapter_bci" {
+  input hello cmd;
+  output ack done;
+  arg "--flag"; arg "%model%";
+  deadline-ms 250;
+  max-respawns 7;
+}
+)mm",
+                                        "inline.muml");
+  const auto& ext = m.externals.at("fw");
+  EXPECT_EQ(ext.path, "adapter_bci");
+  ASSERT_EQ(ext.args.size(), 2u);
+  EXPECT_EQ(ext.args[0], "--flag");
+  EXPECT_EQ(ext.args[1], "%model%");
+  EXPECT_EQ(ext.stepDeadlineMs, 250u);
+  EXPECT_EQ(ext.maxRespawns, 7u);
+  EXPECT_TRUE(ext.inputs.test(*m.signals->lookup("hello")));
+  EXPECT_TRUE(ext.inputs.test(*m.signals->lookup("cmd")));
+  EXPECT_TRUE(ext.outputs.test(*m.signals->lookup("ack")));
+  EXPECT_TRUE(ext.outputs.test(*m.signals->lookup("done")));
+  // The clause's source location is recorded for located diagnostics.
+  EXPECT_EQ(m.source.externals.at("fw").line, 2u);
+}
+
+TEST(ExternalLoader, RejectsDuplicatesClashesAndBadBodies) {
+  // Duplicate external name.
+  EXPECT_THROW(
+      muml::loadModel("legacy a external \"x\" { input i; }"
+                      "legacy a external \"y\" { input i; }"),
+      util::SemanticError);
+  // External vs automaton name clashes, both declaration orders.
+  EXPECT_THROW(
+      muml::loadModel("automaton a { initial s; }"
+                      "legacy a external \"x\" { input i; }"),
+      util::SemanticError);
+  EXPECT_THROW(
+      muml::loadModel("legacy a external \"x\" { input i; }"
+                      "automaton a { initial s; }"),
+      util::SemanticError);
+  // Empty binary path and zero deadline are semantic errors.
+  EXPECT_THROW(muml::loadModel("legacy a external \"\" { input i; }"),
+               util::SemanticError);
+  EXPECT_THROW(
+      muml::loadModel("legacy a external \"x\" { deadline-ms 0; }"),
+      util::SemanticError);
+  // Unknown body keyword is a parse error.
+  EXPECT_THROW(muml::loadModel("legacy a external \"x\" { frobnicate; }"),
+               util::ParseError);
+}
+
+TEST(ExternalLoader, WriterRoundTripsExternals) {
+  const muml::Model m = loadBci();
+  const muml::Model re = muml::loadModel(muml::writeModel(m), "rt.muml");
+  ASSERT_EQ(re.externals.size(), m.externals.size());
+  const auto& a = m.externals.at("bciSim");
+  const auto& b = re.externals.at("bciSim");
+  EXPECT_EQ(b.path, a.path);
+  EXPECT_EQ(b.args, a.args);
+  EXPECT_EQ(b.stepDeadlineMs, a.stepDeadlineMs);
+  EXPECT_EQ(b.maxRespawns, a.maxRespawns);
+  EXPECT_TRUE(b.inputs.test(*re.signals->lookup("hello")));
+  EXPECT_TRUE(b.outputs.test(*re.signals->lookup("done")));
+  // The default respawn budget round-trips as the default (not rendered).
+  EXPECT_EQ(re.externals.at("bciFirmware").maxRespawns, 2u);
+}
+
+// -------------------------------------------------------------- resolution
+
+TEST(ExternalResolution, MissingBinaryDiagnosticIsLocatedAndListsPaths) {
+  const muml::Model m = loadFixture();
+  try {
+    muml::resolveExternalBinary(m.externals.at("deviceMissing"), m.source);
+    FAIL() << "expected SemanticError";
+  } catch (const util::SemanticError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("hang_external.muml:"), std::string::npos) << what;
+    EXPECT_NE(what.find("not found"), std::string::npos) << what;
+    EXPECT_NE(what.find("no_such_adapter_binary"), std::string::npos) << what;
+    EXPECT_NE(what.find("MUI_ADAPTER_PATH"), std::string::npos) << what;
+    EXPECT_GT(e.line(), 0u);
+    EXPECT_GT(e.col(), 0u);
+  }
+}
+
+TEST(ExternalResolution, ExistingButNotExecutableIsItsOwnDiagnostic) {
+  const auto dir = testDir("notexec");
+  std::ofstream(dir / "shim") << "not a program\n";
+  const muml::Model m = muml::loadModel(
+      "legacy dev external \"shim\" { input i; output o; }",
+      (dir / "m.muml").string());
+  try {
+    muml::resolveExternalBinary(m.externals.at("dev"), m.source);
+    FAIL() << "expected SemanticError";
+  } catch (const util::SemanticError& e) {
+    EXPECT_NE(std::string(e.what()).find("not an executable"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExternalResolution, RelativePathsResolveAgainstTheModelDirectory) {
+  const auto dir = testDir("reldir");
+  const auto shim = dir / "shim.sh";
+  std::ofstream(shim) << "#!/bin/sh\nexit 0\n";
+  std::filesystem::permissions(shim,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::others_read);
+  const muml::Model m = muml::loadModel(
+      "legacy dev external \"shim.sh\" { input i; output o; }",
+      (dir / "m.muml").string());
+  EXPECT_EQ(muml::resolveExternalBinary(m.externals.at("dev"), m.source),
+            shim.string());
+}
+
+TEST(ExternalResolution, AdapterPathEnvironmentIsTheFallback) {
+  const muml::Model m = loadBci();
+  const std::string resolved =
+      muml::resolveExternalBinary(m.externals.at("bciFirmware"), m.source);
+  EXPECT_EQ(resolved, std::string(MUI_ADAPTER_DIR) + "/adapter_bci");
+}
+
+TEST(ExternalResolution, InterfaceMismatchIsCaughtBeforeSpawning) {
+  const muml::Model m = loadFixture();
+  const auto& pattern = m.patterns.at("Watchdog");
+  const auto& role = pattern.roles[1];
+  ASSERT_EQ(role.name, "device");
+  try {
+    muml::checkExternalInterface(m.externals.at("deviceWrongIface"), role,
+                                 m.source, m.signals);
+    FAIL() << "expected SemanticError";
+  } catch (const util::SemanticError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("extraSignal"), std::string::npos) << what;
+    EXPECT_NE(what.find("requires"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(SubprocessLegacy, SpeaksTheProtocolAgainstTheCShim) {
+  const muml::Model m = loadBci();
+  mui::testing::SubprocessLegacy fw(cfgFor(m, "bciFirmware"));
+  EXPECT_EQ(fw.name(), "bciFirmware");
+  EXPECT_EQ(fw.pid(), -1);  // the process is spawned lazily
+  EXPECT_EQ(fw.currentStateName(), "offline");
+  EXPECT_GT(fw.pid(), 0);
+  EXPECT_TRUE(fw.inputs() == sset(m, {"hello", "cmd"}));
+  EXPECT_TRUE(fw.outputs() == sset(m, {"ack", "done"}));
+
+  auto out = fw.step(sset(m, {"hello"}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+  EXPECT_EQ(fw.currentStateName(), "acking");
+  out = fw.step({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(*out == sset(m, {"ack"}));
+  EXPECT_EQ(fw.currentStateName(), "ready");
+
+  // A refusal leaves the state unchanged (a second hello once linked).
+  EXPECT_FALSE(fw.step(sset(m, {"hello"})).has_value());
+  EXPECT_EQ(fw.currentStateName(), "ready");
+
+  fw.reset();
+  EXPECT_EQ(fw.currentStateName(), "offline");
+  EXPECT_EQ(fw.respawns(), 0u);
+}
+
+TEST(SubprocessLegacy, CloneReplaysIntoTheCurrentState) {
+  const muml::Model m = loadBci();
+  mui::testing::SubprocessLegacy fw(cfgFor(m, "bciFirmware"));
+  ASSERT_TRUE(fw.step(sset(m, {"hello"})).has_value());
+  ASSERT_TRUE(fw.step({}).has_value());  // -> ready
+  const auto copy = fw.clone();
+  EXPECT_EQ(copy->currentStateName(), "ready");
+  // Advancing the clone must not disturb the original (separate process).
+  ASSERT_TRUE(copy->step(sset(m, {"cmd"})).has_value());
+  EXPECT_EQ(copy->currentStateName(), "busy");
+  EXPECT_EQ(fw.currentStateName(), "ready");
+}
+
+TEST(SubprocessLegacy, RecoversFromAKilledProcessByReplay) {
+  const muml::Model m = loadBci();
+  mui::testing::SubprocessLegacy fw(cfgFor(m, "bciFirmware"));
+  ASSERT_TRUE(fw.step(sset(m, {"hello"})).has_value());
+  ASSERT_TRUE(fw.step({}).has_value());  // -> ready, two logged steps
+  ASSERT_GT(fw.pid(), 0);
+  ASSERT_EQ(::kill(fw.pid(), SIGKILL), 0);
+  // The next exchange meets the dead process, respawns, and replays the
+  // accepted-step log — reconstructing 'ready' before retrying the step.
+  const auto out = fw.step(sset(m, {"cmd"}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(fw.respawns(), 1u);
+  EXPECT_EQ(fw.currentStateName(), "busy");
+}
+
+// --------------------------------------------------------- fault injection
+
+TEST(AdapterFaults, HangHitsTheDeadlineWithinTheContainmentBudget) {
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy dev(cfgFor(m, "deviceHang"));
+  ASSERT_TRUE(dev.step(sset(m, {"ping"})).has_value());  // step 1 answers
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    dev.step({});  // step 2 hangs; the 500 ms deadline must fire
+    FAIL() << "expected AdapterFailure";
+  } catch (const AdapterFailure& e) {
+    EXPECT_EQ(e.kind(), AdapterFailure::Kind::Timeout);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  const auto elapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  // One declared deadline (500 ms) plus generous CI headroom — never a
+  // harness hang. Timeouts are not retried, so one deadline is the budget.
+  EXPECT_LT(elapsedMs, 10000.0);
+  EXPECT_EQ(dev.respawns(), 0u);
+}
+
+TEST(AdapterFaults, CrashExhaustsTheRespawnBudget) {
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy dev(cfgFor(m, "deviceCrash"));  // crash-at=2
+  ASSERT_TRUE(dev.step(sset(m, {"ping"})).has_value());
+  try {
+    dev.step({});  // crashes at every process's 2nd step: budget exhausts
+    FAIL() << "expected AdapterFailure";
+  } catch (const AdapterFailure& e) {
+    EXPECT_EQ(e.kind(), AdapterFailure::Kind::Crash);
+    EXPECT_NE(std::string(e.what()).find("respawn budget"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(dev.respawns(), 2u);  // the fixture declares max-respawns 2
+}
+
+TEST(AdapterFaults, GarbageIsAProtocolErrorNotAParseAbort) {
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy dev(cfgFor(m, "deviceGarbage"));
+  ASSERT_TRUE(dev.step(sset(m, {"ping"})).has_value());
+  try {
+    dev.step({});
+    FAIL() << "expected AdapterFailure";
+  } catch (const AdapterFailure& e) {
+    EXPECT_EQ(e.kind(), AdapterFailure::Kind::Protocol);
+    EXPECT_NE(std::string(e.what()).find("garbage"), std::string::npos);
+  }
+  EXPECT_EQ(dev.respawns(), 0u);  // protocol errors are never retried
+}
+
+TEST(AdapterFaults, ExitAfterHandshakeIsContainedAsACrash) {
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy dev(cfgFor(m, "deviceExitEarly"));
+  try {
+    dev.step(sset(m, {"ping"}));
+    FAIL() << "expected AdapterFailure";
+  } catch (const AdapterFailure& e) {
+    EXPECT_EQ(e.kind(), AdapterFailure::Kind::Crash);
+  }
+  EXPECT_EQ(dev.respawns(), 1u);  // the fixture declares max-respawns 1
+}
+
+TEST(AdapterFaults, MissingBinarySurfacesAsSpawnFailure) {
+  const muml::Model m = loadBci();
+  mui::testing::SubprocessConfig cfg = cfgFor(m, "bciFirmware");
+  cfg.binary = "/no/such/adapter";
+  mui::testing::SubprocessLegacy fw(std::move(cfg));
+  try {
+    fw.step({});
+    FAIL() << "expected AdapterFailure";
+  } catch (const AdapterFailure& e) {
+    // The exec failure surfaces as EOF before the hello — a spawn failure,
+    // which never consumes respawn budget.
+    EXPECT_EQ(e.kind(), AdapterFailure::Kind::Spawn);
+  }
+  EXPECT_EQ(fw.respawns(), 0u);
+}
+
+TEST(AdapterFaults, KindNamesAreStable) {
+  EXPECT_STREQ(mui::testing::adapterFailureKindName(AdapterFailure::Kind::Spawn),
+               "spawn");
+  EXPECT_STREQ(mui::testing::adapterFailureKindName(AdapterFailure::Kind::Crash),
+               "crash");
+  EXPECT_STREQ(
+      mui::testing::adapterFailureKindName(AdapterFailure::Kind::Timeout),
+      "timeout");
+  EXPECT_STREQ(
+      mui::testing::adapterFailureKindName(AdapterFailure::Kind::Protocol),
+      "protocol");
+  EXPECT_STREQ(mui::testing::adapterFailureKindName(AdapterFailure::Kind::Replay),
+               "replay");
+}
+
+// ---------------------------------------------------------- differential
+
+TEST(DifferentialConformance, WatchdogAdapterMatchesInProcessLockstep) {
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy ext(cfgFor(m, "deviceOk"));
+  mui::testing::AutomatonLegacy ref(automata::withInstanceName(
+      m.automata.at("deviceImpl"), "device"));
+  std::mt19937_64 rng(0xB1C1u);
+  const automata::SignalSet ping = sset(m, {"ping"});
+  std::size_t accepted = 0;
+  std::size_t refused = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (rng() % 23 == 0) {
+      ext.reset();
+      ref.reset();
+    }
+    const automata::SignalSet in =
+        (rng() % 2) ? ping : automata::SignalSet{};
+    const auto a = ext.step(in);
+    const auto b = ref.step(in);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "step " << i;
+    if (a.has_value()) {
+      ASSERT_TRUE(*a == *b) << "step " << i;
+      ++accepted;
+    } else {
+      ++refused;
+    }
+    ASSERT_EQ(ext.currentStateName(), ref.currentStateName()) << "step " << i;
+  }
+  // The random walk must exercise both acceptance and refusal.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(refused, 0u);
+  EXPECT_EQ(ext.respawns(), 0u);
+}
+
+TEST(DifferentialConformance, BciFirmwareMatchesTheMirrorLockstep) {
+  const muml::Model m = loadBci();
+  mui::testing::SubprocessLegacy ext(cfgFor(m, "bciFirmware"));
+  mui::testing::AutomatonLegacy ref(m.automata.at("firmwareRef"));
+  std::mt19937_64 rng(0xF1F1u);
+  const automata::SignalSet hello = sset(m, {"hello"});
+  const automata::SignalSet cmd = sset(m, {"cmd"});
+  std::size_t accepted = 0;
+  std::size_t refused = 0;
+  for (int i = 0; i < 600; ++i) {
+    if (rng() % 31 == 0) {
+      ext.reset();
+      ref.reset();
+    }
+    automata::SignalSet in;
+    if (rng() % 2) in |= hello;
+    if (rng() % 2) in |= cmd;
+    const auto a = ext.step(in);
+    const auto b = ref.step(in);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "step " << i;
+    if (a.has_value()) {
+      ASSERT_TRUE(*a == *b) << "step " << i;
+      ++accepted;
+    } else {
+      ++refused;
+    }
+    ASSERT_EQ(ext.currentStateName(), ref.currentStateName()) << "step " << i;
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(refused, 0u);
+}
+
+TEST(DifferentialConformance, IntegrationVerdictsAndIterationsMatch) {
+  // Watchdog: deviceImpl in-process vs the same automaton out-of-process.
+  {
+    const muml::Model m = loadFixture();
+    mui::testing::AutomatonLegacy ref(automata::withInstanceName(
+        m.automata.at("deviceImpl"), "device"));
+    mui::testing::SubprocessLegacy ext(cfgFor(m, "deviceOk"));
+    const RunStats a = runScenario(m, "Watchdog", "device", ref);
+    const RunStats b = runScenario(m, "Watchdog", "device", ext);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.testPeriods, b.testPeriods);
+    EXPECT_EQ(a.learnedFacts, b.learnedFacts);
+    EXPECT_EQ(a.verdict, synthesis::Verdict::ProvenCorrect);
+  }
+  // Bci: the mirror automaton vs the hand-written C firmware shim.
+  {
+    const muml::Model m = loadBci();
+    mui::testing::AutomatonLegacy ref(automata::withInstanceName(
+        m.automata.at("firmwareRef"), "firmware"));
+    mui::testing::SubprocessLegacy ext(cfgFor(m, "bciFirmware"));
+    const RunStats a = runScenario(m, "BciSession", "firmware", ref);
+    const RunStats b = runScenario(m, "BciSession", "firmware", ext);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.testPeriods, b.testPeriods);
+    EXPECT_EQ(a.learnedFacts, b.learnedFacts);
+    EXPECT_EQ(a.verdict, synthesis::Verdict::ProvenCorrect);
+  }
+}
+
+// ---------------------------------------------------------------- golden
+
+TEST(GoldenAdapter, BciFirmwareProvenInFiveIterations) {
+  const muml::Model m = loadBci();
+  mui::testing::SubprocessLegacy fw(cfgFor(m, "bciFirmware"));
+  const RunStats g = runScenario(m, "BciSession", "firmware", fw);
+  EXPECT_EQ(g.verdict, synthesis::Verdict::ProvenCorrect);
+  EXPECT_EQ(g.iterations, 5u);
+  EXPECT_EQ(g.testPeriods, 40u);
+  EXPECT_EQ(g.learnedFacts, 11u);
+}
+
+// ------------------------------------------------------------- containment
+
+TEST(VerifierContainment, HangYieldsTheDistinctAdapterFailureVerdict) {
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy dev(cfgFor(m, "deviceHang"));
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunStats g = runScenario(m, "Watchdog", "device", dev);
+  const auto elapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  EXPECT_EQ(g.verdict, synthesis::Verdict::AdapterFailure);
+  EXPECT_NE(g.explanation.find("deadline"), std::string::npos)
+      << g.explanation;
+  EXPECT_LT(elapsedMs, 20000.0);
+}
+
+TEST(VerifierContainment, CrashYieldsAdapterFailureAndCountsRespawns) {
+  const auto respawnsBefore =
+      obs::Registry::global()
+          .counter("mui_adapter_respawns_total",
+                   "Adapter crash recoveries (respawn + accepted-step-log "
+                   "replay)")
+          .value();
+  const muml::Model m = loadFixture();
+  mui::testing::SubprocessLegacy dev(cfgFor(m, "deviceCrash"));
+  const RunStats g = runScenario(m, "Watchdog", "device", dev);
+  EXPECT_EQ(g.verdict, synthesis::Verdict::AdapterFailure);
+  EXPECT_NE(g.explanation.find("respawn budget"), std::string::npos)
+      << g.explanation;
+  const auto respawnsAfter =
+      obs::Registry::global()
+          .counter("mui_adapter_respawns_total",
+                   "Adapter crash recoveries (respawn + accepted-step-log "
+                   "replay)")
+          .value();
+  EXPECT_GE(respawnsAfter, respawnsBefore + 2);
+}
+
+// ------------------------------------------------------------- engine/serve
+
+TEST(EngineAdapter, StatusNameRoundTrips) {
+  EXPECT_STREQ(engine::jobStatusName(engine::JobStatus::AdapterFailure),
+               "adapter-failure");
+  const auto parsed = engine::jobStatusFromName("adapter-failure");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, engine::JobStatus::AdapterFailure);
+}
+
+TEST(EngineAdapter, BatchRunsExternalJobsAndNeverCachesThem) {
+  obs::Journal journal;
+  engine::BatchOptions options;
+  options.threads = 2;
+  options.journal = &journal;
+  const std::vector<engine::Job> jobs = {
+      externalJob("bci-fw", kBciModel, "BciSession", "firmware",
+                  "bciFirmware"),
+      externalJob("bci-fw-again", kBciModel, "BciSession", "firmware",
+                  "bciFirmware"),
+      externalJob("bci-ref", kBciModel, "BciSession", "firmware",
+                  "firmwareRef"),
+  };
+  const engine::BatchReport report = engine::runBatch(jobs, options);
+  ASSERT_EQ(report.results.size(), 3u);
+  for (const auto& r : report.results) {
+    EXPECT_EQ(r.status, engine::JobStatus::Proven) << r.job.name << ": "
+                                                   << r.explanation;
+  }
+  // External jobs are never cached: the binary's content is not part of
+  // the job key, so even the identical duplicate recomputes.
+  EXPECT_FALSE(report.results[0].cacheHit);
+  EXPECT_FALSE(report.results[1].cacheHit);
+  // The adapter lifecycle is journaled and ULID-correlated with its job.
+  const std::string ulid = report.results[0].job.ulid;
+  ASSERT_FALSE(ulid.empty());
+  bool sawCorrelatedSpawn = false;
+  std::istringstream lines(journal.text());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto obj = obs::parseFlatJson(line);
+    if (!obj) continue;
+    const auto type = obj->find("type");
+    if (type == obj->end() || type->second.text != "adapter") continue;
+    const auto event = obj->find("event");
+    const auto lineUlid = obj->find("ulid");
+    if (event != obj->end() && event->second.text == "spawn" &&
+        lineUlid != obj->end() && lineUlid->second.text == ulid) {
+      sawCorrelatedSpawn = true;
+    }
+  }
+  EXPECT_TRUE(sawCorrelatedSpawn);
+}
+
+TEST(EngineAdapter, HangSurfacesAsAdapterFailureStatus) {
+  engine::BatchOptions options;
+  const std::vector<engine::Job> jobs = {
+      externalJob("hang", kFixture, "Watchdog", "device", "deviceHang")};
+  const engine::BatchReport report = engine::runBatch(jobs, options);
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0].status, engine::JobStatus::AdapterFailure);
+  EXPECT_NE(report.results[0].explanation.find("deadline"),
+            std::string::npos);
+  EXPECT_EQ(report.count(engine::JobStatus::AdapterFailure), 1u);
+}
+
+TEST(EngineAdapter, MissingAdapterBinaryIsAdapterFailureNotEngineError) {
+  // Spawn-time failures (exec of a nonexistent binary) carry the same
+  // distinct status as in-loop containment aborts.
+  const auto dir = testDir("missing");
+  std::ofstream(dir / "m.muml")
+      << "rtsc monitorRole { output ping; input pong; clock c;\n"
+         "  location idle invariant c <= 3; location waiting invariant c <= "
+         "2;\n"
+         "  location escalated; initial idle;\n"
+         "  idle -> waiting : emit ping reset c;\n"
+         "  waiting -> idle : trigger pong reset c;\n"
+         "  waiting -> escalated : guard c >= 2;\n"
+         "  escalated -> escalated : ; }\n"
+         "rtsc deviceRole { input ping; output pong; clock d;\n"
+         "  location ready; location serving invariant d <= 0;\n"
+         "  initial ready;\n"
+         "  ready -> serving : trigger ping reset d;\n"
+         "  serving -> ready : emit pong; }\n"
+         "pattern Watchdog { role monitor uses monitorRole;\n"
+         "  role device uses deviceRole; connector direct;\n"
+         "  constraint \"AG !monitor.escalated\"; }\n"
+         "legacy dev external \"./vanished\" { input ping; output pong; }\n";
+  // The binary exists at resolution time but exec fails at spawn time: a
+  // script with a broken interpreter line.
+  std::ofstream(dir / "vanished") << "#!/no/such/interpreter\n";
+  std::filesystem::permissions(dir / "vanished",
+                               std::filesystem::perms::owner_all);
+  const std::vector<engine::Job> jobs = {externalJob(
+      "spawnfail", (dir / "m.muml").string(), "Watchdog", "device", "dev")};
+  const engine::BatchReport report = engine::runBatch(jobs, {});
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0].status, engine::JobStatus::AdapterFailure)
+      << report.results[0].explanation;
+}
+
+TEST(ServeAdapter, DaemonAcceptsJobsAgainstExternalAdapters) {
+  serve::ServeOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  options.threads = 2;
+  options.version = "test";
+  serve::Server server(options);
+  server.start();
+
+  serve::SubmitOptions client;
+  client.port = server.port();
+  client.clientName = "gtest-adapter";
+  const std::vector<engine::Job> jobs = {
+      externalJob("bci-fw", kBciModel, "BciSession", "firmware",
+                  "bciFirmware"),
+      externalJob("hang", kFixture, "Watchdog", "device", "deviceHang"),
+  };
+  const serve::SubmitOutcome outcome = serve::submitJobs(jobs, client);
+  ASSERT_EQ(outcome.report.results.size(), 2u);
+  EXPECT_EQ(outcome.report.results[0].status, engine::JobStatus::Proven)
+      << outcome.report.results[0].explanation;
+  EXPECT_EQ(outcome.report.results[1].status,
+            engine::JobStatus::AdapterFailure)
+      << outcome.report.results[1].explanation;
+
+  server.requestDrain();
+  server.wait();
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// adapter_automaton — reference out-of-process legacy adapter.
+//
+//   adapter_automaton <model.muml> <automaton> [--instance NAME]
+//                     [--chaos crash-at=N|hang-at=N|garbage-at=N|exit-early]
+//
+// Wraps any .muml automaton behind the JSONL adapter protocol
+// (docs/ADAPTERS.md): one flat JSON request per stdin line, one flat JSON
+// response per stdout line. This is both the differential-conformance
+// oracle (the same hidden automaton driven in-process through
+// AutomatonLegacy and out-of-process through this binary must be
+// indistinguishable) and the fault-injection vehicle: --chaos makes the
+// adapter misbehave at a chosen step so the harness's containment paths
+// can be exercised deterministically.
+//
+//   crash-at=N    _exit(3) on receiving the Nth step request (1-based,
+//                 counted over the process lifetime, so a respawned adapter
+//                 crashes again — the respawn budget always exhausts)
+//   hang-at=N     block forever on the Nth step (never answers)
+//   garbage-at=N  answer the Nth step with a non-JSON line
+//   exit-early    answer the hello, then exit immediately
+//
+// --instance rebinds the automaton's instance name first (the probe state
+// names then match what the in-process harness sees after
+// automata::withInstanceName).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/rename.hpp"
+#include "muml/loader.hpp"
+#include "obs/journal.hpp"
+#include "testing/legacy.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace mui;
+
+struct Chaos {
+  enum class Mode { None, CrashAt, HangAt, GarbageAt, ExitEarly };
+  Mode mode = Mode::None;
+  unsigned long at = 0;
+};
+
+std::optional<Chaos> parseChaos(const std::string& spec) {
+  Chaos c;
+  if (spec == "exit-early") {
+    c.mode = Chaos::Mode::ExitEarly;
+    return c;
+  }
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) return std::nullopt;
+  const std::string key = spec.substr(0, eq);
+  char* end = nullptr;
+  c.at = std::strtoul(spec.c_str() + eq + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || c.at == 0) return std::nullopt;
+  if (key == "crash-at") {
+    c.mode = Chaos::Mode::CrashAt;
+  } else if (key == "hang-at") {
+    c.mode = Chaos::Mode::HangAt;
+  } else if (key == "garbage-at") {
+    c.mode = Chaos::Mode::GarbageAt;
+  } else {
+    return std::nullopt;
+  }
+  return c;
+}
+
+void respond(const std::string& body) {
+  std::fputs(body.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+std::string renderSignals(const automata::SignalSet& set,
+                          const automata::SignalTable& table) {
+  std::string out;
+  set.forEach([&](std::size_t bit) {
+    if (!out.empty()) out += ' ';
+    out += table.name(static_cast<util::NameId>(bit));
+  });
+  return out;
+}
+
+std::vector<std::string> splitNames(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ') ++j;
+    if (j > i) out.push_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: adapter_automaton <model.muml> <automaton>\n"
+               "           [--instance NAME]\n"
+               "           [--chaos crash-at=N|hang-at=N|garbage-at=N|"
+               "exit-early]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string instance;
+  std::string chaosSpec;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--instance" && i + 1 < argc) {
+      instance = argv[++i];
+    } else if (a == "--chaos" && i + 1 < argc) {
+      chaosSpec = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2) return usage();
+  Chaos chaos;
+  if (!chaosSpec.empty()) {
+    const auto parsed = parseChaos(chaosSpec);
+    if (!parsed) {
+      std::fprintf(stderr, "adapter_automaton: bad --chaos spec '%s'\n",
+                   chaosSpec.c_str());
+      return 2;
+    }
+    chaos = *parsed;
+  }
+
+  muml::Model model;
+  try {
+    model = muml::loadModelFile(positional[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adapter_automaton: %s\n", e.what());
+    return 2;
+  }
+  const auto it = model.automata.find(positional[1]);
+  if (it == model.automata.end()) {
+    std::fprintf(stderr, "adapter_automaton: no automaton named '%s' in %s\n",
+                 positional[1].c_str(), positional[0].c_str());
+    return 2;
+  }
+  automata::Automaton hidden = it->second;
+  if (!instance.empty()) {
+    hidden = automata::withInstanceName(hidden, instance);
+  }
+  testing::AutomatonLegacy legacy(std::move(hidden));
+  const automata::SignalTable& table = *model.signals;
+
+  unsigned long steps = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const auto req = obs::parseFlatJson(line);
+    if (!req) {
+      respond("{\"ok\":false,\"error\":\"unparseable request\"}");
+      continue;
+    }
+    const auto cit = req->find("cmd");
+    const std::string cmd =
+        cit != req->end() ? cit->second.text : std::string();
+    if (cmd == "quit") break;
+    if (cmd == "hello") {
+      respond("{\"ok\":true,\"name\":" + util::jsonQuote(legacy.name()) +
+              ",\"inputs\":" +
+              util::jsonQuote(renderSignals(legacy.inputs(), table)) +
+              ",\"outputs\":" +
+              util::jsonQuote(renderSignals(legacy.outputs(), table)) + "}");
+      if (chaos.mode == Chaos::Mode::ExitEarly) return 0;
+      continue;
+    }
+    if (cmd == "reset") {
+      legacy.reset();
+      respond("{\"ok\":true}");
+      continue;
+    }
+    if (cmd == "probe") {
+      respond("{\"ok\":true,\"state\":" +
+              util::jsonQuote(legacy.currentStateName()) + "}");
+      continue;
+    }
+    if (cmd == "step") {
+      ++steps;
+      if (chaos.mode == Chaos::Mode::CrashAt && steps == chaos.at) {
+        ::_exit(3);
+      }
+      if (chaos.mode == Chaos::Mode::HangAt && steps == chaos.at) {
+        for (;;) ::pause();
+      }
+      if (chaos.mode == Chaos::Mode::GarbageAt && steps == chaos.at) {
+        respond("!! this is not json !!");
+        continue;
+      }
+      const auto iit = req->find("inputs");
+      automata::SignalSet inputs;
+      bool bad = false;
+      if (iit != req->end()) {
+        for (const auto& name : splitNames(iit->second.text)) {
+          const auto id = model.signals->lookup(name);
+          if (!id) {
+            respond("{\"ok\":false,\"error\":" +
+                    util::jsonQuote("unknown input signal '" + name + "'") +
+                    "}");
+            bad = true;
+            break;
+          }
+          inputs.set(*id);
+        }
+      }
+      if (bad) continue;
+      const auto out = legacy.step(inputs);
+      if (!out) {
+        respond("{\"ok\":true,\"refused\":true}");
+      } else {
+        respond("{\"ok\":true,\"outputs\":" +
+                util::jsonQuote(renderSignals(*out, table)) + "}");
+      }
+      continue;
+    }
+    respond("{\"ok\":false,\"error\":" +
+            util::jsonQuote("unknown command '" + cmd + "'") + "}");
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+/* adapter_bci — a hand-written adapter around a BCI-firmware-style
+ * protocol state machine, in plain C with no harness code: the kind of
+ * thin shim a real legacy integration would bolt onto an existing binary
+ * (docs/ADAPTERS.md describes the protocol it speaks).
+ *
+ * The firmware is input-deterministic over the signals {hello, cmd} in and
+ * {ack, done} out:
+ *
+ *   offline --{hello}--> acking          (link request accepted, silent)
+ *   acking  --{}------>  ready  / ack    (acknowledges one period later)
+ *   ready   --{cmd}--->  busy            (command accepted, silent)
+ *   busy    --{}------>  ready  / done   (completes one period later)
+ *
+ * offline and ready tolerate empty periods; every other input set is
+ * refused (notably a second hello once linked, or a cmd while busy).
+ * models/bci.muml carries the pattern this firmware is integrated under
+ * and firmwareRef, the in-process mirror the differential tests compare
+ * against.
+ */
+
+#include <stdio.h>
+#include <string.h>
+
+enum bci_state { BCI_OFFLINE, BCI_ACKING, BCI_READY, BCI_BUSY };
+
+static const char *state_name(enum bci_state s) {
+  switch (s) {
+    case BCI_OFFLINE:
+      return "offline";
+    case BCI_ACKING:
+      return "acking";
+    case BCI_READY:
+      return "ready";
+    case BCI_BUSY:
+      return "busy";
+  }
+  return "?";
+}
+
+/* Extracts the value of "inputs":"..." from a flat JSON request line.
+ * Signal names never contain escapes, so scanning to the closing quote is
+ * enough. Returns 0 when the key is absent (treated as no inputs). */
+static int extract_inputs(const char *line, char *out, size_t cap) {
+  const char *p = strstr(line, "\"inputs\"");
+  if (p == NULL) return 0;
+  p += strlen("\"inputs\"");
+  while (*p == ' ' || *p == ':') ++p;
+  if (*p != '"') return 0;
+  ++p;
+  {
+    size_t n = 0;
+    while (*p != '\0' && *p != '"' && n + 1 < cap) out[n++] = *p++;
+    out[n] = '\0';
+  }
+  return 1;
+}
+
+int main(void) {
+  char line[4096];
+  enum bci_state st = BCI_OFFLINE;
+
+  setvbuf(stdout, NULL, _IOLBF, 0);
+  while (fgets(line, sizeof line, stdin) != NULL) {
+    if (strstr(line, "\"cmd\":\"quit\"") != NULL) break;
+    if (strstr(line, "\"cmd\":\"hello\"") != NULL) {
+      printf(
+          "{\"ok\":true,\"name\":\"bci-firmware\",\"inputs\":\"hello cmd\","
+          "\"outputs\":\"ack done\"}\n");
+      continue;
+    }
+    if (strstr(line, "\"cmd\":\"reset\"") != NULL) {
+      st = BCI_OFFLINE;
+      printf("{\"ok\":true}\n");
+      continue;
+    }
+    if (strstr(line, "\"cmd\":\"probe\"") != NULL) {
+      printf("{\"ok\":true,\"state\":\"%s\"}\n", state_name(st));
+      continue;
+    }
+    if (strstr(line, "\"cmd\":\"step\"") != NULL) {
+      char inputs[1024];
+      int has_hello = 0, has_cmd = 0, unknown = 0;
+      inputs[0] = '\0';
+      (void)extract_inputs(line, inputs, sizeof inputs);
+      {
+        char *word = strtok(inputs, " ");
+        while (word != NULL) {
+          if (strcmp(word, "hello") == 0) {
+            has_hello = 1;
+          } else if (strcmp(word, "cmd") == 0) {
+            has_cmd = 1;
+          } else {
+            unknown = 1;
+          }
+          word = strtok(NULL, " ");
+        }
+      }
+      if (unknown) {
+        printf("{\"ok\":false,\"error\":\"unknown input signal\"}\n");
+        continue;
+      }
+      {
+        int refused = 0;
+        const char *out = "";
+        switch (st) {
+          case BCI_OFFLINE:
+            if (has_hello && !has_cmd) {
+              st = BCI_ACKING;
+            } else if (has_hello || has_cmd) {
+              refused = 1;
+            }
+            break;
+          case BCI_ACKING:
+            if (has_hello || has_cmd) {
+              refused = 1;
+            } else {
+              st = BCI_READY;
+              out = "ack";
+            }
+            break;
+          case BCI_READY:
+            if (has_cmd && !has_hello) {
+              st = BCI_BUSY;
+            } else if (has_hello || has_cmd) {
+              refused = 1;
+            }
+            break;
+          case BCI_BUSY:
+            if (has_hello || has_cmd) {
+              refused = 1;
+            } else {
+              st = BCI_READY;
+              out = "done";
+            }
+            break;
+        }
+        if (refused) {
+          printf("{\"ok\":true,\"refused\":true}\n");
+        } else {
+          printf("{\"ok\":true,\"outputs\":\"%s\"}\n", out);
+        }
+      }
+      continue;
+    }
+    printf("{\"ok\":false,\"error\":\"unknown command\"}\n");
+  }
+  return 0;
+}

@@ -12,10 +12,12 @@
 //       Compositional pattern verification: constraint, role invariants,
 //       deadlock freedom.
 //
-//   mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>
+//   mui integrate <model.muml> <pattern> <legacyRole> <hidden>
 //                 [--trace-out F] [--metrics-out F] [--journal-out F]
 //       Run the full legacy-integration loop: the named automaton of the
-//       model acts as the hidden legacy component playing <legacyRole>;
+//       model — or, for a `legacy <name> external "..."` clause, an
+//       out-of-process adapter binary (docs/ADAPTERS.md) — acts as the
+//       hidden legacy component playing <legacyRole>;
 //       the remaining roles (and connector) form the context. Prints the
 //       journal, the verdict, and the learned model. The observability
 //       flags (docs/OBSERVABILITY.md) write a Chrome/Perfetto trace, a
@@ -144,6 +146,7 @@
 #include "engine/report.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/reproducer.hpp"
+#include "muml/external.hpp"
 #include "muml/integration.hpp"
 #include "muml/loader.hpp"
 #include "muml/verify.hpp"
@@ -159,6 +162,7 @@
 #include "synthesis/test_suite.hpp"
 #include "synthesis/verifier.hpp"
 #include "testing/legacy.hpp"
+#include "testing/subprocess.hpp"
 
 #ifndef MUI_VERSION
 #define MUI_VERSION "0.0.0-dev"
@@ -179,8 +183,10 @@ void printUsage(std::FILE* out) {
       "  mui check <model.muml> <automaton> <formula>\n"
       "  mui compose <model.muml> <automaton>... [--check <formula>]\n"
       "  mui verify-pattern <model.muml> <pattern>\n"
-      "  mui integrate <model.muml> <pattern> <legacyRole> <hiddenAutomaton>\n"
+      "  mui integrate <model.muml> <pattern> <legacyRole> <hidden>\n"
       "                [--trace-out F] [--metrics-out F] [--journal-out F]\n"
+      "                (<hidden> names an automaton or a 'legacy ... "
+      "external')\n"
       "  mui suite-gen <model.muml> <pattern> <legacyRole> <hidden>\n"
       "  mui suite-run <model.muml> <suite-file> <hidden> <roleName>\n"
       "  mui batch <manifest> [--jobs N] [--timeout-ms T] [--out <file>] "
@@ -443,10 +449,24 @@ int cmdIntegrate(int argc, char** argv) {
   }
   const auto scenario = muml::makeIntegrationScenario(
       pattern, roleIdx, model.signals, model.props);
-  // The hidden automaton plays the role: rebind its instance name so the
-  // role invariants and the pattern constraint see its states.
-  testing::AutomatonLegacy legacy(automata::withInstanceName(
-      findAutomaton(model, positional[3]), pattern.roles[roleIdx].name));
+  // The hidden component plays the role. An automaton gets its instance
+  // name rebound so the role invariants and the pattern constraint see its
+  // states; a `legacy ... external` clause spawns the adapter binary
+  // out-of-process instead (docs/ADAPTERS.md).
+  std::unique_ptr<testing::LegacyComponent> legacy;
+  const auto eit = model.externals.find(positional[3]);
+  if (eit != model.externals.end()) {
+    muml::checkExternalInterface(eit->second, pattern.roles[roleIdx],
+                                 model.source, model.signals);
+    testing::SubprocessConfig scfg =
+        testing::configFromExternal(model, eit->second);
+    scfg.journal = obsOpts.journalPtr();
+    legacy = std::make_unique<testing::SubprocessLegacy>(std::move(scfg));
+  } else {
+    legacy = std::make_unique<testing::AutomatonLegacy>(
+        automata::withInstanceName(findAutomaton(model, positional[3]),
+                                   pattern.roles[roleIdx].name));
+  }
 
   synthesis::IntegrationConfig cfg;
   cfg.property = scenario.property;
@@ -455,8 +475,17 @@ int cmdIntegrate(int argc, char** argv) {
   cfg.runId = std::string(positional[1]) + "/" + positional[2] + "/" +
               positional[3];
   obsOpts.beforeRun();
-  const auto res =
-      synthesis::IntegrationVerifier(scenario.context, legacy, cfg).run();
+  synthesis::IntegrationResult res;
+  try {
+    res = synthesis::IntegrationVerifier(scenario.context, *legacy, cfg)
+              .run();
+  } catch (const testing::AdapterFailure& e) {
+    // Adapter death during the initial reset/probe, before the loop even
+    // starts: report the distinct verdict instead of a generic error.
+    obsOpts.writeArtifacts();
+    std::printf("verdict: adapter-failure (%s)\n", e.what());
+    return 1;
+  }
   obsOpts.writeArtifacts();
 
   std::printf("%s", synthesis::renderJournal(res).c_str());
